@@ -1,0 +1,36 @@
+"""Benchmark-suite plumbing.
+
+Each benchmark regenerates one table or figure of the paper at full
+scale and registers its formatted output through the ``report`` fixture;
+everything collected is echoed into the terminal summary so that
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` captures
+the reproduced tables alongside the timing data.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+_REPORTS: List[str] = []
+
+
+@pytest.fixture
+def report():
+    """Collect a formatted figure/table for the terminal summary."""
+
+    def _collect(text: str) -> None:
+        _REPORTS.append(text)
+
+    return _collect
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.section("reproduced tables and figures")
+    for text in _REPORTS:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

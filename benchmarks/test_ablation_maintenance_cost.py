@@ -1,0 +1,72 @@
+"""E12 (extension) — connectivity-maintenance cost per membership event.
+
+Quantifies the paper's concluding trade-off: Viceroy buys its
+zero-timeout lookups by updating many nodes (and re-levelling) on every
+membership change, Cycloid only refreshes nearby leaf sets, and the
+ring DHTs notify just two neighbours (deferring the rest to
+stabilisation traffic, measured by E7/E8).
+"""
+
+from repro.analysis import format_table
+from repro.experiments import run_maintenance_experiment
+
+
+def test_ablation_maintenance_cost(benchmark, report):
+    points = benchmark.pedantic(
+        run_maintenance_experiment,
+        kwargs={"seed": 21},
+        rounds=1,
+        iterations=1,
+    )
+    by_protocol = {p.protocol: p for p in points}
+
+    # Viceroy's eager in/out-link repair is the costliest.
+    assert (
+        by_protocol["viceroy"].updates_per_leave
+        > by_protocol["cycloid"].updates_per_leave
+    )
+    assert (
+        by_protocol["viceroy"].mass_departure_updates
+        > 1.5 * by_protocol["cycloid"].mass_departure_updates
+    )
+
+    # The ring DHTs notify only the two ring neighbours per event.
+    for protocol in ("chord", "koorde"):
+        assert by_protocol[protocol].updates_per_join <= 2.01
+        assert by_protocol[protocol].updates_per_leave <= 2.01
+
+    # The 11-entry Cycloid pays roughly double the 7-entry's leaf
+    # notifications (wider leaf sets, more holders to refresh).
+    assert (
+        by_protocol["cycloid-11"].updates_per_leave
+        > by_protocol["cycloid"].updates_per_leave
+    )
+
+    rows = [
+        [
+            p.protocol,
+            f"{p.updates_per_join:.2f}",
+            f"{p.updates_per_leave:.2f}",
+            p.mass_departure_events,
+            p.mass_departure_updates,
+            f"{p.updates_per_departure:.2f}",
+        ]
+        for p in points
+    ]
+    report(
+        format_table(
+            [
+                "protocol",
+                "updates/join",
+                "updates/leave",
+                "mass departures",
+                "total updates",
+                "updates/departure",
+            ],
+            rows,
+            title=(
+                "Extension — connectivity-maintenance fan-out "
+                "(nodes updated per membership event)"
+            ),
+        )
+    )

@@ -1,0 +1,92 @@
+"""E8 — Fig. 12 + Table 5: lookups during continuous joins and leaves.
+
+The §4.4 setting: 2048 starting nodes, lookups at 1/s, joins and leaves
+Poisson at R in {0.05..0.40} each, per-node stabilisation every 30 s
+with uniform phases.  Shape targets:
+
+* path lengths sit at their steady-state values and do not drift with
+  R for any DHT;
+* stabilisation removes the majority of timeouts (compare Table 4) and
+  every lookup succeeds;
+* Viceroy still shows zero timeouts.
+"""
+
+from repro.analysis import format_table
+from repro.experiments import run_churn_experiment
+
+RATES = (0.05, 0.10, 0.20, 0.30, 0.40)
+DURATION = 1000.0
+
+
+def test_fig12_table5_churn(benchmark, report):
+    points = benchmark.pedantic(
+        run_churn_experiment,
+        kwargs={"rates": RATES, "duration": DURATION, "seed": 12},
+        rounds=1,
+        iterations=1,
+    )
+
+    # Zero lookup failures anywhere ("There are no failures in all test
+    # cases").
+    assert all(p.lookup_failures == 0 for p in points)
+
+    # Timeouts stay tiny: stabilisation removes the staleness that
+    # Table 4 measured (mean well below one per lookup).
+    for point in points:
+        assert point.timeout_summary.mean < 0.6, point
+        if point.protocol == "viceroy":
+            assert point.timeout_summary.maximum == 0
+
+    # Path lengths do not drift with R: max-min within each protocol is
+    # small relative to the mean.
+    for protocol in ("cycloid", "cycloid-11", "chord", "koorde", "viceroy"):
+        series = [p for p in points if p.protocol == protocol]
+        paths = [p.mean_path_length for p in series]
+        assert max(paths) - min(paths) < 0.25 * (sum(paths) / len(paths)), (
+            protocol,
+            paths,
+        )
+
+    # Cycloid remains far more lookup-efficient than Viceroy under
+    # churn.
+    for rate in RATES:
+        cycloid = next(
+            p for p in points if p.protocol == "cycloid" and p.rate == rate
+        )
+        viceroy = next(
+            p for p in points if p.protocol == "viceroy" and p.rate == rate
+        )
+        assert cycloid.mean_path_length < 0.6 * viceroy.mean_path_length
+
+    rows = [
+        [
+            p.protocol,
+            f"{p.rate:.2f}",
+            f"{p.mean_path_length:.2f}",
+            p.timeout_row(),
+            p.lookup_failures,
+            p.joins,
+            p.leaves,
+            p.final_size,
+        ]
+        for p in sorted(points, key=lambda p: (p.protocol, p.rate))
+    ]
+    report(
+        format_table(
+            [
+                "protocol",
+                "R (/s)",
+                "mean path",
+                "timeouts (p1, p99)",
+                "failures",
+                "joins",
+                "leaves",
+                "final n",
+            ],
+            rows,
+            title=(
+                "Fig. 12 + Table 5 — lookups during churn with 30 s "
+                "stabilisation"
+            ),
+        )
+    )

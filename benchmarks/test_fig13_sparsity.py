@@ -1,0 +1,77 @@
+"""E9 — Fig. 13: path length vs degree of ID-space sparsity.
+
+2048-identifier spaces populated at 100% down to 10%.  Shape targets
+(paper §4.5): no lookup failures anywhere; Cycloid's mean path does not
+degrade (it decreases slightly with the shrinking population); Viceroy
+is essentially flat; Koorde's path *increases* as gaps force extra
+successor hops.
+"""
+
+from repro.analysis import ascii_series, format_table, series_by_protocol
+from repro.experiments import run_sparsity_experiment
+
+LOOKUPS = 5000
+
+
+def test_fig13_sparsity(benchmark, report):
+    points = benchmark.pedantic(
+        run_sparsity_experiment,
+        kwargs={"lookups": LOOKUPS, "seed": 13},
+        rounds=1,
+        iterations=1,
+    )
+
+    assert all(p.lookup_failures == 0 for p in points)
+
+    def series(protocol):
+        return sorted(
+            (p for p in points if p.protocol == protocol),
+            key=lambda p: p.sparsity,
+        )
+
+    cycloid = series("cycloid")
+    koorde = series("koorde")
+    viceroy = series("viceroy")
+
+    # Cycloid: sparsity has no adverse effect — the sparsest
+    # configuration is no slower than the dense one.
+    assert cycloid[-1].mean_path_length <= cycloid[0].mean_path_length + 0.5
+    assert max(p.mean_path_length for p in cycloid) <= (
+        cycloid[0].mean_path_length + 1.5
+    )
+
+    # Koorde: clear degradation with sparsity.
+    assert koorde[-1].mean_path_length > koorde[0].mean_path_length + 3.0
+
+    # Viceroy: roughly flat (its real-interval space is always sparse);
+    # path shrinks if anything because the population shrinks.
+    assert viceroy[-1].mean_path_length <= viceroy[0].mean_path_length + 1.0
+
+    rows = [
+        [
+            p.protocol,
+            f"{p.sparsity:.1f}",
+            p.population,
+            f"{p.mean_path_length:.2f}",
+        ]
+        for p in sorted(points, key=lambda p: (p.protocol, p.sparsity))
+    ]
+    report(
+        format_table(
+            ["protocol", "sparsity", "nodes", "mean path"],
+            rows,
+            title="Fig. 13 — path length vs degree of network sparsity",
+        )
+    )
+    report(
+        ascii_series(
+            series_by_protocol(
+                points,
+                x_of=lambda p: p.sparsity,
+                y_of=lambda p: p.mean_path_length,
+                protocol_of=lambda p: p.protocol,
+            ),
+            title="Fig. 13 series (mean hops vs sparsity)",
+            unit=" hops",
+        )
+    )

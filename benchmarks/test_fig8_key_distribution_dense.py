@@ -1,0 +1,55 @@
+"""E4 — Fig. 8: key distribution in a dense 2000-node network.
+
+2000 nodes in a 2048-identifier space; 10^4..10^5 keys.  Shape targets
+(paper §4.2): the spread grows linearly with the number of keys in all
+DHTs; Cycloid's balance matches Koorde's and Chord's (its 2-D space
+reduces to one dimension via mod/div); Viceroy's 99th percentile is far
+larger because node identities never cover the real interval evenly.
+"""
+
+from repro.analysis import format_table
+from repro.experiments import run_key_distribution_experiment
+
+
+def test_fig8_key_distribution_dense(benchmark, report):
+    points = benchmark.pedantic(
+        run_key_distribution_experiment,
+        kwargs={"node_count": 2000, "seed": 8},
+        rounds=1,
+        iterations=1,
+    )
+
+    at_max = {p.protocol: p for p in points if p.keys == 100_000}
+
+    # Viceroy is by far the least balanced.
+    assert at_max["viceroy"].summary.p99 > 2 * at_max["cycloid"].summary.p99
+
+    # Cycloid is within a small factor of the successor-placement DHTs.
+    assert at_max["cycloid"].summary.spread <= 1.5 * at_max["chord"].summary.spread
+
+    # Spread grows with the key count for every protocol.
+    for protocol in ("cycloid", "viceroy", "chord", "koorde"):
+        series = sorted(
+            (p for p in points if p.protocol == protocol),
+            key=lambda p: p.keys,
+        )
+        assert series[-1].summary.spread > series[0].summary.spread
+
+    rows = [
+        [
+            p.protocol,
+            p.keys,
+            f"{p.summary.mean:.1f}",
+            f"{p.summary.p1:.0f}",
+            f"{p.summary.p99:.0f}",
+        ]
+        for p in sorted(points, key=lambda p: (p.protocol, p.keys))
+        if p.keys in (10_000, 50_000, 100_000)
+    ]
+    report(
+        format_table(
+            ["protocol", "keys", "mean/node", "p1", "p99"],
+            rows,
+            title="Fig. 8 — key distribution, 2000 nodes in a 2048-id space",
+        )
+    )

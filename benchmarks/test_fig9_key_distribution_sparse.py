@@ -1,0 +1,49 @@
+"""E5 — Fig. 9: key distribution in a sparse 1000-node network.
+
+1000 nodes in the 2048-identifier space.  Shape target (paper §4.2):
+with only half the identifier space occupied, Cycloid's closest-node
+placement splits each gap between the two surrounding nodes and beats
+Koorde's successor placement on balance — the paper's answer to
+Kaashoek & Karger's degree-optimal-and-balanced question.
+"""
+
+from repro.analysis import format_table
+from repro.experiments import run_key_distribution_experiment
+
+
+def test_fig9_key_distribution_sparse(benchmark, report):
+    points = benchmark.pedantic(
+        run_key_distribution_experiment,
+        kwargs={
+            "node_count": 1000,
+            "protocols": ("cycloid", "koorde", "chord"),
+            "seed": 9,
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    for keys in (10_000, 100_000):
+        at = {p.protocol: p for p in points if p.keys == keys}
+        # Cycloid more balanced than Koorde in the sparse regime.
+        assert at["cycloid"].summary.spread < at["koorde"].summary.spread
+        assert at["cycloid"].summary.p99 <= at["koorde"].summary.p99
+
+    rows = [
+        [
+            p.protocol,
+            p.keys,
+            f"{p.summary.mean:.1f}",
+            f"{p.summary.p1:.0f}",
+            f"{p.summary.p99:.0f}",
+        ]
+        for p in sorted(points, key=lambda p: (p.protocol, p.keys))
+        if p.keys in (10_000, 50_000, 100_000)
+    ]
+    report(
+        format_table(
+            ["protocol", "keys", "mean/node", "p1", "p99"],
+            rows,
+            title="Fig. 9 — key distribution, 1000 nodes in a 2048-id space",
+        )
+    )

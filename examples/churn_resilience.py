@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Churn resilience: lookups while peers continuously join and leave.
+
+Drives the paper's §4.4 scenario on the discrete-event engine: lookups
+arrive at one per second while peers join and leave as Poisson
+processes, and every node runs its stabilisation routine once per 30
+simulated seconds.  Compare how the two constant-degree DHTs with
+periodic stabilisation (Cycloid, Koorde) and eager-repair Viceroy cope.
+
+Run:  python examples/churn_resilience.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ChurnConfig,
+    CycloidNetwork,
+    KoordeNetwork,
+    ViceroyNetwork,
+    run_churn_simulation,
+)
+
+START_NODES = 400
+DURATION = 600.0  # simulated seconds
+RATE = 0.25  # joins/s and leaves/s — one membership event every 2 s
+
+
+def build(protocol: str):
+    if protocol == "cycloid":
+        return CycloidNetwork.with_random_ids(START_NODES, 7, seed=3)
+    if protocol == "koorde":
+        return KoordeNetwork.with_random_ids(START_NODES, 10, seed=3)
+    return ViceroyNetwork.with_random_ids(START_NODES, seed=3)
+
+
+def main() -> None:
+    print(
+        f"churning {START_NODES}-node overlays for {DURATION:.0f} simulated "
+        f"seconds at R = {RATE} joins/s and {RATE} leaves/s\n"
+    )
+    header = (
+        f"{'protocol':10s} {'lookups':>8s} {'failures':>9s} "
+        f"{'mean hops':>10s} {'mean timeouts':>14s} {'final n':>8s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for protocol in ("cycloid", "koorde", "viceroy"):
+        network = build(protocol)
+        config = ChurnConfig(
+            join_leave_rate=RATE, duration=DURATION, seed=11
+        )
+        result = run_churn_simulation(network, config)
+        timeouts = result.stats.timeout_summary()
+        print(
+            f"{protocol:10s} {len(result.stats):8d} {result.failures:9d} "
+            f"{result.stats.mean_path_length:10.2f} {timeouts.mean:14.3f} "
+            f"{result.final_size:8d}"
+        )
+    print(
+        "\nAll lookups resolve during churn; stabilisation (30 s period)"
+        "\nkeeps timeouts near zero, and Viceroy's eager repair keeps them"
+        "\nat exactly zero — at the maintenance cost the paper describes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Inspect the cube-connected-cycles structure of a small Cycloid.
+
+Prints every local cycle of a 3-dimensional Cycloid (the paper's
+Fig. 1 graph), one node's full routing state (as in Table 2), and then
+replays the paper's Fig. 4 example lookup hop by hop in dimension 4.
+
+Run:  python examples/inspect_topology.py
+"""
+
+from __future__ import annotations
+
+from repro import CycloidNetwork
+from repro.dht.identifiers import CycloidId
+
+
+def show_cycles(network: CycloidNetwork) -> None:
+    d = network.dimension
+    print(f"complete {d}-dimensional CCC: {network.size} nodes, "
+          f"{1 << d} local cycles of {d} nodes\n")
+    for cubical in range(1 << d):
+        members = network.topology.cycle_members(cubical)
+        primary = network.topology.primary_of(cubical)
+        print(
+            f"  cycle {cubical:0{d}b}: cyclic indices {members} "
+            f"(primary {primary.id})"
+        )
+
+
+def show_routing_state(network: CycloidNetwork, cyclic: int, cubical: int) -> None:
+    node = network.topology.get(cyclic, cubical)
+    print(f"\nrouting state of node {node.id} "
+          f"({node.state_size} entries):")
+    print(f"  cubical neighbour : {node.cubical_neighbor.id}")
+    print(f"  cyclic neighbours : {node.cyclic_larger.id}, "
+          f"{node.cyclic_smaller.id}")
+    print(f"  inside leaf set   : {node.inside_left[0].id} | "
+          f"{node.inside_right[0].id}")
+    print(f"  outside leaf set  : {node.outside_left[0].id} | "
+          f"{node.outside_right[0].id}")
+
+
+def replay_fig4() -> None:
+    network = CycloidNetwork.complete(4)
+    source = network.topology.get(0, 0b0100)
+    key = CycloidId(2, 0b1111, 4)
+    print(f"\nFig. 4 example: route {source.id} -> {key} "
+          f"in the complete 4-dimensional Cycloid")
+    record = network.route(source, key)
+    print(f"  resolved in {record.hops} hops, phases {record.phase_hops}, "
+          f"success={record.success}")
+
+
+def main() -> None:
+    network = CycloidNetwork.complete(3)
+    show_cycles(network)
+    eight = CycloidNetwork.complete(8)
+    show_routing_state(eight, 4, 0b10110110)  # the paper's Table 2 node
+    replay_fig4()
+
+
+if __name__ == "__main__":
+    main()

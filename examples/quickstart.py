@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Quickstart: build a Cycloid overlay and look up some keys.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CycloidNetwork
+
+def main() -> None:
+    # A Cycloid network of dimension 8 (ID space: 8 * 2^8 = 2048 ids)
+    # with 500 participating nodes placed by consistent hashing.
+    network = CycloidNetwork.with_random_ids(500, dimension=8, seed=1)
+    print(f"built a {network.dimension}-dimensional Cycloid with "
+          f"{network.size} nodes")
+
+    # Every node keeps exactly 7 routing entries: 1 cubical neighbour,
+    # 2 cyclic neighbours, 2 inside-leaf and 2 outside-leaf nodes.
+    node = network.live_nodes()[0]
+    print(f"node {node.id} holds {node.state_size} routing entries "
+          f"(degree {node.degree})")
+
+    # Keys are mapped onto the same ID space; lookups resolve in O(d).
+    for key in ("alice.mp3", "bob.iso", "carol.txt"):
+        owner = network.owner_of_key(key)
+        record = network.lookup(node, key)
+        status = "ok" if record.success else "FAILED"
+        print(
+            f"lookup({key!r}): {record.hops} hops "
+            f"{dict(record.phase_hops)} -> stored on {owner.id} [{status}]"
+        )
+
+    # Nodes come and go; leaf sets are repaired immediately, routing
+    # tables at the next stabilisation round.
+    newcomer = network.join("a-new-peer")
+    print(f"joined: {newcomer.id}")
+    network.leave(network.live_nodes()[10])
+    network.stabilize()
+    record = network.lookup(newcomer, "alice.mp3")
+    print(f"lookup after churn: {record.hops} hops, success={record.success}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Replicated key-value storage surviving silent node failures.
+
+The paper scopes ungraceful departures out of Cycloid's routing design
+(§3.4) and points at leaf-set-style redundancy as the remedy (§5).
+This example exercises both sides with the library's storage layer:
+
+* without replication, a silently crashing node loses its keys;
+* with 3-way replication over the overlay's closeness metric, every
+  key survives a wave of crashes, and stabilisation + re-replication
+  restore the invariant.
+
+Run:  python examples/replicated_store.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import CycloidNetwork
+from repro.dht.storage import KeyValueStore
+
+PEERS = 300
+KEYS = 3000
+CRASHES = 30
+
+
+def run(replicas: int, seed: int) -> None:
+    network = CycloidNetwork.with_random_ids(PEERS, 8, seed=seed)
+    store = KeyValueStore(network, replicas=replicas)
+    writer = network.live_nodes()[0]
+    keys = [f"document-{i}" for i in range(KEYS)]
+    for key in keys:
+        store.put(writer, key, f"contents of {key}")
+
+    rng = random.Random(seed + 1)
+    lost = 0
+    for victim in rng.sample(list(network.live_nodes())[1:], CRASHES):
+        network.fail(victim)  # no goodbye, no handover
+        lost += store.on_silent_failure(victim)
+
+    network.stabilize()
+    copies = store.rereplicate()
+
+    reader = network.live_nodes()[1]
+    readable = sum(store.get(reader, key).found for key in keys)
+    print(
+        f"replicas={replicas}: {CRASHES} silent crashes -> "
+        f"{lost} keys lost outright, {readable}/{KEYS} readable after "
+        f"repair ({copies} copies re-made)"
+    )
+
+
+def main() -> None:
+    print(f"{PEERS} peers, {KEYS} documents, {CRASHES} silent crashes\n")
+    run(replicas=1, seed=10)
+    run(replicas=3, seed=10)
+    print(
+        "\nWith 3-way leaf-set-style replication every document survives —"
+        "\nthe §5 remedy for the constant-degree DHT's failure weakness."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e .`` works on environments without the ``wheel``
+package (offline boxes); all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

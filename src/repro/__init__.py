@@ -1,0 +1,66 @@
+"""repro — a full reproduction of *Cycloid: A Constant-Degree and
+Lookup-Efficient P2P Overlay Network* (Shen, Xu & Chen).
+
+The package implements the Cycloid DHT (the paper's contribution) plus
+the three comparison systems — Chord, Koorde and Viceroy — over a
+common simulation substrate, together with the complete experiment
+harness for every table and figure in the paper's evaluation.
+
+Quickstart::
+
+    from repro import CycloidNetwork
+
+    net = CycloidNetwork.with_random_ids(500, dimension=8, seed=1)
+    node = net.live_nodes()[0]
+    record = net.lookup(node, "my-file.mp3")
+    print(record.hops, record.success)
+
+See README.md for the architecture overview and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.can import CanNetwork, CanNode
+from repro.chord import ChordNetwork, ChordNode
+from repro.core import CycloidNetwork, CycloidNode
+from repro.dht import (
+    CycloidId,
+    LookupRecord,
+    LookupStats,
+    Network,
+    Node,
+    RingId,
+    cycloid_space_size,
+)
+from repro.koorde import KoordeNetwork, KoordeNode
+from repro.pastry import PastryNetwork, PastryNode
+from repro.sim import ChurnConfig, ChurnResult, Simulator, run_churn_simulation
+from repro.viceroy import ViceroyNetwork, ViceroyNode
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CycloidNetwork",
+    "CycloidNode",
+    "CycloidId",
+    "CanNetwork",
+    "CanNode",
+    "ChordNetwork",
+    "ChordNode",
+    "KoordeNetwork",
+    "KoordeNode",
+    "PastryNetwork",
+    "PastryNode",
+    "ViceroyNetwork",
+    "ViceroyNode",
+    "Network",
+    "Node",
+    "RingId",
+    "LookupRecord",
+    "LookupStats",
+    "Simulator",
+    "ChurnConfig",
+    "ChurnResult",
+    "run_churn_simulation",
+    "cycloid_space_size",
+    "__version__",
+]

@@ -1,0 +1,12 @@
+"""CAN — Content-Addressable Network (Ratnasamy et al., SIGCOMM 2001).
+
+The mesh-based DHT of the paper's §2.3 and Table 1: keys live in a
+d-dimensional toroidal coordinate space, each node owns a zone of it,
+neighbours own abutting zones, and routing greedily forwards toward the
+key's point in O(d * n^(1/d)) hops with O(d) neighbours per node.
+"""
+
+from repro.can.network import CanNetwork
+from repro.can.node import CanNode, Zone
+
+__all__ = ["CanNetwork", "CanNode", "Zone"]

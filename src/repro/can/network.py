@@ -1,0 +1,345 @@
+"""CAN overlay network simulator.
+
+Routing is greedy geographic forwarding: each hop moves to the
+neighbour whose zone is closest (torus distance) to the key's point,
+terminating at the node whose zone contains it — O(d * n^(1/d)) hops
+with O(d) neighbours per node (paper §2.3 / Table 1).
+
+Joins follow the CAN bootstrap: hash the newcomer to a random point,
+route to the zone owner, split that zone in half along its widest axis
+and hand the newcomer the half containing the point.  A graceful leave
+hands the zones to the buddy (when the union is a box again) or to the
+smallest-volume neighbour, which holds them until buddies coalesce —
+the CAN takeover rule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.can.node import CanNode, Zone
+from repro.dht.base import Network
+from repro.dht.hashing import consistent_hash
+from repro.dht.metrics import LookupRecord
+from repro.util.bitops import circular_distance
+from repro.util.rng import make_rng
+
+__all__ = ["CanNetwork"]
+
+PHASE_GREEDY = "greedy"
+
+DEFAULT_DIMENSIONS = 2
+RESOLUTION_BITS = 20  # grid cells per axis: 2^20
+
+
+class CanNetwork(Network):
+    """A CAN over the ``[0, 2^RESOLUTION_BITS)^dimensions`` torus."""
+
+    protocol_name = "can"
+
+    def __init__(
+        self, dimensions: int = DEFAULT_DIMENSIONS, seed: Optional[int] = None
+    ) -> None:
+        super().__init__()
+        if dimensions < 1:
+            raise ValueError("dimensions must be >= 1")
+        self.dimensions = dimensions
+        self.modulus = 1 << RESOLUTION_BITS
+        self._nodes: List[CanNode] = []
+        self._rng = make_rng(seed)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def with_random_zones(
+        cls,
+        count: int,
+        dimensions: int = DEFAULT_DIMENSIONS,
+        seed: Optional[int] = None,
+    ) -> "CanNetwork":
+        """Grow a network of ``count`` nodes by successive joins."""
+        network = cls(dimensions, seed)
+        for index in range(count):
+            network.join(f"can-{index}")
+        return network
+
+    # ------------------------------------------------------------------
+    # Network interface
+    # ------------------------------------------------------------------
+
+    def live_nodes(self) -> Sequence[CanNode]:
+        return list(self._nodes)
+
+    def key_id(self, key: object) -> Tuple[int, ...]:
+        """Hash a key to a point on the torus (one hash per axis)."""
+        digest = consistent_hash(key)
+        point = []
+        for axis in range(self.dimensions):
+            point.append(
+                (digest >> (axis * RESOLUTION_BITS)) % self.modulus
+            )
+        return tuple(point)
+
+    def owner_of_id(self, key_id: Tuple[int, ...]) -> CanNode:
+        for node in self._nodes:
+            if node.owns(key_id):
+                return node
+        raise LookupError("empty network" if not self._nodes else
+                          f"no zone contains {key_id}")
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    def _torus_distance(self, a: Tuple[int, ...], b: Tuple[int, ...]) -> int:
+        return sum(
+            circular_distance(x, y, self.modulus) for x, y in zip(a, b)
+        )
+
+    def _node_distance(self, node: CanNode, point: Tuple[int, ...]) -> int:
+        return min(
+            self._torus_distance(self._clamp(zone, point), point)
+            for zone in node.zones
+        )
+
+    def _clamp(self, zone: Zone, point: Tuple[int, ...]) -> Tuple[int, ...]:
+        """The point of ``zone`` nearest to ``point`` on the torus."""
+        clamped = []
+        for axis in range(self.dimensions):
+            lo, hi = zone.lo[axis], zone.hi[axis] - 1
+            x = point[axis]
+            if lo <= x <= hi:
+                clamped.append(x)
+            else:
+                d_lo = circular_distance(x, lo, self.modulus)
+                d_hi = circular_distance(x, hi, self.modulus)
+                clamped.append(lo if d_lo <= d_hi else hi)
+        return tuple(clamped)
+
+    def route(
+        self, source: CanNode, key_id: Tuple[int, ...]
+    ) -> LookupRecord:
+        if not source.alive:
+            raise ValueError("lookup source must be alive")
+        current = source
+        hops = 0
+        timeouts = 0
+        owner = self.owner_of_id(key_id)
+        path = [source.name]
+        visited: Set[object] = set()
+
+        while hops < self.HOP_LIMIT:
+            if current.owns(key_id):
+                break
+            visited.add(current.name)
+            current_distance = self._node_distance(current, key_id)
+            ranked = sorted(
+                (
+                    neighbor
+                    for neighbor in current.neighbors
+                    if neighbor.name not in visited
+                ),
+                key=lambda n: self._node_distance(n, key_id),
+            )
+            next_hop = None
+            for candidate in ranked:
+                if not candidate.alive:
+                    timeouts += 1
+                    continue
+                if self._node_distance(candidate, key_id) >= current_distance:
+                    # Greedy progress stalled (possible after failures);
+                    # CAN would fall back to perimeter routing — we
+                    # allow one sideways hop to an unvisited neighbour.
+                    pass
+                next_hop = candidate
+                break
+            if next_hop is None:
+                break
+            current = next_hop
+            hops += 1
+            path.append(current.name)
+            self._record_visit(current)
+
+        return LookupRecord(
+            hops=hops,
+            success=current is owner,
+            timeouts=timeouts,
+            phase_hops={PHASE_GREEDY: hops},
+            source=source.name,
+            key=key_id,
+            owner=current.name,
+            path=path,
+        )
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+
+    def join(self, name: object) -> CanNode:
+        point = self.key_id(name)
+        if not self._nodes:
+            full = Zone(
+                (0,) * self.dimensions, (self.modulus,) * self.dimensions
+            )
+            node = CanNode(name, full)
+            self._nodes.append(node)
+            return node
+        holder = self.owner_of_id(point)
+        zone_index = next(
+            i for i, zone in enumerate(holder.zones) if zone.contains(point)
+        )
+        zone = holder.zones[zone_index]
+        lower, upper = zone.split(zone.widest_axis())
+        keep, give = (lower, upper) if lower.contains(point) else (upper, lower)
+        # The newcomer takes the half containing its point; the holder
+        # keeps the other half.
+        holder.zones[zone_index] = give
+        node = CanNode(name, keep)
+        self._nodes.append(node)
+        self.maintenance_updates += self._refresh_neighbors_around(
+            [zone], exclude=node
+        )
+        return node
+
+    def leave(self, node: CanNode) -> None:
+        """Graceful departure: zones hand over to the buddy or to the
+        smallest neighbour (CAN's takeover), which coalesces buddies."""
+        if not node.alive:
+            raise ValueError(f"{node!r} already departed")
+        if len(self._nodes) == 1:
+            node.alive = False
+            self._nodes.remove(node)
+            return
+        node.alive = False
+        self._nodes.remove(node)
+        for zone in node.zones:
+            taker = self._taker_for(zone, node)
+            taker.zones.append(zone)
+            self._coalesce(taker)
+        self.maintenance_updates += self._refresh_neighbors_around(
+            node.zones
+        )
+
+    def fail(self, node: CanNode) -> None:
+        """Silent failure: the zone is still taken over (CAN recovers
+        ownership via its takeover timers) but neighbour lists elsewhere
+        stay stale until stabilisation."""
+        if not node.alive:
+            raise ValueError(f"{node!r} already departed")
+        if len(self._nodes) == 1:
+            node.alive = False
+            self._nodes.remove(node)
+            return
+        node.alive = False
+        self._nodes.remove(node)
+        for zone in node.zones:
+            taker = self._taker_for(zone, node)
+            taker.zones.append(zone)
+            self._coalesce(taker)
+        # No neighbour refresh: that is stabilisation's job now.
+
+    def _taker_for(self, zone: Zone, leaver: CanNode) -> CanNode:
+        """The buddy owner if the union forms a box, else the
+        smallest-volume abutting neighbour."""
+        candidates = [
+            other
+            for other in self._nodes
+            if other is not leaver
+            and any(
+                zone.abuts(other_zone, self.modulus)
+                or zone.buddy_of(other_zone)
+                for other_zone in other.zones
+            )
+        ]
+        if not candidates:
+            raise RuntimeError(f"no taker found for zone {zone}")
+        for other in candidates:
+            if any(zone.buddy_of(other_zone) for other_zone in other.zones):
+                return other
+        return min(candidates, key=lambda n: n.total_volume())
+
+    @staticmethod
+    def _coalesce(node: CanNode) -> None:
+        merged = True
+        while merged:
+            merged = False
+            for i in range(len(node.zones)):
+                for j in range(i + 1, len(node.zones)):
+                    if node.zones[i].buddy_of(node.zones[j]):
+                        union = node.zones[i].merge(node.zones[j])
+                        node.zones[j:j + 1] = []
+                        node.zones[i] = union
+                        merged = True
+                        break
+                if merged:
+                    break
+
+    def _refresh_neighbors_around(
+        self, zones: Iterable[Zone], exclude: Optional[CanNode] = None
+    ) -> int:
+        """Recompute neighbour lists of every node abutting ``zones``
+        (plus their owners); returns how many changed."""
+        affected: List[CanNode] = []
+        for node in self._nodes:
+            for zone in zones:
+                if any(
+                    zone.abuts(own, self.modulus)
+                    or self._zones_overlap(zone, own)
+                    for own in node.zones
+                ):
+                    affected.append(node)
+                    break
+        changed = 0
+        for node in affected:
+            if self._wire_neighbors(node) and node is not exclude:
+                changed += 1
+        return changed
+
+    def _zones_overlap(self, a: Zone, b: Zone) -> bool:
+        return all(
+            min(a.hi[axis], b.hi[axis]) - max(a.lo[axis], b.lo[axis]) > 0
+            for axis in range(self.dimensions)
+        )
+
+    def stabilize(self) -> None:
+        for node in self._nodes:
+            self._wire_neighbors(node)
+
+    def stabilize_node(self, node: CanNode) -> None:
+        if node.alive:
+            self._wire_neighbors(node)
+
+    def _wire_neighbors(self, node: CanNode) -> bool:
+        before = {id(n) for n in node.neighbors}
+        neighbors = []
+        for other in self._nodes:
+            if other is node:
+                continue
+            if any(
+                mine.abuts(theirs, self.modulus)
+                for mine in node.zones
+                for theirs in other.zones
+            ):
+                neighbors.append(other)
+        node.neighbors = neighbors
+        return before != {id(n) for n in neighbors}
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        super().check_invariants()
+        if not self._nodes:
+            return
+        total = sum(node.total_volume() for node in self._nodes)
+        assert total == self.modulus ** self.dimensions, (
+            "zones do not partition the torus"
+        )
+        for node in self._nodes:
+            for neighbor in node.neighbors:
+                assert neighbor.alive, f"{node!r} has dead neighbour"
+            if len(self._nodes) > 1:
+                assert node.neighbors, f"{node!r} is isolated"

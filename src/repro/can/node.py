@@ -1,0 +1,139 @@
+"""CAN node state: the zones a node owns in the toroidal key space.
+
+Coordinates are integers on a ``2^resolution`` grid per dimension
+(exact arithmetic; the unit torus of the paper scaled up).  A zone is
+an axis-aligned half-open box.  A node normally owns one zone; after a
+graceful departure a neighbour may temporarily hold several (the CAN
+takeover rule) until buddy zones coalesce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.dht.base import Node
+
+__all__ = ["Zone", "CanNode"]
+
+
+@dataclass(frozen=True)
+class Zone:
+    """A half-open axis-aligned box ``[lo, hi)`` per dimension."""
+
+    lo: Tuple[int, ...]
+    hi: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.lo) != len(self.hi):
+            raise ValueError("lo/hi dimensionality mismatch")
+        if any(l >= h for l, h in zip(self.lo, self.hi)):
+            raise ValueError(f"empty zone {self.lo}..{self.hi}")
+
+    @property
+    def dimensions(self) -> int:
+        return len(self.lo)
+
+    def contains(self, point: Tuple[int, ...]) -> bool:
+        return all(
+            l <= x < h for x, l, h in zip(point, self.lo, self.hi)
+        )
+
+    def volume(self) -> int:
+        product = 1
+        for l, h in zip(self.lo, self.hi):
+            product *= h - l
+        return product
+
+    def center(self) -> Tuple[int, ...]:
+        return tuple((l + h) // 2 for l, h in zip(self.lo, self.hi))
+
+    def split(self, axis: int) -> Tuple["Zone", "Zone"]:
+        """Halve the zone along ``axis``; returns (lower, upper)."""
+        middle = (self.lo[axis] + self.hi[axis]) // 2
+        if middle == self.lo[axis]:
+            raise ValueError(f"zone too thin to split along axis {axis}")
+        lower_hi = list(self.hi)
+        lower_hi[axis] = middle
+        upper_lo = list(self.lo)
+        upper_lo[axis] = middle
+        return (
+            Zone(self.lo, tuple(lower_hi)),
+            Zone(tuple(upper_lo), self.hi),
+        )
+
+    def widest_axis(self) -> int:
+        """The axis with the largest extent (lowest index on ties) —
+        CAN's split-dimension rule keeps zones square-ish."""
+        extents = [h - l for l, h in zip(self.lo, self.hi)]
+        return extents.index(max(extents))
+
+    def buddy_of(self, other: "Zone") -> bool:
+        """True iff the union of the two zones is again a box."""
+        differing = [
+            axis
+            for axis in range(self.dimensions)
+            if (self.lo[axis], self.hi[axis])
+            != (other.lo[axis], other.hi[axis])
+        ]
+        if len(differing) != 1:
+            return False
+        axis = differing[0]
+        return (
+            self.hi[axis] == other.lo[axis]
+            or other.hi[axis] == self.lo[axis]
+        )
+
+    def merge(self, other: "Zone") -> "Zone":
+        if not self.buddy_of(other):
+            raise ValueError("zones are not buddies")
+        lo = tuple(min(a, b) for a, b in zip(self.lo, other.lo))
+        hi = tuple(max(a, b) for a, b in zip(self.hi, other.hi))
+        return Zone(lo, hi)
+
+    def abuts(self, other: "Zone", modulus: int) -> bool:
+        """True iff the zones share a (d-1)-dimensional face on the
+        torus: touching along exactly one axis (including the wrap) and
+        strictly overlapping along every other axis."""
+        touching_axes = 0
+        for axis in range(self.dimensions):
+            a_lo, a_hi = self.lo[axis], self.hi[axis]
+            b_lo, b_hi = other.lo[axis], other.hi[axis]
+            if min(a_hi, b_hi) - max(a_lo, b_lo) > 0:
+                continue  # strictly overlapping along this axis
+            touches = (
+                a_hi == b_lo
+                or b_hi == a_lo
+                or (a_lo == 0 and b_hi == modulus)
+                or (b_lo == 0 and a_hi == modulus)
+            )
+            if not touches:
+                return False  # a gap along this axis
+            touching_axes += 1
+        return touching_axes == 1
+
+
+class CanNode(Node):
+    """A CAN participant: one or (transiently) more zones."""
+
+    __slots__ = ("zones", "neighbors")
+
+    def __init__(self, name: object, zone: Zone) -> None:
+        super().__init__(name)
+        self.zones: List[Zone] = [zone]
+        #: nodes owning abutting zones (recomputed on membership change)
+        self.neighbors: List["CanNode"] = []
+
+    @property
+    def node_id(self) -> Tuple[Tuple[int, ...], ...]:
+        return tuple(zone.lo for zone in self.zones)
+
+    def owns(self, point: Tuple[int, ...]) -> bool:
+        return any(zone.contains(point) for zone in self.zones)
+
+    def total_volume(self) -> int:
+        return sum(zone.volume() for zone in self.zones)
+
+    @property
+    def degree(self) -> int:
+        return len(self.neighbors)

@@ -1,0 +1,10 @@
+"""Chord DHT (Stoica et al., 2003) — the O(log n)-degree reference system.
+
+Included because the paper reports Chord alongside the three
+constant-degree DHTs in every experiment.
+"""
+
+from repro.chord.network import ChordNetwork
+from repro.chord.node import ChordNode
+
+__all__ = ["ChordNetwork", "ChordNode"]

@@ -1,0 +1,310 @@
+"""Command-line interface: regenerate any of the paper's experiments.
+
+Usage::
+
+    python -m repro.cli fig5  [--lookups N] [--dimensions 3 4 5]
+    python -m repro.cli fig7
+    python -m repro.cli fig8  [--nodes 2000] [--keys 10000 ...]
+    python -m repro.cli fig10
+    python -m repro.cli fig11 [--lookups N]
+    python -m repro.cli fig12 [--rates 0.05 0.4] [--duration SECONDS]
+    python -m repro.cli fig13
+    python -m repro.cli fig14
+    python -m repro.cli table1
+
+Each command prints the reproduced table; the heavier sweeps accept
+size knobs so a laptop run can be scaled down.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import format_table
+from repro.experiments import (
+    architecture_table,
+    run_churn_experiment,
+    run_key_distribution_experiment,
+    run_koorde_sparsity_breakdown,
+    run_mass_departure_experiment,
+    run_path_length_experiment,
+    run_phase_breakdown_experiment,
+    run_query_load_experiment,
+    run_sparsity_experiment,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the Cycloid paper's tables and figures.",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig5 = sub.add_parser("fig5", help="path length vs network size")
+    fig5.add_argument("--lookups", type=int, default=3000)
+    fig5.add_argument(
+        "--dimensions", type=int, nargs="+", default=[3, 4, 5, 6, 7, 8]
+    )
+    fig6 = sub.add_parser("fig6", help="path length vs dimension")
+    fig6.add_argument("--lookups", type=int, default=3000)
+    fig6.add_argument(
+        "--dimensions", type=int, nargs="+", default=[3, 4, 5, 6, 7, 8]
+    )
+
+    fig7 = sub.add_parser("fig7", help="phase breakdown")
+    fig7.add_argument("--lookups", type=int, default=3000)
+    fig7.add_argument(
+        "--dimensions", type=int, nargs="+", default=[4, 6, 8]
+    )
+
+    for name, nodes in (("fig8", 2000), ("fig9", 1000)):
+        p = sub.add_parser(name, help=f"key distribution, {nodes} nodes")
+        p.add_argument("--nodes", type=int, default=nodes)
+        p.add_argument(
+            "--keys", type=int, nargs="+",
+            default=[10_000, 50_000, 100_000],
+        )
+
+    fig10 = sub.add_parser("fig10", help="query load balance")
+    fig10.add_argument("--lookups-per-node", type=int, default=8)
+
+    fig11 = sub.add_parser("fig11", help="massive departures + Table 4")
+    fig11.add_argument("--lookups", type=int, default=10_000)
+    fig11.add_argument(
+        "--probabilities", type=float, nargs="+",
+        default=[0.1, 0.2, 0.3, 0.4, 0.5],
+    )
+
+    fig12 = sub.add_parser("fig12", help="churn + Table 5")
+    fig12.add_argument(
+        "--rates", type=float, nargs="+", default=[0.05, 0.2, 0.4]
+    )
+    fig12.add_argument("--duration", type=float, default=1000.0)
+    fig12.add_argument("--population", type=int, default=2048)
+
+    fig13 = sub.add_parser("fig13", help="sparsity sweep")
+    fig13.add_argument("--lookups", type=int, default=5000)
+
+    fig14 = sub.add_parser("fig14", help="Koorde sparsity breakdown")
+    fig14.add_argument("--lookups", type=int, default=5000)
+
+    sub.add_parser("table1", help="architecture comparison")
+    return parser
+
+
+def _print(text: str) -> None:
+    print(text)
+    print()
+
+
+def _run_fig5_or_6(args: argparse.Namespace, by_dimension: bool) -> None:
+    points = run_path_length_experiment(
+        dimensions=tuple(args.dimensions),
+        lookups=args.lookups,
+        seed=args.seed,
+    )
+    x_header = "d" if by_dimension else "n"
+    rows = [
+        [
+            p.dimension if by_dimension else p.size,
+            p.protocol,
+            f"{p.mean_path_length:.2f}",
+        ]
+        for p in sorted(points, key=lambda p: (p.size, p.protocol))
+    ]
+    title = (
+        "Fig. 6 — path length vs dimension"
+        if by_dimension
+        else "Fig. 5 — path length vs network size"
+    )
+    _print(format_table([x_header, "protocol", "mean path"], rows, title))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "fig5":
+        _run_fig5_or_6(args, by_dimension=False)
+    elif args.command == "fig6":
+        _run_fig5_or_6(args, by_dimension=True)
+    elif args.command == "fig7":
+        points = run_phase_breakdown_experiment(
+            dimensions=tuple(args.dimensions),
+            lookups=args.lookups,
+            seed=args.seed,
+        )
+        rows = [
+            [
+                p.protocol,
+                p.size,
+                phase,
+                f"{p.mean_hops_by_phase[phase]:.2f}",
+                f"{p.fraction_by_phase[phase] * 100:.0f}%",
+            ]
+            for p in points
+            for phase in sorted(p.fraction_by_phase)
+        ]
+        _print(
+            format_table(
+                ["protocol", "n", "phase", "mean hops", "share"],
+                rows,
+                "Fig. 7 — phase breakdown",
+            )
+        )
+    elif args.command in ("fig8", "fig9"):
+        points = run_key_distribution_experiment(
+            node_count=args.nodes,
+            key_counts=tuple(args.keys),
+            seed=args.seed,
+        )
+        rows = [
+            [
+                p.protocol,
+                p.keys,
+                f"{p.summary.mean:.1f}",
+                f"{p.summary.p1:.0f}",
+                f"{p.summary.p99:.0f}",
+            ]
+            for p in points
+        ]
+        _print(
+            format_table(
+                ["protocol", "keys", "mean/node", "p1", "p99"],
+                rows,
+                f"{args.command} — key distribution ({args.nodes} nodes)",
+            )
+        )
+    elif args.command == "fig10":
+        points = run_query_load_experiment(
+            lookups_per_node=args.lookups_per_node, seed=args.seed
+        )
+        rows = [
+            [
+                p.protocol,
+                p.size,
+                f"{p.summary.mean:.1f}",
+                f"{p.summary.p1:.0f}",
+                f"{p.summary.p99:.0f}",
+            ]
+            for p in points
+        ]
+        _print(
+            format_table(
+                ["protocol", "n", "mean load", "p1", "p99"],
+                rows,
+                "Fig. 10 — query load",
+            )
+        )
+    elif args.command == "fig11":
+        points = run_mass_departure_experiment(
+            probabilities=tuple(args.probabilities),
+            lookups=args.lookups,
+            seed=args.seed,
+        )
+        rows = [
+            [
+                p.protocol,
+                f"{p.probability:.1f}",
+                f"{p.mean_path_length:.2f}",
+                p.timeout_row(),
+                p.lookup_failures,
+            ]
+            for p in points
+        ]
+        _print(
+            format_table(
+                ["protocol", "p", "mean path", "timeouts", "failures"],
+                rows,
+                "Fig. 11 + Table 4 — massive departures",
+            )
+        )
+    elif args.command == "fig12":
+        points = run_churn_experiment(
+            rates=tuple(args.rates),
+            population=args.population,
+            duration=args.duration,
+            seed=args.seed,
+        )
+        rows = [
+            [
+                p.protocol,
+                f"{p.rate:.2f}",
+                f"{p.mean_path_length:.2f}",
+                p.timeout_row(),
+                p.lookup_failures,
+            ]
+            for p in points
+        ]
+        _print(
+            format_table(
+                ["protocol", "R", "mean path", "timeouts", "failures"],
+                rows,
+                "Fig. 12 + Table 5 — churn",
+            )
+        )
+    elif args.command == "fig13":
+        points = run_sparsity_experiment(lookups=args.lookups, seed=args.seed)
+        rows = [
+            [
+                p.protocol,
+                f"{p.sparsity:.1f}",
+                p.population,
+                f"{p.mean_path_length:.2f}",
+            ]
+            for p in points
+        ]
+        _print(
+            format_table(
+                ["protocol", "sparsity", "nodes", "mean path"],
+                rows,
+                "Fig. 13 — sparsity",
+            )
+        )
+    elif args.command == "fig14":
+        points = run_koorde_sparsity_breakdown(
+            lookups=args.lookups, seed=args.seed
+        )
+        rows = [
+            [
+                f"{1 - p.size / 2048:.1f}",
+                p.size,
+                f"{p.fraction_by_phase['successor'] * 100:.0f}%",
+            ]
+            for p in points
+        ]
+        _print(
+            format_table(
+                ["sparsity", "nodes", "successor share"],
+                rows,
+                "Fig. 14 — Koorde breakdown vs sparsity",
+            )
+        )
+    elif args.command == "table1":
+        rows = [
+            [
+                r.label,
+                r.base_network,
+                r.lookup_complexity,
+                r.routing_state,
+                r.max_observed_state,
+            ]
+            for r in architecture_table(seed=args.seed)
+        ]
+        _print(
+            format_table(
+                ["system", "base", "lookup", "state", "measured max"],
+                rows,
+                "Table 1 — architecture",
+            )
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""Cycloid — the paper's primary contribution.
+
+A constant-degree DHT emulating a cube-connected-cycles (CCC) graph.
+Each node ``(k, a_{d-1}...a_0)`` keeps seven routing entries (one cubical
+neighbour, two cyclic neighbours, two-node inside leaf set, two-node
+outside leaf set); the 11-entry variant doubles each leaf set.  Lookups
+resolve in O(d) hops through ascending, descending and traverse-cycle
+phases (paper §3).
+"""
+
+from repro.core.network import CycloidNetwork
+from repro.core.node import CycloidNode
+from repro.core.topology import CycloidTopology
+
+__all__ = ["CycloidNetwork", "CycloidNode", "CycloidTopology"]

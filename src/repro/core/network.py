@@ -1,0 +1,662 @@
+"""Cycloid overlay network simulator (paper §3).
+
+Routing implements the three phases of Fig. 3:
+
+* **ascending** — while the cyclic index is below the MSDB (most
+  significant different cubical bit with the key), climb via the outside
+  leaf set toward a primary node, choosing the side whose cubical index
+  is numerically closest to the destination;
+* **descending** — when ``k == MSDB`` take the cubical neighbour (fixing
+  bit ``k``, Pastry-style left-to-right prefix correction); when
+  ``k > MSDB`` take a cyclic neighbour or inside-leaf node with cyclic
+  index in ``[MSDB, k)``, whichever is cubically closest to the key;
+* **traverse-cycle** — once the key's cubical index is within leaf-set
+  range, greedily forward to the numerically closest leaf entry until
+  the closest node is the current node itself.
+
+Whenever a preferred entry is void or dead, "the node that is
+numerically closer to the destination among the leaf sets is chosen"
+(§3.2), at the cost of one timeout per dead node contacted (§4.3).
+
+Join and graceful leave keep every affected *leaf set* fresh (the
+notifications of §3.3) but deliberately leave cubical/cyclic neighbours
+of other nodes stale: "updating cubical and cyclic neighbors are the
+responsibility of system stabilization, as in Chord."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.node import CycloidNode
+from repro.core.topology import CycloidTopology
+from repro.dht.base import Network
+from repro.dht.hashing import hash_to_cycloid
+from repro.dht.identifiers import CycloidId, cycloid_space_size
+from repro.dht.metrics import LookupRecord
+from repro.util.bitops import circular_distance, clockwise_distance, msdb
+from repro.util.rng import make_rng
+
+__all__ = ["CycloidNetwork"]
+
+PHASE_ASCENDING = "ascending"
+PHASE_DESCENDING = "descending"
+PHASE_TRAVERSE = "traverse"
+
+
+def _in_cubical_arc(point: int, left: int, right: int, modulus: int) -> bool:
+    """True iff ``point`` lies on the closed clockwise arc [left, right].
+
+    A single-cycle network degenerates to ``left == right``, covering
+    only that cubical index.
+    """
+    if left == right:
+        return point == left
+    return (point - left) % modulus <= (right - left) % modulus
+
+
+class _RouteState:
+    """Per-lookup bookkeeping carried by the (simulated) message."""
+
+    __slots__ = ("key_id", "visited", "explored_cycles", "best", "best_distance")
+
+    def __init__(self, key_id: CycloidId) -> None:
+        self.key_id = key_id
+        #: nodes the message has passed through
+        self.visited: Set[CycloidId] = set()
+        #: cycles already examined during last-mile tie exploration
+        self.explored_cycles: Set[int] = set()
+        #: numerically closest live node observed so far
+        self.best: Optional[CycloidNode] = None
+        self.best_distance: Optional[Tuple[int, int, int, int]] = None
+
+    def observe(self, node: CycloidNode) -> None:
+        if not node.alive:
+            return
+        distance = self.key_id.distance_to(node.id)
+        if self.best_distance is None or distance < self.best_distance:
+            self.best = node
+            self.best_distance = distance
+
+
+class CycloidNetwork(Network):
+    """A Cycloid overlay of dimension ``d`` (ID space ``d * 2^d``).
+
+    ``leaf_radius=1`` gives the seven-entry DHT of the paper's §3;
+    ``leaf_radius=2`` the eleven-entry variant evaluated alongside it.
+    """
+
+    protocol_name = "cycloid"
+
+    def __init__(
+        self,
+        dimension: int,
+        leaf_radius: int = 1,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        if leaf_radius < 1:
+            raise ValueError("leaf_radius must be >= 1")
+        self.dimension = dimension
+        self.leaf_radius = leaf_radius
+        self.topology = CycloidTopology(dimension)
+        self._rng = make_rng(seed)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def with_ids(
+        cls,
+        node_ids: Iterable[CycloidId],
+        dimension: int,
+        leaf_radius: int = 1,
+        seed: Optional[int] = None,
+    ) -> "CycloidNetwork":
+        """Build a fully-stabilised network containing ``node_ids``."""
+        network = cls(dimension, leaf_radius, seed)
+        for node_id in node_ids:
+            node = CycloidNode(f"n{node_id.linear}", node_id)
+            network.topology.add(node_id, node)
+        network.stabilize()
+        return network
+
+    @classmethod
+    def with_random_ids(
+        cls,
+        count: int,
+        dimension: int,
+        leaf_radius: int = 1,
+        seed: Optional[int] = None,
+    ) -> "CycloidNetwork":
+        """``count`` distinct uniformly-random identifiers."""
+        space = cycloid_space_size(dimension)
+        if count > space:
+            raise ValueError(f"{count} nodes exceed the {space}-id space")
+        rng = make_rng(seed)
+        ids = [
+            CycloidId.from_linear(value, dimension)
+            for value in rng.sample(range(space), count)
+        ]
+        return cls.with_ids(ids, dimension, leaf_radius, seed)
+
+    @classmethod
+    def complete(
+        cls, dimension: int, leaf_radius: int = 1
+    ) -> "CycloidNetwork":
+        """The complete CCC: all ``d * 2^d`` identifiers occupied."""
+        space = cycloid_space_size(dimension)
+        ids = (CycloidId.from_linear(value, dimension) for value in range(space))
+        return cls.with_ids(ids, dimension, leaf_radius)
+
+    # ------------------------------------------------------------------
+    # Network interface
+    # ------------------------------------------------------------------
+
+    def live_nodes(self) -> Sequence[CycloidNode]:
+        return list(self.topology.nodes())
+
+    def key_id(self, key: object) -> CycloidId:
+        return hash_to_cycloid(key, self.dimension)
+
+    def owner_of_id(self, key_id: CycloidId) -> CycloidNode:
+        """Ground truth: the live node numerically closest to the key —
+        first in cubical index, then in cyclic index, ties to the key's
+        successor (§3.1)."""
+        if len(self.topology) == 0:
+            raise LookupError("empty network")
+        exact = self.topology.try_get(key_id.cyclic, key_id.cubical)
+        if exact is not None:
+            return exact  # type: ignore[return-value]
+        best: Optional[CycloidNode] = None
+        best_distance: Optional[Tuple[int, int, int, int]] = None
+        for cubical in self._nearest_cubicals(key_id.cubical):
+            for cyclic in self.topology.cycle_members(cubical):
+                node = self.topology.get(cyclic, cubical)
+                distance = key_id.distance_to(node.id)  # type: ignore[attr-defined]
+                if best_distance is None or distance < best_distance:
+                    best, best_distance = node, distance  # type: ignore[assignment]
+        assert best is not None
+        return best
+
+    def _nearest_cubicals(self, cubical: int) -> List[int]:
+        """Non-empty cubical indices at minimal circular distance."""
+        if self.topology.cycle_members(cubical):
+            return [cubical]
+        modulus = 1 << self.dimension
+        after = self.topology.succeeding_cycles(cubical, 1)
+        before = self.topology.preceding_cycles(cubical, 1)
+        candidates = {c for c in after + before}
+        if not candidates:
+            return []
+        best = min(
+            circular_distance(c, cubical, modulus) for c in candidates
+        )
+        return [
+            c
+            for c in candidates
+            if circular_distance(c, cubical, modulus) == best
+        ]
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    def route(self, source: CycloidNode, key_id: CycloidId) -> LookupRecord:
+        if not source.alive:
+            raise ValueError("lookup source must be alive")
+        current = source
+        hops = 0
+        timeouts = 0
+        phases = {PHASE_ASCENDING: 0, PHASE_DESCENDING: 0, PHASE_TRAVERSE: 0}
+        owner = self.owner_of_id(key_id)
+        state = _RouteState(key_id)
+        state.observe(current)
+        path = [source.name]
+
+        while hops < self.HOP_LIMIT:
+            if current.id == key_id:
+                break
+            state.visited.add(current.id)
+            next_hop, phase, step_timeouts = self._next_hop(
+                current, key_id, state
+            )
+            timeouts += step_timeouts
+            if next_hop is None:
+                break  # no live entry improves on what has been seen
+            current = next_hop
+            hops += 1
+            phases[phase] += 1
+            path.append(current.name)
+            self._record_visit(current)
+
+        # The lookup message tracked the numerically closest live node it
+        # observed ("the leaf sets help ... check the termination
+        # condition", §3.1); if the walk ended elsewhere, one direct hop
+        # hands the request over.
+        best = state.best
+        if best is not current and best is not None and best.alive:
+            current = best
+            hops += 1
+            phases[PHASE_TRAVERSE] += 1
+            path.append(current.name)
+            self._record_visit(current)
+
+        return LookupRecord(
+            hops=hops,
+            success=current is owner,
+            timeouts=timeouts,
+            phase_hops=dict(phases),
+            source=source.name,
+            key=key_id,
+            owner=current.name,
+            path=path,
+        )
+
+    def _next_hop(
+        self,
+        current: CycloidNode,
+        key_id: CycloidId,
+        state: "_RouteState",
+    ) -> Tuple[Optional[CycloidNode], str, int]:
+        """One Cycloid routing decision (Fig. 3 + the §3.2 fallback)."""
+        timeouts = 0
+        dead_tried: Set[CycloidId] = set()
+        modulus = 1 << self.dimension
+        current_distance = key_id.distance_to(current.id)
+
+        def cube_distance(node: CycloidNode) -> int:
+            return circular_distance(node.cubical, key_id.cubical, modulus)
+
+        current_cube = cube_distance(current)
+        current_bit = msdb(current.cubical, key_id.cubical)
+
+        def try_candidates(
+            candidates: Iterable[CycloidNode],
+            phase: str,
+            allow_visited: bool = False,
+        ) -> Optional[Tuple[CycloidNode, str]]:
+            nonlocal timeouts
+            for candidate in candidates:
+                if not candidate.alive:
+                    if candidate.id not in dead_tried:
+                        dead_tried.add(candidate.id)
+                        timeouts += 1
+                    continue
+                state.observe(candidate)
+                if candidate.id in state.visited and not allow_visited:
+                    continue
+                return candidate, phase
+            return None
+
+        leaves = self._unique_leaves(current)
+        for leaf in leaves:
+            state.observe(leaf)
+
+        # Traverse-cycle trigger: the key's cubical index falls within
+        # the arc of the large cycle covered by the outside leaf set.
+        # The outside leaves are the *nearest* non-empty cycles on each
+        # side, so a key inside the arc is owned by a node in the
+        # current cycle or a leaf cycle — no cubical descent can help,
+        # and leaving the arc (as prefix-correction might) would move
+        # away from the owner.
+        arc_left = (
+            current.outside_left[-1].cubical
+            if current.outside_left
+            else current.cubical
+        )
+        arc_right = (
+            current.outside_right[-1].cubical
+            if current.outside_right
+            else current.cubical
+        )
+        traversing = _in_cubical_arc(
+            key_id.cubical, arc_left, arc_right, modulus
+        )
+
+        if not traversing:
+            bit = current_bit
+            if current.cyclic < bit:
+                # Ascending via the outside leaf set, preferring the
+                # side cubically closest to the destination; a hop must
+                # make cubical progress.
+                candidates = [
+                    leaf
+                    for leaf in current.outside_left + current.outside_right
+                    if leaf is not current
+                    and cube_distance(leaf) < current_cube
+                ]
+                candidates.sort(
+                    key=lambda n: (cube_distance(n), -n.cyclic, n.cubical)
+                )
+                found = try_candidates(candidates, PHASE_ASCENDING)
+                if found is not None:
+                    return found[0], found[1], timeouts
+            elif current.cyclic == bit:
+                # Descending: the cubical neighbour corrects bit `k`.
+                # Convergence criterion from §3.2: the next node either
+                # shares a longer prefix with the key, or shares as long
+                # a prefix but is numerically closer.
+                neighbor = current.cubical_neighbor
+                if neighbor is not None and self._phi(
+                    neighbor, key_id
+                ) < (bit, current_cube):
+                    found = try_candidates([neighbor], PHASE_DESCENDING)
+                    if found is not None:
+                        return found[0], found[1], timeouts
+            else:
+                # Descending: cyclic neighbours / inside leaves lower the
+                # cyclic index toward the MSDB without losing prefix or
+                # cubical progress.
+                prefer_larger = (
+                    clockwise_distance(
+                        current.cubical, key_id.cubical, modulus
+                    )
+                    <= modulus // 2
+                )
+                ranked = []
+                for entry in (
+                    current.cyclic_larger,
+                    current.cyclic_smaller,
+                    *current.inside_left,
+                    *current.inside_right,
+                ):
+                    if entry is None or entry is current:
+                        continue
+                    if not bit <= entry.cyclic < current.cyclic:
+                        continue
+                    if self._phi(entry, key_id) > (bit, current_cube):
+                        continue  # would lose corrected-prefix progress
+                    # "whichever is closer to the target" (§3.2): rank by
+                    # the key-closeness metric.  The paper's clockwise
+                    # rule for picking between the two cyclic neighbours
+                    # falls out of it (the neighbour on the key's side is
+                    # cubically closer) and survives as the tie-break.
+                    larger_side = entry.cubical >= current.cubical
+                    ranked.append(
+                        (
+                            key_id.distance_to(entry.id),
+                            0 if larger_side == prefer_larger else 1,
+                            entry,
+                        )
+                    )
+                ranked.sort(key=lambda item: item[:2])
+                found = try_candidates(
+                    [item[2] for item in ranked], PHASE_DESCENDING
+                )
+                if found is not None:
+                    return found[0], found[1], timeouts
+
+        # Traverse-cycle / fallback: the numerically closest leaf entry
+        # that makes strict progress toward the key.
+        closer = [
+            leaf
+            for leaf in leaves
+            if key_id.distance_to(leaf.id) < current_distance
+        ]
+        closer.sort(key=lambda n: key_id.distance_to(n.id))
+        found = try_candidates(closer, PHASE_TRAVERSE)
+        if found is not None:
+            return found[0], found[1], timeouts
+
+        # Last-mile resolution.  The owner lives in one of the cycles
+        # with minimal cubical distance to the key; when greedy progress
+        # stalls, examine the not-yet-explored tied cycle across the key
+        # (via its primary in the outside leaf set) and the unvisited
+        # members of the current cycle, relying on the best-observed
+        # handoff in :meth:`route` for the final delivery.
+        live_outside = [
+            leaf
+            for leaf in current.outside_left + current.outside_right
+            if leaf is not current and leaf.alive
+        ]
+        locally_minimal = all(
+            cube_distance(leaf) >= current_cube for leaf in live_outside
+        )
+        if locally_minimal:
+            inside_unvisited = [
+                leaf
+                for leaf in (*current.inside_left, *current.inside_right)
+                if leaf is not current and leaf.id not in state.visited
+            ]
+            inside_unvisited.sort(key=lambda n: key_id.distance_to(n.id))
+            found = try_candidates(inside_unvisited, PHASE_TRAVERSE)
+            if found is not None:
+                return found[0], found[1], timeouts
+            tied_cycles = [
+                leaf
+                for leaf in live_outside
+                if cube_distance(leaf) == current_cube
+                and leaf.cubical not in state.explored_cycles
+            ]
+            tied_cycles.sort(key=lambda n: key_id.distance_to(n.id))
+            state.explored_cycles.add(current.cubical)
+            # Re-entering an already-visited primary is allowed here:
+            # the walk may have skimmed a tied cycle without examining
+            # its members, and the explored_cycles guard bounds each
+            # cycle to one tie-hop per lookup.
+            found = try_candidates(
+                tied_cycles, PHASE_TRAVERSE, allow_visited=True
+            )
+            if found is not None:
+                return found[0], found[1], timeouts
+
+        return None, PHASE_TRAVERSE, timeouts
+
+    def _phi(
+        self, node: CycloidNode, key_id: CycloidId
+    ) -> Tuple[int, int]:
+        """The §3.2 convergence potential: (prefix MSDB, cubical distance)."""
+        modulus = 1 << self.dimension
+        return (
+            msdb(node.cubical, key_id.cubical),
+            circular_distance(node.cubical, key_id.cubical, modulus),
+        )
+
+    @staticmethod
+    def _unique_leaves(node: CycloidNode) -> List[CycloidNode]:
+        unique: Dict[CycloidId, CycloidNode] = {}
+        for leaf in node.leaf_entries():
+            if leaf is not node:
+                unique.setdefault(leaf.id, leaf)
+        return list(unique.values())
+
+    # ------------------------------------------------------------------
+    # membership changes (§3.3)
+    # ------------------------------------------------------------------
+
+    def join(self, name: object) -> CycloidNode:
+        """Node arrival: wire the joiner, notify affected leaf sets.
+
+        The joiner's routing table and leaf sets are initialised from
+        the network (the §3.3.1 local-remote search finds the same
+        entries); nodes in its own and neighbouring cycles refresh their
+        leaf sets — everyone else's cubical/cyclic neighbours stay stale
+        until stabilisation.
+        """
+        node_id = self._free_id_for(name)
+        node = CycloidNode(name, node_id)
+        self.topology.add(node_id, node)
+        self._wire_routing(node)
+        self.maintenance_updates += self._refresh_leaves_around(
+            node_id.cubical, exclude=node
+        )
+        return node
+
+    def leave(self, node: CycloidNode) -> None:
+        """Graceful departure (§3.3.2): inside leaf set always notified;
+        outside leaf sets notified when the leaver was a primary node.
+        Cubical/cyclic neighbours of other nodes are left stale."""
+        if not node.alive:
+            raise ValueError(f"{node!r} already departed")
+        node.alive = False
+        self.topology.remove(node.id)
+        self.maintenance_updates += self._refresh_leaves_around(
+            node.id.cubical
+        )
+
+    def fail(self, node: CycloidNode) -> None:
+        """Silent failure (paper §5 future work): no notifications at
+        all — even leaf sets go stale until the next stabilisation, so
+        lookups must survive on timeouts and fallbacks alone."""
+        if not node.alive:
+            raise ValueError(f"{node!r} already departed")
+        node.alive = False
+        self.topology.remove(node.id)
+
+    def _free_id_for(self, name: object) -> CycloidId:
+        node_id = hash_to_cycloid(name, self.dimension)
+        space = cycloid_space_size(self.dimension)
+        if len(self.topology) >= space:
+            raise RuntimeError("identifier space exhausted")
+        linear = node_id.linear
+        while node_id in self.topology:
+            linear = (linear + 1) % space
+            node_id = CycloidId.from_linear(linear, self.dimension)
+        return node_id
+
+    def _refresh_leaves_around(
+        self, cubical: int, exclude: Optional[CycloidNode] = None
+    ) -> int:
+        """Re-derive leaf sets for every node whose leaf sets the §3.3
+        notifications would have updated: the changed cycle plus the
+        ``leaf_radius`` nearest non-empty cycles on each side.
+
+        Returns the number of nodes (other than ``exclude``) whose leaf
+        sets actually changed — the notification fan-out of the event.
+        """
+        affected = set()
+        if self.topology.cycle_members(cubical):
+            affected.add(cubical)
+        affected.update(
+            self.topology.preceding_cycles(cubical, self.leaf_radius)
+        )
+        affected.update(
+            self.topology.succeeding_cycles(cubical, self.leaf_radius)
+        )
+        changed = 0
+        for cycle in affected:
+            for cyclic in self.topology.cycle_members(cycle):
+                node = self.topology.get(cyclic, cycle)
+                if self._wire_leaves(node) and node is not exclude:
+                    changed += 1
+        return changed
+
+    def stabilize(self) -> None:
+        """Restore every node's routing table and leaf sets."""
+        for node in list(self.topology.nodes()):
+            self._wire_routing(node)
+
+    def stabilize_node(self, node: CycloidNode) -> None:
+        """One node's stabilisation: refresh cubical/cyclic neighbours
+        (leaf sets are already maintained by the §3.3 notifications)."""
+        if node.alive:
+            self._wire_routing(node)
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+
+    def _wire_routing(self, node: CycloidNode) -> None:
+        """Cubical and cyclic neighbours (§3.1), then the leaf sets."""
+        k = node.cyclic
+        a = node.cubical
+        if k == 0:
+            # "The node with a cyclic index k = 0 has no cubical
+            # neighbor and cyclic neighbors."
+            node.cubical_neighbor = None
+            node.cyclic_larger = None
+            node.cyclic_smaller = None
+        else:
+            block = 1 << k
+            flipped_base = ((a >> k) ^ 1) << k
+            anchor = flipped_base | (a & (block - 1))
+            cubical = self.topology.in_block(k - 1, flipped_base, block, anchor)
+            if cubical is None:
+                # Exact block empty: the §3.3.1 local-remote search fills
+                # the slot with the nearest node of cyclic index k-1.
+                cubical = self.topology.nearest_in_row(k - 1, anchor)
+            node.cubical_neighbor = (
+                None if cubical is node else cubical  # type: ignore[assignment]
+            )
+            shared_base = (a >> k) << k
+            larger, smaller = self.topology.block_bounds(
+                k - 1, shared_base, block, a
+            )
+            if larger is None:
+                larger = self.topology.row_bound(k - 1, a, clockwise=True)
+            if smaller is None:
+                smaller = self.topology.row_bound(k - 1, a, clockwise=False)
+            node.cyclic_larger = larger  # type: ignore[assignment]
+            node.cyclic_smaller = smaller  # type: ignore[assignment]
+        self._wire_leaves(node)
+
+    def _wire_leaves(self, node: CycloidNode) -> bool:
+        """Inside and outside leaf sets from the live membership.
+
+        Returns whether anything changed (used for maintenance-cost
+        accounting: an unchanged node would not have been messaged).
+        """
+        before = (
+            [n.id for n in node.inside_left],
+            [n.id for n in node.inside_right],
+            [n.id for n in node.outside_left],
+            [n.id for n in node.outside_right],
+        )
+        cycle = self.topology.cycle_members(node.cubical)
+        radius = self.leaf_radius
+        index = cycle.index(node.cyclic)
+        size = len(cycle)
+        if size == 1:
+            # "two nodes in X's inside leaf set are X itself"
+            node.inside_left = [node]
+            node.inside_right = [node]
+        else:
+            take = min(radius, size - 1)
+            node.inside_left = [
+                self.topology.get(cycle[(index - 1 - i) % size], node.cubical)
+                for i in range(take)
+            ]  # type: ignore[assignment]
+            node.inside_right = [
+                self.topology.get(cycle[(index + 1 + i) % size], node.cubical)
+                for i in range(take)
+            ]  # type: ignore[assignment]
+        node.outside_left = [
+            self.topology.primary_of(c)  # type: ignore[misc]
+            for c in self.topology.preceding_cycles(node.cubical, radius)
+        ]
+        node.outside_right = [
+            self.topology.primary_of(c)  # type: ignore[misc]
+            for c in self.topology.succeeding_cycles(node.cubical, radius)
+        ]
+        after = (
+            [n.id for n in node.inside_left],
+            [n.id for n in node.inside_right],
+            [n.id for n in node.outside_left],
+            [n.id for n in node.outside_right],
+        )
+        return before != after
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        super().check_invariants()
+        for node in self.topology.nodes():
+            assert isinstance(node, CycloidNode)
+            pred, succ = self.topology.cycle_neighbors(
+                node.cyclic, node.cubical
+            )
+            if node.inside_left and node.inside_left[0] is not node:
+                assert node.inside_left[0] is pred, (
+                    f"{node!r} inside-left {node.inside_left[0]!r} != {pred!r}"
+                )
+            if node.inside_right and node.inside_right[0] is not node:
+                assert node.inside_right[0] is succ, (
+                    f"{node!r} inside-right {node.inside_right[0]!r} != {succ!r}"
+                )
+            for leaf in node.leaf_entries():
+                assert leaf.alive, f"{node!r} has dead leaf {leaf!r}"
+            assert node.state_size <= 3 + 4 * self.leaf_radius

@@ -1,0 +1,112 @@
+"""Cycloid node state: routing table plus inside/outside leaf sets.
+
+The paper's seven-entry configuration (§3.1, Table 2):
+
+* one **cubical neighbour** ``(k-1, a_{d-1}..a_{k+1} ~a_k x..x)`` — same
+  prefix above bit ``k``, bit ``k`` flipped, low bits arbitrary;
+* two **cyclic neighbours** at cyclic index ``k-1`` sharing the prefix
+  above bit ``k-1`` — the first larger and first smaller cubical indices;
+* a two-node **inside leaf set**: predecessor and successor on the local
+  cycle (nodes sharing the cubical index, ordered by cyclic index);
+* a two-node **outside leaf set**: the primary node (largest cyclic
+  index) of the preceding and succeeding non-empty remote cycles on the
+  large cycle of cubical indices.
+
+The 11-entry variant (§3.2, end) keeps ``leaf_radius = 2`` nodes per
+leaf-set side instead of one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.dht.base import Node
+from repro.dht.identifiers import CycloidId
+
+__all__ = ["CycloidNode"]
+
+
+class CycloidNode(Node):
+    """A Cycloid participant."""
+
+    __slots__ = (
+        "id",
+        "cubical_neighbor",
+        "cyclic_larger",
+        "cyclic_smaller",
+        "inside_left",
+        "inside_right",
+        "outside_left",
+        "outside_right",
+    )
+
+    def __init__(self, name: object, node_id: CycloidId) -> None:
+        super().__init__(name)
+        self.id = node_id
+        #: routing table (stale after churn until stabilisation)
+        self.cubical_neighbor: Optional["CycloidNode"] = None
+        self.cyclic_larger: Optional["CycloidNode"] = None
+        self.cyclic_smaller: Optional["CycloidNode"] = None
+        #: leaf sets, closest entry first (kept fresh by join/leave
+        #: notifications).  ``inside_left`` holds local-cycle
+        #: predecessors, ``inside_right`` successors; ``outside_left``
+        #: holds primaries of preceding remote cycles, ``outside_right``
+        #: of succeeding ones.
+        self.inside_left: List["CycloidNode"] = []
+        self.inside_right: List["CycloidNode"] = []
+        self.outside_left: List["CycloidNode"] = []
+        self.outside_right: List["CycloidNode"] = []
+
+    @property
+    def node_id(self) -> CycloidId:
+        return self.id
+
+    @property
+    def cyclic(self) -> int:
+        return self.id.cyclic
+
+    @property
+    def cubical(self) -> int:
+        return self.id.cubical
+
+    @property
+    def dimension(self) -> int:
+        return self.id.dimension
+
+    def leaf_entries(self) -> Iterator["CycloidNode"]:
+        """All leaf-set entries (may repeat a node across sides)."""
+        yield from self.inside_left
+        yield from self.inside_right
+        yield from self.outside_left
+        yield from self.outside_right
+
+    def routing_entries(self) -> Iterator["CycloidNode"]:
+        """The (at most three) routing-table entries that are present."""
+        if self.cubical_neighbor is not None:
+            yield self.cubical_neighbor
+        if self.cyclic_larger is not None:
+            yield self.cyclic_larger
+        if self.cyclic_smaller is not None:
+            yield self.cyclic_smaller
+
+    @property
+    def degree(self) -> int:
+        unique = {
+            entry.id for entry in self.leaf_entries() if entry is not self
+        }
+        unique.update(entry.id for entry in self.routing_entries())
+        unique.discard(self.id)
+        return len(unique)
+
+    @property
+    def state_size(self) -> int:
+        """Total routing-state slots (7 for radius 1, 11 for radius 2)."""
+        return 3 + sum(
+            len(side)
+            for side in (
+                self.inside_left,
+                self.inside_right,
+                self.outside_left,
+                self.outside_right,
+            )
+        )

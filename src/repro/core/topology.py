@@ -1,0 +1,258 @@
+"""Global (omniscient) view of a Cycloid population.
+
+Maintains the live membership indexed three ways:
+
+* per local cycle — sorted cyclic indices for each non-empty cubical
+  index (inside leaf sets, primaries);
+* the large cycle — sorted non-empty cubical indices (outside leaf
+  sets);
+* per cyclic index — sorted cubical indices (cubical / cyclic neighbour
+  block queries).
+
+Like :class:`repro.dht.ring.SortedRing` for the ring DHTs, this is the
+substrate for ground-truth owners and for (idealised) wiring; routing
+itself only ever reads per-node state.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.dht.identifiers import CycloidId, cycloid_space_size
+
+__all__ = ["CycloidTopology"]
+
+
+class CycloidTopology:
+    """Live Cycloid membership with the index structures wiring needs."""
+
+    def __init__(self, dimension: int) -> None:
+        if dimension < 1:
+            raise ValueError("dimension must be >= 1")
+        self.dimension = dimension
+        self.space = cycloid_space_size(dimension)
+        self._nodes: Dict[Tuple[int, int], object] = {}
+        #: cubical index -> sorted cyclic indices present in that cycle
+        self._cycles: Dict[int, List[int]] = {}
+        #: sorted non-empty cubical indices (the large cycle)
+        self._cubicals: List[int] = []
+        #: cyclic index -> sorted cubical indices having that cyclic index
+        self._by_cyclic: Dict[int, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node_id: CycloidId) -> bool:
+        return (node_id.cyclic, node_id.cubical) in self._nodes
+
+    def add(self, node_id: CycloidId, node: object) -> None:
+        key = (node_id.cyclic, node_id.cubical)
+        if key in self._nodes:
+            raise ValueError(f"duplicate cycloid id {node_id}")
+        self._nodes[key] = node
+        cycle = self._cycles.get(node_id.cubical)
+        if cycle is None:
+            self._cycles[node_id.cubical] = [node_id.cyclic]
+            bisect.insort(self._cubicals, node_id.cubical)
+        else:
+            bisect.insort(cycle, node_id.cyclic)
+        bisect.insort(
+            self._by_cyclic.setdefault(node_id.cyclic, []), node_id.cubical
+        )
+
+    def remove(self, node_id: CycloidId) -> object:
+        key = (node_id.cyclic, node_id.cubical)
+        if key not in self._nodes:
+            raise KeyError(node_id)
+        node = self._nodes.pop(key)
+        cycle = self._cycles[node_id.cubical]
+        cycle.remove(node_id.cyclic)
+        if not cycle:
+            del self._cycles[node_id.cubical]
+            self._cubicals.remove(node_id.cubical)
+        row = self._by_cyclic[node_id.cyclic]
+        row.remove(node_id.cubical)
+        if not row:
+            del self._by_cyclic[node_id.cyclic]
+        return node
+
+    def get(self, cyclic: int, cubical: int) -> object:
+        return self._nodes[(cyclic, cubical)]
+
+    def try_get(self, cyclic: int, cubical: int) -> Optional[object]:
+        return self._nodes.get((cyclic, cubical))
+
+    def nodes(self) -> Iterator[object]:
+        """Live nodes ordered by (cubical, cyclic) — the ID-space order."""
+        for cubical in self._cubicals:
+            for cyclic in self._cycles[cubical]:
+                yield self._nodes[(cyclic, cubical)]
+
+    def ids(self) -> Iterator[CycloidId]:
+        for cubical in self._cubicals:
+            for cyclic in self._cycles[cubical]:
+                yield CycloidId(cyclic, cubical, self.dimension)
+
+    # ------------------------------------------------------------------
+    # local cycles
+    # ------------------------------------------------------------------
+
+    def cycle_members(self, cubical: int) -> List[int]:
+        """Sorted cyclic indices present in cycle ``cubical`` ([] if empty)."""
+        return list(self._cycles.get(cubical, ()))
+
+    def cycle_count(self) -> int:
+        return len(self._cubicals)
+
+    def primary_of(self, cubical: int) -> object:
+        """The primary node (largest cyclic index) of a non-empty cycle."""
+        cycle = self._cycles[cubical]
+        return self._nodes[(cycle[-1], cubical)]
+
+    def cycle_neighbors(
+        self, cyclic: int, cubical: int
+    ) -> Tuple[Optional[object], Optional[object]]:
+        """Predecessor and successor of ``(cyclic, cubical)`` on its cycle.
+
+        Wraps around (cyclic indices mod d); a node alone in its cycle is
+        its own predecessor and successor (paper §3.3.1 case 2).
+        """
+        cycle = self._cycles.get(cubical)
+        if not cycle:
+            return None, None
+        index = bisect.bisect_left(cycle, cyclic)
+        if index >= len(cycle) or cycle[index] != cyclic:
+            raise KeyError((cyclic, cubical))
+        pred = cycle[(index - 1) % len(cycle)]
+        succ = cycle[(index + 1) % len(cycle)]
+        return self._nodes[(pred, cubical)], self._nodes[(succ, cubical)]
+
+    # ------------------------------------------------------------------
+    # large cycle (non-empty cubical indices)
+    # ------------------------------------------------------------------
+
+    def preceding_cycles(self, cubical: int, count: int) -> List[int]:
+        """Up to ``count`` non-empty cubical indices counter-clockwise of
+        ``cubical`` (nearest first), excluding ``cubical`` itself unless
+        it is the only non-empty cycle."""
+        return self._cycle_walk(cubical, count, step=-1)
+
+    def succeeding_cycles(self, cubical: int, count: int) -> List[int]:
+        """Clockwise counterpart of :meth:`preceding_cycles`."""
+        return self._cycle_walk(cubical, count, step=+1)
+
+    def _cycle_walk(self, cubical: int, count: int, step: int) -> List[int]:
+        if not self._cubicals or count <= 0:
+            return []
+        total = len(self._cubicals)
+        index = bisect.bisect_left(self._cubicals, cubical)
+        present = index < total and self._cubicals[index] == cubical
+        if present and total == 1:
+            # The only non-empty cycle wraps onto itself (a lone cycle's
+            # outside leaf set refers back to its own primary).
+            return [cubical]
+        if step > 0:
+            position = (index + 1) if present else index
+        else:
+            position = index - 1
+        # Never revisit the starting cycle; each other cycle at most once.
+        remaining = total - (1 if present else 0)
+        result: List[int] = []
+        for _ in range(min(count, remaining)):
+            result.append(self._cubicals[position % total])
+            position += step
+        return result
+
+    # ------------------------------------------------------------------
+    # neighbour block queries (per cyclic index)
+    # ------------------------------------------------------------------
+
+    def in_block(
+        self, cyclic: int, block_start: int, block_size: int, anchor: int
+    ) -> Optional[object]:
+        """A node with cyclic index ``cyclic`` and cubical index within
+        ``[block_start, block_start + block_size)``, preferring the one
+        numerically closest to ``anchor``; ``None`` if the block is empty.
+        """
+        row = self._by_cyclic.get(cyclic)
+        if not row:
+            return None
+        lo = bisect.bisect_left(row, block_start)
+        hi = bisect.bisect_left(row, block_start + block_size)
+        if lo == hi:
+            return None
+        best = min(row[lo:hi], key=lambda cubical: abs(cubical - anchor))
+        return self._nodes[(cyclic, best)]
+
+    def nearest_in_row(self, cyclic: int, anchor: int) -> Optional[object]:
+        """The node with cyclic index ``cyclic`` whose cubical index is
+        circularly closest to ``anchor`` (ties clockwise); ``None`` if no
+        node has that cyclic index.
+
+        Models the §3.3.1 local-remote search outcome when the exact
+        neighbour block is empty: the slot is filled with the nearest
+        available node of the right cyclic index.
+        """
+        row = self._by_cyclic.get(cyclic)
+        if not row:
+            return None
+        modulus = 1 << self.dimension
+        index = bisect.bisect_left(row, anchor % modulus)
+        best = None
+        best_key = None
+        for candidate in (row[index % len(row)], row[(index - 1) % len(row)]):
+            forward = (candidate - anchor) % modulus
+            backward = (anchor - candidate) % modulus
+            key = (min(forward, backward), 0 if forward <= backward else 1)
+            if best_key is None or key < best_key:
+                best, best_key = candidate, key
+        return self._nodes[(cyclic, best)]
+
+    def row_bound(
+        self, cyclic: int, anchor: int, clockwise: bool
+    ) -> Optional[object]:
+        """First node with cyclic index ``cyclic`` at-or-after ``anchor``
+        clockwise (or at-or-before, counter-clockwise), wrapping."""
+        row = self._by_cyclic.get(cyclic)
+        if not row:
+            return None
+        if clockwise:
+            index = bisect.bisect_left(row, anchor)
+            cubical = row[index % len(row)]
+        else:
+            index = bisect.bisect_right(row, anchor) - 1
+            cubical = row[index]  # -1 wraps to the largest entry
+        return self._nodes[(cyclic, cubical)]
+
+    def block_bounds(
+        self, cyclic: int, block_start: int, block_size: int, anchor: int
+    ) -> Tuple[Optional[object], Optional[object]]:
+        """The paper's cyclic-neighbour pair within a block.
+
+        Returns ``(first_larger, first_smaller)``: the node with the
+        smallest cubical index ``>= anchor`` and the node with the largest
+        cubical index ``<= anchor``, both restricted to cyclic index
+        ``cyclic`` and cubical index in
+        ``[block_start, block_start + block_size)``.
+        """
+        row = self._by_cyclic.get(cyclic)
+        if not row:
+            return None, None
+        lo = bisect.bisect_left(row, block_start)
+        hi = bisect.bisect_left(row, block_start + block_size)
+        if lo == hi:
+            return None, None
+        split = bisect.bisect_left(row, anchor, lo, hi)
+        larger = self._nodes[(cyclic, row[split])] if split < hi else None
+        smaller_index = bisect.bisect_right(row, anchor, lo, hi) - 1
+        smaller = (
+            self._nodes[(cyclic, row[smaller_index])]
+            if smaller_index >= lo
+            else None
+        )
+        return larger, smaller

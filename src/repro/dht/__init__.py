@@ -1,0 +1,25 @@
+"""Common DHT substrate: identifier spaces, hashing, metrics, base protocol.
+
+Everything the four overlay implementations (Cycloid, Chord, Koorde,
+Viceroy) share lives here so each experiment can be written once against
+the :class:`~repro.dht.base.Network` interface.
+"""
+
+from repro.dht.base import LookupOutcome, Network, Node
+from repro.dht.hashing import consistent_hash, hash_to_ring, key_ids
+from repro.dht.identifiers import CycloidId, RingId, cycloid_space_size
+from repro.dht.metrics import LookupRecord, LookupStats
+
+__all__ = [
+    "Network",
+    "Node",
+    "LookupOutcome",
+    "LookupRecord",
+    "LookupStats",
+    "CycloidId",
+    "RingId",
+    "cycloid_space_size",
+    "consistent_hash",
+    "hash_to_ring",
+    "key_ids",
+]

@@ -1,0 +1,213 @@
+"""Abstract node / network protocol shared by all four DHTs.
+
+Each overlay (Cycloid, Chord, Koorde, Viceroy) subclasses
+:class:`Network` and :class:`Node`, so every experiment in
+:mod:`repro.experiments` is written once against this interface.
+
+The simulation model follows the paper's Java simulators: a *network*
+object holds all node state centrally; a *lookup* is executed as a
+sequence of routing-table consultations, counting one hop per forward and
+one timeout per contact with a departed node (§4.3).  There is no packet
+loss or latency model — the paper's metrics are hop counts, timeouts,
+key counts and query counts, all topology-level quantities.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.dht.metrics import LookupRecord
+
+__all__ = ["LookupOutcome", "Node", "Network"]
+
+
+class LookupOutcome(enum.Enum):
+    """Terminal state of a lookup."""
+
+    SUCCESS = "success"  # reached the key's correct storing node
+    WRONG_OWNER = "wrong_owner"  # terminated on a live but incorrect node
+    DEAD_END = "dead_end"  # no live next hop (Koorde under failures)
+    HOP_LIMIT = "hop_limit"  # safety valve; indicates a routing bug
+
+
+class Node(abc.ABC):
+    """A participant in an overlay.
+
+    Concrete nodes carry their protocol's routing state.  ``alive`` is
+    flipped by graceful departures; stale pointers to dead nodes are what
+    produce timeouts until stabilisation repairs them.
+    """
+
+    __slots__ = ("name", "alive")
+
+    def __init__(self, name: object) -> None:
+        self.name = name
+        self.alive = True
+
+    @property
+    @abc.abstractmethod
+    def node_id(self) -> object:
+        """The node's identifier in its overlay's ID space."""
+
+    @property
+    @abc.abstractmethod
+    def degree(self) -> int:
+        """Number of distinct routing-state entries currently held."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "" if self.alive else " dead"
+        return f"<{type(self).__name__} {self.node_id}{status}>"
+
+
+class Network(abc.ABC):
+    """An overlay network: the node population plus protocol operations.
+
+    Subclasses must populate :attr:`protocol_name` and implement the
+    abstract operations.  The base class provides query-load accounting,
+    which Fig. 10 needs uniformly across protocols: every node that
+    *receives* a lookup message (every hop target, including the final
+    owner, excluding the source) has its query counter incremented.
+    """
+
+    protocol_name: str = "abstract"
+
+    #: Safety bound on routing steps; generous multiple of any correct
+    #: path so hitting it flags a routing bug rather than masking one.
+    HOP_LIMIT = 4096
+
+    def __init__(self) -> None:
+        self._query_counts: Dict[object, int] = {}
+        #: running count of *other* nodes whose routing state a join or
+        #: graceful leave updated — the connectivity-maintenance cost
+        #: the paper's conclusion weighs across designs.
+        self.maintenance_updates: int = 0
+
+    # ------------------------------------------------------------------
+    # population
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def live_nodes(self) -> Sequence[Node]:
+        """All currently-live nodes (stable iteration order)."""
+
+    @property
+    def size(self) -> int:
+        return len(self.live_nodes())
+
+    @abc.abstractmethod
+    def join(self, name: object) -> Node:
+        """Add a node for ``name`` via the protocol's join procedure."""
+
+    @abc.abstractmethod
+    def leave(self, node: Node) -> None:
+        """Graceful departure: notify per-protocol relatives, then die.
+
+        Pointers the protocol does not notify (fingers, cubical/cyclic
+        neighbours, de Bruijn pointers) are left stale deliberately —
+        repairing them is stabilisation's job (§3.3.2).
+        """
+
+    def fail(self, node: Node) -> None:
+        """Ungraceful failure: the node vanishes without notifying anyone.
+
+        The paper's §3.4 scopes this out of the routing design ("nodes
+        must notify others before leaving") and §5 flags handling it as
+        future work; this extension point injects exactly that scenario
+        so the robustness of each design can be measured.  Every pointer
+        anywhere that references the node goes stale until
+        stabilisation.  Default implementation raises; overlays opt in.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support silent failures"
+        )
+
+    @abc.abstractmethod
+    def stabilize(self) -> None:
+        """One full round of the protocol's stabilisation over all nodes."""
+
+    def stabilize_node(self, node: Node) -> None:
+        """One node's periodic stabilisation step (§4.4 runs these on
+        per-node 30 s timers).  Default: protocols without periodic
+        stabilisation (Viceroy) do nothing."""
+
+    # ------------------------------------------------------------------
+    # keys and lookups
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def key_id(self, key: object) -> object:
+        """Hash an application key into this overlay's ID space."""
+
+    @abc.abstractmethod
+    def owner_of_id(self, key_id: object) -> Node:
+        """Ground truth: the live node responsible for ``key_id``.
+
+        Computed globally (not by routing); lookups are checked against
+        it to count failures.
+        """
+
+    def owner_of_key(self, key: object) -> Node:
+        return self.owner_of_id(self.key_id(key))
+
+    @abc.abstractmethod
+    def route(self, source: Node, key_id: object) -> LookupRecord:
+        """Route a lookup from ``source`` toward ``key_id``.
+
+        Implementations must count hops/timeouts and fill ``phase_hops``;
+        they use :meth:`_record_visit` for query-load accounting.
+        """
+
+    def lookup(self, source: Node, key: object) -> LookupRecord:
+        """Route a lookup for an application ``key`` from ``source``."""
+        return self.route(source, self.key_id(key))
+
+    def assign_keys(self, keys: Iterable[object]) -> Dict[Node, int]:
+        """Distribute a key corpus; returns keys-per-node counts (Figs 8-9).
+
+        Every live node appears in the result, including zero-key nodes —
+        the 1st percentile in the paper's figures depends on them.
+        """
+        counts: Dict[Node, int] = {node: 0 for node in self.live_nodes()}
+        for key in keys:
+            counts[self.owner_of_key(key)] += 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # query-load accounting (Fig. 10)
+    # ------------------------------------------------------------------
+
+    def _record_visit(self, node: Node) -> None:
+        self._query_counts[node.name] = self._query_counts.get(node.name, 0) + 1
+
+    def reset_query_counts(self) -> None:
+        self._query_counts.clear()
+
+    def query_counts(self) -> List[int]:
+        """Per-live-node query counts, zero-filled for unvisited nodes."""
+        return [
+            self._query_counts.get(node.name, 0) for node in self.live_nodes()
+        ]
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise ``AssertionError`` if protocol invariants are violated.
+
+        Subclasses override with structural checks (ring consistency,
+        leaf-set symmetry, ...); used heavily by the test suite. The base
+        check is that live nodes report themselves alive.
+        """
+        for node in self.live_nodes():
+            assert node.alive, f"live_nodes() returned dead node {node!r}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} n={self.size}>"
+
+
+def filter_alive(nodes: Iterable[Optional[Node]]) -> List[Node]:
+    """Utility: drop ``None`` and dead entries from a pointer list."""
+    return [n for n in nodes if n is not None and n.alive]

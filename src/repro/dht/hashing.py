@@ -1,0 +1,52 @@
+"""Consistent hashing onto the DHT identifier spaces.
+
+All four DHTs use consistent hashing (SHA-1, as in Chord/Pastry) to map
+application keys and node names onto their identifier spaces.  For the
+Cycloid space the paper's rule applies: ``cyclic = h mod d`` and
+``cubical = h div d`` where ``h`` is the hash value reduced into
+``[0, d * 2^d)`` (§3.1).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, List
+
+from repro.dht.identifiers import CycloidId, cycloid_space_size
+
+__all__ = ["consistent_hash", "hash_to_ring", "hash_to_cycloid", "hash_to_unit", "key_ids"]
+
+
+def consistent_hash(key: object) -> int:
+    """SHA-1 of the key's string form, as a 160-bit integer.
+
+    Deterministic across processes (unlike built-in ``hash``), which keeps
+    experiment workloads reproducible.
+    """
+    digest = hashlib.sha1(str(key).encode("utf-8")).digest()
+    return int.from_bytes(digest, "big")
+
+
+def hash_to_ring(key: object, bits: int) -> int:
+    """Map a key onto the ``2^bits`` ring (Chord / Koorde ID space)."""
+    if bits < 1:
+        raise ValueError("bits must be >= 1")
+    return consistent_hash(key) % (1 << bits)
+
+
+def hash_to_unit(key: object) -> float:
+    """Map a key onto ``[0, 1)`` (Viceroy's ID space)."""
+    return consistent_hash(key) / float(1 << 160)
+
+
+def hash_to_cycloid(key: object, dimension: int) -> CycloidId:
+    """Map a key onto the Cycloid ID space by the paper's mod/div rule."""
+    h = consistent_hash(key) % cycloid_space_size(dimension)
+    return CycloidId(
+        cyclic=h % dimension, cubical=h // dimension, dimension=dimension
+    )
+
+
+def key_ids(keys: Iterable[object], bits: int) -> List[int]:
+    """Hash a corpus of keys onto the ring; convenience for experiments."""
+    return [hash_to_ring(key, bits) for key in keys]

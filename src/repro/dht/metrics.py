@@ -1,0 +1,106 @@
+"""Per-lookup and aggregate metrics.
+
+A simulated lookup produces a :class:`LookupRecord`: its hop count, a
+per-phase hop breakdown (ascending/descending/traverse for Cycloid and
+Viceroy, de-Bruijn/successor for Koorde, finger/successor for Chord),
+the number of timeouts (dead nodes contacted, paper §4.3) and whether it
+reached the key's correct storing node.  :class:`LookupStats` aggregates
+records into the paper's reporting quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro.util.stats import DistributionSummary, PhaseBreakdown, summarize
+
+__all__ = ["LookupRecord", "LookupStats"]
+
+
+@dataclass
+class LookupRecord:
+    """Outcome of one simulated lookup.
+
+    ``path`` holds the node names the message passed through, source
+    first — ``len(path) == hops + 1`` whenever it is recorded.
+    """
+
+    hops: int
+    success: bool
+    timeouts: int = 0
+    phase_hops: Dict[str, int] = field(default_factory=dict)
+    source: Optional[object] = None
+    key: Optional[object] = None
+    owner: Optional[object] = None
+    path: List[object] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.hops < 0:
+            raise ValueError("hops must be non-negative")
+        if self.timeouts < 0:
+            raise ValueError("timeouts must be non-negative")
+        phase_total = sum(self.phase_hops.values())
+        if self.phase_hops and phase_total != self.hops:
+            raise ValueError(
+                f"phase hops {phase_total} do not sum to total hops {self.hops}"
+            )
+        if self.path and len(self.path) != self.hops + 1:
+            raise ValueError(
+                f"path of {len(self.path)} entries does not match "
+                f"{self.hops} hops"
+            )
+
+
+@dataclass
+class LookupStats:
+    """Aggregate over many :class:`LookupRecord` instances."""
+
+    records: List[LookupRecord] = field(default_factory=list)
+
+    def add(self, record: LookupRecord) -> None:
+        self.records.append(record)
+
+    def extend(self, records: Iterable[LookupRecord]) -> None:
+        self.records.extend(records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def count(self) -> int:
+        return len(self.records)
+
+    @property
+    def failures(self) -> int:
+        """Lookups that did not reach the key's correct storing node."""
+        return sum(1 for r in self.records if not r.success)
+
+    @property
+    def mean_path_length(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(r.hops for r in self.records) / len(self.records)
+
+    def path_length_summary(self) -> DistributionSummary:
+        return summarize([r.hops for r in self.records])
+
+    def timeout_summary(self) -> DistributionSummary:
+        """Mean and 1st/99th percentile timeouts (Tables 4 and 5)."""
+        return summarize([r.timeouts for r in self.records])
+
+    def phase_breakdown(self) -> PhaseBreakdown:
+        """Per-phase hop shares across all lookups (Figs 7 and 14)."""
+        breakdown = PhaseBreakdown()
+        for record in self.records:
+            breakdown.record(record.phase_hops)
+        return breakdown
+
+    def query_load(self) -> Mapping[object, int]:
+        """Not tracked here — query load is counted by the networks.
+
+        Provided to fail loudly if an experiment asks the wrong object.
+        """
+        raise NotImplementedError(
+            "query load is recorded per node by Network.query_counts()"
+        )

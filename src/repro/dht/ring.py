@@ -1,0 +1,125 @@
+"""Sorted ring membership shared by the ring-based overlays (Chord, Koorde).
+
+Maintains the live node population sorted by identifier and answers the
+global queries the simulators need: successor / predecessor of an
+arbitrary point, and the clockwise run of ``r`` nodes.  This is the
+*omniscient* view used for ground-truth owners and for (idealised)
+stabilisation; routing never touches it.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Generic, List, Sequence, TypeVar
+
+__all__ = ["SortedRing", "in_interval"]
+
+N = TypeVar("N")
+
+
+def in_interval(x: int, left: int, right: int, modulus: int) -> bool:
+    """True iff ``x`` lies in the clockwise half-open interval ``(left, right]``.
+
+    When ``left == right`` the interval is the whole ring — the standard
+    Chord convention for a single-node ring.
+    """
+    if left == right:
+        return True
+    d_x = (x - left) % modulus
+    d_right = (right - left) % modulus
+    return 0 < d_x <= d_right
+
+
+class SortedRing(Generic[N]):
+    """Live nodes keyed by integer identifier on a ``2^bits`` ring."""
+
+    def __init__(self, bits: int) -> None:
+        if bits < 1:
+            raise ValueError("bits must be >= 1")
+        self.bits = bits
+        self.modulus = 1 << bits
+        self._ids: List[int] = []
+        self._by_id: Dict[int, N] = {}
+
+    # -- membership --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._by_id
+
+    def add(self, node_id: int, node: N) -> None:
+        if not 0 <= node_id < self.modulus:
+            raise ValueError(f"id {node_id} outside [0, {self.modulus})")
+        if node_id in self._by_id:
+            raise ValueError(f"duplicate ring id {node_id}")
+        bisect.insort(self._ids, node_id)
+        self._by_id[node_id] = node
+
+    def remove(self, node_id: int) -> N:
+        if node_id not in self._by_id:
+            raise KeyError(node_id)
+        index = bisect.bisect_left(self._ids, node_id)
+        del self._ids[index]
+        return self._by_id.pop(node_id)
+
+    def get(self, node_id: int) -> N:
+        return self._by_id[node_id]
+
+    def ids(self) -> Sequence[int]:
+        """Sorted live identifiers (read-only view by convention)."""
+        return self._ids
+
+    def nodes(self) -> List[N]:
+        """Live nodes in identifier order."""
+        return [self._by_id[i] for i in self._ids]
+
+    # -- ring queries --------------------------------------------------------
+
+    def successor_id(self, point: int) -> int:
+        """The first live id clockwise at-or-after ``point`` (wraps)."""
+        if not self._ids:
+            raise LookupError("empty ring")
+        index = bisect.bisect_left(self._ids, point % self.modulus)
+        if index == len(self._ids):
+            index = 0
+        return self._ids[index]
+
+    def successor(self, point: int) -> N:
+        return self._by_id[self.successor_id(point)]
+
+    def predecessor_id(self, point: int) -> int:
+        """The first live id strictly counter-clockwise before ``point``."""
+        if not self._ids:
+            raise LookupError("empty ring")
+        index = bisect.bisect_left(self._ids, point % self.modulus) - 1
+        return self._ids[index]  # index -1 wraps to the largest id
+
+    def predecessor(self, point: int) -> N:
+        return self._by_id[self.predecessor_id(point)]
+
+    def at_or_before_id(self, point: int) -> int:
+        """The first live id at-or-counter-clockwise-before ``point``."""
+        point %= self.modulus
+        if point in self._by_id:
+            return point
+        return self.predecessor_id(point)
+
+    def at_or_before(self, point: int) -> N:
+        return self._by_id[self.at_or_before_id(point)]
+
+    def successor_run(self, node_id: int, count: int) -> List[N]:
+        """The ``count`` nodes clockwise after ``node_id`` (excluding it).
+
+        Stops early once the run would wrap back onto ``node_id`` — on a
+        ring of ``k`` nodes a successor list never exceeds ``k - 1``.
+        """
+        if node_id not in self._by_id:
+            raise KeyError(node_id)
+        run: List[N] = []
+        index = bisect.bisect_right(self._ids, node_id)
+        total = len(self._ids)
+        for step in range(min(count, total - 1)):
+            run.append(self._by_id[self._ids[(index + step) % total]])
+        return run

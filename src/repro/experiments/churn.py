@@ -1,0 +1,106 @@
+"""E8 — lookups during continuous node joining and leaving
+(Fig. 12 + Table 5).
+
+The §4.4 setting (taken verbatim from the Chord paper): the network
+starts with 2048 stable nodes; lookups arrive at 1/s; joins and leaves
+are Poisson with rate R in {0.05..0.40} each; every node stabilises
+once per 30 s at a uniformly distributed phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.dht.identifiers import cycloid_space_size
+from repro.experiments.registry import PROTOCOLS, build_sized_network
+from repro.sim.churn import ChurnConfig, run_churn_simulation
+from repro.util.stats import DistributionSummary
+
+__all__ = ["ChurnPoint", "run_churn_experiment", "DEFAULT_RATES"]
+
+DEFAULT_RATES: Tuple[float, ...] = (
+    0.05,
+    0.10,
+    0.15,
+    0.20,
+    0.25,
+    0.30,
+    0.35,
+    0.40,
+)
+
+
+@dataclass(frozen=True)
+class ChurnPoint:
+    """One (protocol, join/leave rate) measurement."""
+
+    protocol: str
+    rate: float
+    mean_path_length: float
+    timeout_summary: DistributionSummary
+    lookup_failures: int
+    lookups: int
+    joins: int
+    leaves: int
+    final_size: int
+
+    def timeout_row(self) -> str:
+        """Table-5 style ``mean (p1, p99)`` cell."""
+        return self.timeout_summary.as_row()
+
+
+def run_churn_experiment(
+    rates: Sequence[float] = DEFAULT_RATES,
+    protocols: Sequence[str] = PROTOCOLS,
+    population: int = 2048,
+    duration: float = 1000.0,
+    seed: int = 42,
+) -> List[ChurnPoint]:
+    """Fig. 12 (path length vs R) and Table 5 (timeouts vs R).
+
+    The network starts with ``population`` stable nodes placed in an ID
+    space with head-room for arrivals (joins must find free
+    identifiers), then churns for ``duration`` simulated seconds.
+    """
+    # One dimension (and ring width) up from the smallest space that
+    # fits the starting population, leaving room for joins.
+    cycloid_dimension = 1
+    while cycloid_space_size(cycloid_dimension) < population:
+        cycloid_dimension += 1
+    cycloid_dimension += 1
+    ring_bits = max(2, population.bit_length() + 1)
+    points: List[ChurnPoint] = []
+    for protocol in protocols:
+        for rate in rates:
+            network = build_sized_network(
+                protocol,
+                population,
+                seed=seed,
+                id_space_bits=ring_bits,
+                cycloid_dimension=cycloid_dimension,
+            )
+            config = ChurnConfig(
+                join_leave_rate=rate,
+                duration=duration,
+                seed=seed + int(rate * 1000),
+            )
+            result = run_churn_simulation(network, config)
+            completed = [r.hops for r in result.stats.records if r.success]
+            mean_path = (
+                sum(completed) / len(completed) if completed else 0.0
+            )
+            points.append(
+                ChurnPoint(
+                    protocol=protocol,
+                    rate=rate,
+                    mean_path_length=mean_path,
+                    timeout_summary=result.stats.timeout_summary(),
+                    lookup_failures=result.stats.failures,
+                    lookups=len(result.stats),
+                    joins=result.joins,
+                    leaves=result.leaves,
+                    final_size=result.final_size,
+                )
+            )
+    return points

@@ -1,0 +1,55 @@
+"""Shared experiment plumbing."""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.dht.base import Network
+from repro.dht.metrics import LookupStats
+from repro.sim.workload import lookup_workload
+from repro.util.rng import make_rng
+
+__all__ = ["run_lookups", "fail_nodes"]
+
+
+def run_lookups(
+    network: Network,
+    count: int,
+    seed: int = 0,
+    keys: Sequence[object] = (),
+) -> LookupStats:
+    """Execute ``count`` random lookups and gather their records.
+
+    The paper's Fig. 5 issues n/4 lookups from every node (~1M at
+    d = 8); the mean path length is an expectation over uniform random
+    (source, key) pairs, so a seeded sample estimates it — pass a larger
+    ``count`` to tighten the estimate (see DESIGN.md §4).
+    """
+    rng = make_rng(seed)
+    stats = LookupStats()
+    for source, key in lookup_workload(network, count, rng, keys):
+        stats.add(network.lookup(source, key))
+    return stats
+
+
+def fail_nodes(
+    network: Network, probability: float, rng: Optional[random.Random] = None
+) -> int:
+    """Gracefully depart each node independently with ``probability``.
+
+    The §4.3 massive-failure injection: departures are graceful (each
+    leaver notifies its relatives) and no stabilisation runs afterwards.
+    At least one node is always left alive.  Returns the departure count.
+    """
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError("probability must be within [0, 1]")
+    rng = rng or make_rng(None)
+    victims = [node for node in network.live_nodes() if rng.random() < probability]
+    departed = 0
+    for node in victims:
+        if network.size <= 1:
+            break
+        network.leave(node)
+        departed += 1
+    return departed

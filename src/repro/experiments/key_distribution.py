@@ -1,0 +1,94 @@
+"""E4/E5 — key-distribution balance (Figs 8-9).
+
+Networks with a 2048-identifier space hold 2000 nodes (dense, Fig. 8)
+or 1000 nodes (sparse, Fig. 9); corpora of 10^4..10^5 keys are hashed
+onto each DHT and the per-node key counts summarised as mean and
+1st/99th percentiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.dht.base import Network
+from repro.experiments.registry import build_sized_network
+from repro.sim.workload import uniform_key_corpus
+from repro.util.stats import DistributionSummary, summarize
+
+__all__ = ["KeyDistributionPoint", "run_key_distribution_experiment"]
+
+DEFAULT_KEY_COUNTS: Tuple[int, ...] = tuple(range(10_000, 100_001, 10_000))
+DEFAULT_PROTOCOLS: Tuple[str, ...] = ("cycloid", "viceroy", "chord", "koorde")
+
+
+@dataclass(frozen=True)
+class KeyDistributionPoint:
+    """Keys-per-node distribution for one (protocol, corpus size)."""
+
+    protocol: str
+    nodes: int
+    keys: int
+    summary: DistributionSummary
+
+    @property
+    def imbalance(self) -> float:
+        """99th-to-1st percentile span relative to the mean."""
+        if self.summary.mean == 0:
+            return 0.0
+        return self.summary.spread / self.summary.mean
+
+
+def run_key_distribution_experiment(
+    node_count: int = 2000,
+    key_counts: Sequence[int] = DEFAULT_KEY_COUNTS,
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    id_space: int = 2048,
+    seed: int = 42,
+) -> List[KeyDistributionPoint]:
+    """Figs 8 (node_count=2000) and 9 (node_count=1000).
+
+    The same corpus prefix is reused across corpus sizes, matching the
+    paper's "varied the total number of keys ... in increments".
+    """
+    bits = (id_space - 1).bit_length()
+    if (1 << bits) != id_space:
+        raise ValueError("id_space must be a power of two")
+    cycloid_dimension = _cycloid_dimension_for(id_space)
+    corpus = uniform_key_corpus(max(key_counts), seed)
+    points: List[KeyDistributionPoint] = []
+    for protocol in protocols:
+        network = build_sized_network(
+            protocol,
+            node_count,
+            seed=seed,
+            id_space_bits=bits,
+            cycloid_dimension=cycloid_dimension,
+        )
+        for count in key_counts:
+            counts = _key_counts(network, corpus[:count])
+            points.append(
+                KeyDistributionPoint(
+                    protocol=protocol,
+                    nodes=node_count,
+                    keys=count,
+                    summary=summarize(counts),
+                )
+            )
+    return points
+
+
+def _key_counts(network: Network, keys: Sequence[object]) -> List[float]:
+    return [float(c) for c in network.assign_keys(keys).values()]
+
+
+def _cycloid_dimension_for(id_space: int) -> int:
+    """Dimension d with d * 2^d == id_space (8 for the paper's 2048)."""
+    dimension = 1
+    while dimension * (1 << dimension) < id_space:
+        dimension += 1
+    if dimension * (1 << dimension) != id_space:
+        raise ValueError(
+            f"id_space {id_space} is not of the form d * 2^d"
+        )
+    return dimension

@@ -1,0 +1,103 @@
+"""E12 (extension) — connectivity-maintenance cost.
+
+The paper's conclusion weighs lookup efficiency against maintenance:
+"Viceroy handles massive node failures/departures at a high cost for
+connectivity maintenance, especially in the case when a node needs to
+change its level", while Cycloid only notifies leaf sets and leaves
+routing-table repair to stabilisation.  This experiment measures that
+cost directly: the number of *other* nodes whose routing state each
+join / graceful leave updates (``Network.maintenance_updates``).
+
+Chord and Koorde appear cheap here (two ring neighbours per event) —
+their real bill is paid later as stabilisation traffic and lookup
+timeouts, which E7/E8 measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.dht.identifiers import cycloid_space_size
+from repro.experiments.common import fail_nodes
+from repro.experiments.registry import (
+    PROTOCOLS,
+    build_complete_network,
+    build_sized_network,
+)
+from repro.util.rng import make_rng
+
+__all__ = ["MaintenancePoint", "run_maintenance_experiment"]
+
+
+@dataclass(frozen=True)
+class MaintenancePoint:
+    """Per-protocol maintenance fan-out."""
+
+    protocol: str
+    population: int
+    updates_per_join: float
+    updates_per_leave: float
+    mass_departure_updates: int
+    mass_departure_events: int
+
+    @property
+    def updates_per_departure(self) -> float:
+        if self.mass_departure_events == 0:
+            return 0.0
+        return self.mass_departure_updates / self.mass_departure_events
+
+
+def run_maintenance_experiment(
+    protocols: Sequence[str] = PROTOCOLS,
+    population: int = 1024,
+    events: int = 200,
+    departure_probability: float = 0.5,
+    dimension: int = 8,
+    seed: int = 42,
+) -> List[MaintenancePoint]:
+    """Measure update fan-out per join/leave and under mass departure."""
+    cycloid_dimension = 1
+    while cycloid_space_size(cycloid_dimension) < population:
+        cycloid_dimension += 1
+    cycloid_dimension += 1  # head-room for joins
+    ring_bits = population.bit_length() + 1
+
+    points: List[MaintenancePoint] = []
+    for protocol in protocols:
+        network = build_sized_network(
+            protocol,
+            population,
+            seed=seed,
+            id_space_bits=ring_bits,
+            cycloid_dimension=cycloid_dimension,
+        )
+        rng = make_rng(seed + 1)
+
+        network.maintenance_updates = 0
+        for index in range(events):
+            network.join(f"maintenance-{index}")
+        per_join = network.maintenance_updates / events
+
+        network.maintenance_updates = 0
+        victims = rng.sample(list(network.live_nodes()), events)
+        for victim in victims:
+            network.leave(victim)
+        per_leave = network.maintenance_updates / events
+
+        mass = build_complete_network(protocol, dimension, seed=seed)
+        mass.maintenance_updates = 0
+        departed = fail_nodes(
+            mass, departure_probability, make_rng(seed + 2)
+        )
+        points.append(
+            MaintenancePoint(
+                protocol=protocol,
+                population=population,
+                updates_per_join=per_join,
+                updates_per_leave=per_leave,
+                mass_departure_updates=mass.maintenance_updates,
+                mass_departure_events=departed,
+            )
+        )
+    return points

@@ -1,0 +1,61 @@
+"""E1/E2 — lookup path length vs network size and dimension (Figs 5-6).
+
+Networks of ``n = d * 2^d`` nodes for d = 3..8; every DHT handles the
+same lookup workload; the figure series are the mean hop counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.dht.identifiers import cycloid_space_size
+from repro.experiments.common import run_lookups
+from repro.experiments.registry import PROTOCOLS, build_complete_network
+from repro.util.stats import DistributionSummary
+
+__all__ = ["PathLengthPoint", "run_path_length_experiment"]
+
+DEFAULT_DIMENSIONS: Tuple[int, ...] = (3, 4, 5, 6, 7, 8)
+
+
+@dataclass(frozen=True)
+class PathLengthPoint:
+    """One (protocol, network) measurement."""
+
+    protocol: str
+    dimension: int
+    size: int
+    mean_path_length: float
+    summary: DistributionSummary
+    failures: int
+
+
+def run_path_length_experiment(
+    dimensions: Sequence[int] = DEFAULT_DIMENSIONS,
+    protocols: Sequence[str] = PROTOCOLS,
+    lookups: int = 5000,
+    seed: int = 42,
+) -> List[PathLengthPoint]:
+    """Measure mean lookup path length for every protocol and dimension.
+
+    Fig. 5 plots the result against network size, Fig. 6 against the
+    dimension; both read off the same points.
+    """
+    points: List[PathLengthPoint] = []
+    for dimension in dimensions:
+        size = cycloid_space_size(dimension)
+        for protocol in protocols:
+            network = build_complete_network(protocol, dimension, seed=seed)
+            stats = run_lookups(network, lookups, seed=seed + dimension)
+            points.append(
+                PathLengthPoint(
+                    protocol=protocol,
+                    dimension=dimension,
+                    size=size,
+                    mean_path_length=stats.mean_path_length,
+                    summary=stats.path_length_summary(),
+                    failures=stats.failures,
+                )
+            )
+    return points

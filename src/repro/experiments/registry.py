@@ -1,0 +1,134 @@
+"""Protocol registry: uniform construction of comparable networks.
+
+The paper compares networks *of the same node count*: a complete
+``d``-dimensional Cycloid has ``n = d * 2^d`` nodes; Chord and Koorde
+then get ``n`` random identifiers on a ``2^ceil(log2 n)`` ring, and
+Viceroy ``n`` identities in [0, 1).  For the sparsity and key-balance
+experiments the ID space is pinned to 2048 identifiers (Cycloid d = 8,
+Chord/Koorde 11 bits) and only the population varies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Optional
+
+from repro.chord import ChordNetwork
+from repro.core import CycloidNetwork
+from repro.dht.base import Network
+from repro.dht.identifiers import cycloid_space_size
+from repro.can import CanNetwork
+from repro.koorde import KoordeNetwork
+from repro.pastry import PastryNetwork
+from repro.viceroy import ViceroyNetwork
+
+__all__ = [
+    "PROTOCOLS",
+    "CYCLOID_11",
+    "build_complete_network",
+    "build_sized_network",
+    "protocol_label",
+    "dimension_for_space",
+]
+
+#: Protocol keys in the order the paper's figures list them.  Pastry is
+#: implemented too (the paper's §2.1 base system and a Table 1 row) but
+#: excluded from the figure sweeps, which compare only the paper's five
+#: evaluated configurations.
+CYCLOID = "cycloid"
+CYCLOID_11 = "cycloid-11"
+VICEROY = "viceroy"
+CHORD = "chord"
+KOORDE = "koorde"
+PASTRY = "pastry"
+CAN = "can"
+PROTOCOLS = (CYCLOID, CYCLOID_11, VICEROY, CHORD, KOORDE)
+ALL_PROTOCOLS = PROTOCOLS + (PASTRY, CAN)
+
+_LABELS: Dict[str, str] = {
+    CYCLOID: "7-entry Cycloid",
+    CYCLOID_11: "11-entry Cycloid",
+    VICEROY: "Viceroy",
+    CHORD: "Chord",
+    KOORDE: "Koorde",
+    PASTRY: "Pastry",
+    CAN: "CAN",
+}
+
+
+def protocol_label(protocol: str) -> str:
+    """Human-readable label used in printed tables."""
+    try:
+        return _LABELS[protocol]
+    except KeyError:
+        raise ValueError(f"unknown protocol {protocol!r}") from None
+
+
+def _ring_bits_for(count: int) -> int:
+    """Smallest power-of-two ring that fits ``count`` nodes."""
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    return max(1, math.ceil(math.log2(count)))
+
+
+def build_complete_network(protocol: str, dimension: int, seed: int = 0) -> Network:
+    """A network with the node count of a complete d-dimensional Cycloid.
+
+    Cycloid variants are built *complete* (every CCC position occupied,
+    the Fig. 5/6 configuration); the other DHTs get the same number of
+    nodes placed randomly in their own identifier spaces.
+    """
+    count = cycloid_space_size(dimension)
+    if protocol == CYCLOID:
+        return CycloidNetwork.complete(dimension, leaf_radius=1)
+    if protocol == CYCLOID_11:
+        return CycloidNetwork.complete(dimension, leaf_radius=2)
+    return build_sized_network(protocol, count, seed=seed)
+
+
+def build_sized_network(
+    protocol: str,
+    count: int,
+    seed: int = 0,
+    id_space_bits: Optional[int] = None,
+    cycloid_dimension: Optional[int] = None,
+) -> Network:
+    """``count`` randomly-placed nodes in each protocol's ID space.
+
+    ``id_space_bits`` / ``cycloid_dimension`` pin the identifier space
+    for the sparsity and key-distribution experiments ("the network ID
+    space is of 2048 nodes": 11 bits, Cycloid dimension 8).
+    """
+    if protocol in (CYCLOID, CYCLOID_11):
+        radius = 2 if protocol == CYCLOID_11 else 1
+        dimension = cycloid_dimension
+        if dimension is None:
+            dimension = dimension_for_space(count)
+        return CycloidNetwork.with_random_ids(
+            count, dimension, leaf_radius=radius, seed=seed
+        )
+    if protocol == CHORD:
+        bits = id_space_bits or _ring_bits_for(count)
+        return ChordNetwork.with_random_ids(count, bits, seed=seed)
+    if protocol == KOORDE:
+        bits = id_space_bits or _ring_bits_for(count)
+        return KoordeNetwork.with_random_ids(count, bits, seed=seed)
+    if protocol == VICEROY:
+        return ViceroyNetwork.with_random_ids(count, seed=seed)
+    if protocol == PASTRY:
+        bits = id_space_bits or _ring_bits_for(count)
+        # Pastry ids are digit strings; round the ring up to a whole
+        # number of base-4 digits.
+        bits += (-bits) % 2
+        return PastryNetwork.with_random_ids(count, bits=bits, seed=seed)
+    if protocol == CAN:
+        return CanNetwork.with_random_zones(count, seed=seed)
+    raise ValueError(f"unknown protocol {protocol!r}")
+
+
+def dimension_for_space(count: int) -> int:
+    """Smallest dimension whose Cycloid ID space holds ``count`` nodes."""
+    dimension = 1
+    while cycloid_space_size(dimension) < count:
+        dimension += 1
+    return dimension

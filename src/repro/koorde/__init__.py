@@ -1,0 +1,13 @@
+"""Koorde DHT (Kaashoek & Karger, IPTPS 2003).
+
+A constant-degree DHT that embeds a degree-2 de Bruijn graph on the
+Chord identifier circle.  Configured exactly as in the paper's §4
+comparison: seven neighbours — one de Bruijn pointer, three successors,
+and the three immediate predecessors of the de Bruijn pointer as
+backups.
+"""
+
+from repro.koorde.network import KoordeNetwork
+from repro.koorde.node import KoordeNode
+
+__all__ = ["KoordeNetwork", "KoordeNode"]

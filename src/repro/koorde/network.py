@@ -1,0 +1,331 @@
+"""Koorde overlay network simulator.
+
+Routing follows Kaashoek & Karger's imaginary-node walk: the current
+node ``m`` maintains the invariant that it is the immediate real
+predecessor of the imaginary de Bruijn node ``i``.  While the invariant
+holds it takes a *de Bruijn hop* to ``pred(2m)``, shifting the next bit
+of the key into ``i``; otherwise it takes *successor hops* until the
+invariant is re-established.  The per-hop classification
+(``de_bruijn`` vs ``successor``) is exactly what the paper's Figs 7(c)
+and 14 break down.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.dht.base import Network
+from repro.dht.hashing import hash_to_ring
+from repro.dht.metrics import LookupRecord
+from repro.dht.ring import SortedRing, in_interval
+from repro.koorde.node import KoordeNode
+from repro.util.rng import make_rng
+
+__all__ = ["KoordeNetwork"]
+
+PHASE_DEBRUIJN = "de_bruijn"
+PHASE_SUCCESSOR = "successor"
+
+#: Paper §4: three successors and three de Bruijn backups -> 7 neighbours.
+SUCCESSOR_LIST_SIZE = 3
+DEBRUIJN_BACKUPS = 3
+
+
+class KoordeNetwork(Network):
+    """A Koorde ring over the ``2^bits`` identifier space."""
+
+    protocol_name = "koorde"
+
+    def __init__(self, bits: int, seed: Optional[int] = None) -> None:
+        super().__init__()
+        self.bits = bits
+        self.ring: SortedRing[KoordeNode] = SortedRing(bits)
+        self._rng = make_rng(seed)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def with_ids(
+        cls, node_ids: Iterable[int], bits: int, seed: Optional[int] = None
+    ) -> "KoordeNetwork":
+        network = cls(bits, seed)
+        for node_id in node_ids:
+            network.ring.add(node_id, KoordeNode(f"n{node_id}", node_id, bits))
+        network.stabilize()
+        return network
+
+    @classmethod
+    def with_random_ids(
+        cls, count: int, bits: int, seed: Optional[int] = None
+    ) -> "KoordeNetwork":
+        space = 1 << bits
+        if count > space:
+            raise ValueError(f"{count} nodes exceed the 2^{bits} ID space")
+        rng = make_rng(seed)
+        return cls.with_ids(rng.sample(range(space), count), bits, seed)
+
+    @classmethod
+    def complete(cls, bits: int) -> "KoordeNetwork":
+        return cls.with_ids(range(1 << bits), bits)
+
+    # ------------------------------------------------------------------
+    # Network interface
+    # ------------------------------------------------------------------
+
+    def live_nodes(self) -> Sequence[KoordeNode]:
+        return self.ring.nodes()
+
+    def key_id(self, key: object) -> int:
+        return hash_to_ring(key, self.bits)
+
+    def owner_of_id(self, key_id: int) -> KoordeNode:
+        """A key is stored at its successor, as in Chord."""
+        return self.ring.successor(key_id)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    def route(self, source: KoordeNode, key_id: int) -> LookupRecord:
+        if not source.alive:
+            raise ValueError("lookup source must be alive")
+        modulus = self.ring.modulus
+        current = source
+        hops = 0
+        timeouts = 0
+        phases = {PHASE_DEBRUIJN: 0, PHASE_SUCCESSOR: 0}
+        owner = self.owner_of_id(key_id)
+        path = [source.name]
+
+        # Imaginary de Bruijn node: starts at the source itself, so the
+        # host invariant i in [current, successor) holds immediately; all
+        # `bits` bits of the key are then shifted in, after which
+        # i == key_id.
+        imaginary = current.id
+        kshift = key_id
+        bits_left = self.bits
+
+        failed = False
+        while hops < self.HOP_LIMIT:
+            if current.id == key_id:
+                break
+            if not current.successors:
+                break  # singleton: current owns everything
+            predecessor = current.predecessor
+            if predecessor is not None and in_interval(
+                key_id, predecessor.id, current.id, modulus
+            ):
+                break  # current's local state says it stores the key
+            believed = current.successors[0]
+
+            if in_interval(key_id, current.id, believed.id, modulus):
+                # Delivery step: forward to the believed successor,
+                # walking the backup list on timeouts.
+                next_hop, step_timeouts = self._first_live(
+                    current.successors
+                )
+                timeouts += step_timeouts
+                if next_hop is None:
+                    failed = True
+                    break
+                current = next_hop
+                hops += 1
+                phases[PHASE_SUCCESSOR] += 1
+                path.append(current.name)
+                self._record_visit(current)
+                break
+
+            # Host invariant: imaginary in [current, successor).
+            hosts_imaginary = (
+                (imaginary - current.id) % modulus
+                < (believed.id - current.id) % modulus
+            )
+            if bits_left > 0 and hosts_imaginary:
+                # Invariant holds: de Bruijn hop, shift in the next bit.
+                next_hop, step_timeouts = self._first_live(
+                    current.debruijn_chain()
+                )
+                timeouts += step_timeouts
+                if next_hop is None:
+                    # De Bruijn pointer and every backup dead: the lookup
+                    # fails (paper §4.3).
+                    failed = True
+                    break
+                top_bit = (kshift >> (self.bits - 1)) & 1
+                imaginary = ((imaginary << 1) | top_bit) % modulus
+                kshift = (kshift << 1) % modulus
+                bits_left -= 1
+                if next_hop is not current:
+                    # A de Bruijn pointer can be the node itself (e.g.
+                    # node 0 in a dense ring); shifting then costs no
+                    # message.
+                    current = next_hop
+                    hops += 1
+                    phases[PHASE_DEBRUIJN] += 1
+                    path.append(current.name)
+                    self._record_visit(current)
+                continue
+
+            # Correction step: walk successors toward pred(imaginary)
+            # (or toward the key once all bits are consumed).
+            next_hop, step_timeouts = self._first_live(current.successors)
+            timeouts += step_timeouts
+            if next_hop is None:
+                failed = True
+                break
+            current = next_hop
+            hops += 1
+            phases[PHASE_SUCCESSOR] += 1
+            path.append(current.name)
+            self._record_visit(current)
+
+        return LookupRecord(
+            hops=hops,
+            success=(not failed) and current is owner,
+            timeouts=timeouts,
+            phase_hops=dict(phases),
+            source=source.name,
+            key=key_id,
+            owner=current.name,
+            path=path,
+        )
+
+    @staticmethod
+    def _first_live(
+        chain: List[KoordeNode],
+    ) -> Tuple[Optional[KoordeNode], int]:
+        """First live node in ``chain``; one timeout per dead node tried."""
+        timeouts = 0
+        seen: Set[int] = set()
+        for candidate in chain:
+            if candidate.alive:
+                return candidate, timeouts
+            if candidate.id not in seen:
+                seen.add(candidate.id)
+                timeouts += 1
+        return None, timeouts
+
+    # ------------------------------------------------------------------
+    # membership changes
+    # ------------------------------------------------------------------
+
+    def join(self, name: object) -> KoordeNode:
+        """Join: wire the joiner, notify its ring neighbours (as Chord)."""
+        node_id = self._free_id_for(name)
+        node = KoordeNode(name, node_id, self.bits)
+        had_peers = len(self.ring) > 0
+        self.ring.add(node_id, node)
+        self._wire(node)
+        if had_peers:
+            successor = node.successor
+            if successor is not None:
+                successor.predecessor = node
+                self.maintenance_updates += 1
+            predecessor = node.predecessor
+            if predecessor is not None:
+                predecessor.successors = self.ring.successor_run(
+                    predecessor.id, SUCCESSOR_LIST_SIZE
+                )
+                self.maintenance_updates += 1
+        return node
+
+    def _free_id_for(self, name: object) -> int:
+        node_id = hash_to_ring(name, self.bits)
+        space = 1 << self.bits
+        if len(self.ring) >= space:
+            raise RuntimeError("identifier space exhausted")
+        while node_id in self.ring:
+            node_id = (node_id + 1) % space
+        return node_id
+
+    def leave(self, node: KoordeNode) -> None:
+        """Graceful departure: notify successors and predecessor only.
+
+        Nodes holding ``node`` as their de Bruijn pointer or backup are
+        *not* notified (they have no incoming-pointer knowledge); those
+        entries stay stale until stabilisation — the root cause of the
+        lookup failures the paper reports for p >= 0.3.
+        """
+        if not node.alive:
+            raise ValueError(f"{node!r} already departed")
+        node.alive = False
+        self.ring.remove(node.id)
+        predecessor = node.predecessor
+        successor = next((s for s in node.successors if s.alive), None)
+        if successor is not None and successor.predecessor is node:
+            successor.predecessor = (
+                predecessor
+                if predecessor is not None and predecessor.alive
+                else None
+            )
+            self.maintenance_updates += 1
+        if predecessor is not None and predecessor.alive:
+            merged = [s for s in predecessor.successors if s is not node]
+            for candidate in node.successors:
+                if candidate is not predecessor and candidate not in merged:
+                    merged.append(candidate)
+            predecessor.successors = merged[:SUCCESSOR_LIST_SIZE]
+            self.maintenance_updates += 1
+
+    def fail(self, node: KoordeNode) -> None:
+        """Silent failure: the ring is not spliced; successor lists,
+        predecessors and de Bruijn chains all stay stale."""
+        if not node.alive:
+            raise ValueError(f"{node!r} already departed")
+        node.alive = False
+        self.ring.remove(node.id)
+
+    def stabilize(self) -> None:
+        """Restore all pointers — successor lists, de Bruijn chain — from
+        the live membership (§4.4: stabilisation updates the first de
+        Bruijn node and its predecessors in time)."""
+        for node in self.ring.nodes():
+            self._wire(node)
+
+    def stabilize_node(self, node: KoordeNode) -> None:
+        """One node's stabilisation: refresh the successor list and the
+        de Bruijn pointer with its backups (§4.4)."""
+        if node.alive:
+            self._wire(node)
+
+    def _wire(self, node: KoordeNode) -> None:
+        node.successors = self.ring.successor_run(node.id, SUCCESSOR_LIST_SIZE)
+        node.predecessor = (
+            self.ring.predecessor(node.id) if len(self.ring) > 1 else None
+        )
+        if len(self.ring) > 1:
+            # "The first de Bruijn node of a node with ID m is the node
+            # that immediately precedes 2m" — at-or-before, so that in a
+            # complete network the pointer is node 2m itself (the paper
+            # notes all de Bruijn pointers are even in a dense network).
+            debruijn = self.ring.at_or_before((2 * node.id) % self.ring.modulus)
+            node.debruijn = debruijn
+            backups: List[KoordeNode] = []
+            point = debruijn.id
+            for _ in range(min(DEBRUIJN_BACKUPS, len(self.ring) - 1)):
+                backup = self.ring.predecessor(point)
+                backups.append(backup)
+                point = backup.id
+            node.debruijn_backups = backups
+        else:
+            node.debruijn = node
+            node.debruijn_backups = []
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        super().check_invariants()
+        nodes = self.ring.nodes()
+        for node in nodes:
+            if len(nodes) == 1:
+                continue
+            assert node.successors, f"{node!r} has an empty successor list"
+            assert node.debruijn is not None
+            expected = self.ring.at_or_before_id((2 * node.id) % self.ring.modulus)
+            assert node.debruijn.id == expected, (
+                f"{node!r} de Bruijn {node.debruijn.id}, expected {expected}"
+            )

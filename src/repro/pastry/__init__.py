@@ -1,0 +1,16 @@
+"""Pastry DHT (Rowstron & Druschel, Middleware 2001).
+
+The hypercube-based, O(log n)-state DHT that Cycloid's descending phase
+borrows its prefix routing from (paper §2.1) and that Table 1 compares
+against.  Implemented with the paper's three state components: a
+prefix routing table (rows x digit base), a leaf set of the |L|
+numerically closest nodes, and key placement on the numerically
+closest node.  The neighbourhood set M carries only locality
+information in real Pastry (our simulator has no geography), so it is
+represented but never used for routing decisions.
+"""
+
+from repro.pastry.network import PastryNetwork
+from repro.pastry.node import PastryNode
+
+__all__ = ["PastryNetwork", "PastryNode"]

@@ -1,0 +1,431 @@
+"""Pastry overlay network simulator.
+
+Routing follows §2.1's description: correct one digit at a time in
+left-to-right order via the prefix routing table; once the key falls
+within leaf-set range, deliver to the numerically closest node.  When
+the required table cell is void or dead, fall back to any known node
+that shares at least as long a prefix and is numerically closer — the
+"rare case" rule of the Pastry paper.
+
+Key placement: the numerically closest node (ties clockwise), the rule
+Cycloid §3.1 inherits.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.dht.base import Network
+from repro.dht.hashing import hash_to_ring
+from repro.dht.metrics import LookupRecord
+from repro.dht.ring import SortedRing, in_interval
+from repro.pastry.node import PastryNode
+from repro.util.bitops import circular_distance, clockwise_distance
+from repro.util.rng import make_rng
+
+__all__ = ["PastryNetwork"]
+
+PHASE_PREFIX = "prefix"
+PHASE_LEAF = "leaf"
+
+DEFAULT_BITS = 16
+DEFAULT_DIGIT_BITS = 2
+DEFAULT_LEAF_SET = 8  # |L|: half smaller, half larger
+
+
+class PastryNetwork(Network):
+    """A Pastry overlay on a ``2^bits`` ring of base-``2^digit_bits``
+    digit strings."""
+
+    protocol_name = "pastry"
+
+    def __init__(
+        self,
+        bits: int = DEFAULT_BITS,
+        digit_bits: int = DEFAULT_DIGIT_BITS,
+        leaf_set_size: int = DEFAULT_LEAF_SET,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        if bits % digit_bits != 0:
+            raise ValueError("bits must be a multiple of digit_bits")
+        if leaf_set_size < 2 or leaf_set_size % 2 != 0:
+            raise ValueError("leaf_set_size must be even and >= 2")
+        self.bits = bits
+        self.digit_bits = digit_bits
+        self.leaf_set_size = leaf_set_size
+        self.ring: SortedRing[PastryNode] = SortedRing(bits)
+        self._rng = make_rng(seed)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def with_ids(
+        cls,
+        node_ids: Iterable[int],
+        bits: int = DEFAULT_BITS,
+        digit_bits: int = DEFAULT_DIGIT_BITS,
+        leaf_set_size: int = DEFAULT_LEAF_SET,
+        seed: Optional[int] = None,
+    ) -> "PastryNetwork":
+        network = cls(bits, digit_bits, leaf_set_size, seed)
+        for node_id in node_ids:
+            network.ring.add(
+                node_id, PastryNode(f"n{node_id}", node_id, bits, digit_bits)
+            )
+        network.stabilize()
+        return network
+
+    @classmethod
+    def with_random_ids(
+        cls,
+        count: int,
+        bits: int = DEFAULT_BITS,
+        digit_bits: int = DEFAULT_DIGIT_BITS,
+        leaf_set_size: int = DEFAULT_LEAF_SET,
+        seed: Optional[int] = None,
+    ) -> "PastryNetwork":
+        space = 1 << bits
+        if count > space:
+            raise ValueError(f"{count} nodes exceed the 2^{bits} ID space")
+        rng = make_rng(seed)
+        return cls.with_ids(
+            rng.sample(range(space), count), bits, digit_bits,
+            leaf_set_size, seed,
+        )
+
+    # ------------------------------------------------------------------
+    # Network interface
+    # ------------------------------------------------------------------
+
+    def live_nodes(self) -> Sequence[PastryNode]:
+        return self.ring.nodes()
+
+    def key_id(self, key: object) -> int:
+        return hash_to_ring(key, self.bits)
+
+    def owner_of_id(self, key_id: int) -> PastryNode:
+        """The numerically closest live node (ties clockwise)."""
+        successor = self.ring.successor(key_id)
+        predecessor = self.ring.at_or_before(key_id)
+        return min(
+            (successor, predecessor),
+            key=lambda node: self._distance(key_id, node.id),
+        )
+
+    def _distance(self, key_id: int, node_id: int) -> Tuple[int, int]:
+        modulus = self.ring.modulus
+        return (
+            circular_distance(node_id, key_id, modulus),
+            0
+            if clockwise_distance(key_id, node_id, modulus)
+            <= modulus // 2
+            else 1,
+        )
+
+    # ------------------------------------------------------------------
+    # digits
+    # ------------------------------------------------------------------
+
+    def shared_prefix_digits(self, a: int, b: int) -> int:
+        """Number of leading base-``2^digit_bits`` digits ``a``/``b`` share."""
+        rows = self.bits // self.digit_bits
+        for position in range(rows):
+            shift = self.bits - (position + 1) * self.digit_bits
+            if (a >> shift) != (b >> shift):
+                return position
+        return rows
+
+    def digit_of(self, value: int, position: int) -> int:
+        shift = self.bits - (position + 1) * self.digit_bits
+        return (value >> shift) & ((1 << self.digit_bits) - 1)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    def route(self, source: PastryNode, key_id: int) -> LookupRecord:
+        if not source.alive:
+            raise ValueError("lookup source must be alive")
+        current = source
+        hops = 0
+        timeouts = 0
+        phases = {PHASE_PREFIX: 0, PHASE_LEAF: 0}
+        owner = self.owner_of_id(key_id)
+        path = [source.name]
+        visited: Set[int] = set()
+
+        while hops < self.HOP_LIMIT:
+            if current.id == key_id:
+                break
+            visited.add(current.id)
+            next_hop, phase, step_timeouts = self._next_hop(
+                current, key_id, visited
+            )
+            timeouts += step_timeouts
+            if next_hop is None:
+                break  # current believes it is numerically closest
+            current = next_hop
+            hops += 1
+            phases[phase] += 1
+            path.append(current.name)
+            self._record_visit(current)
+
+        return LookupRecord(
+            hops=hops,
+            success=current is owner,
+            timeouts=timeouts,
+            phase_hops=dict(phases),
+            source=source.name,
+            key=key_id,
+            owner=current.name,
+            path=path,
+        )
+
+    def _next_hop(
+        self, current: PastryNode, key_id: int, visited: Set[int]
+    ) -> Tuple[Optional[PastryNode], str, int]:
+        timeouts = 0
+        dead_tried: Set[int] = set()
+        modulus = self.ring.modulus
+
+        def try_chain(
+            candidates: Iterable[PastryNode], phase: str
+        ) -> Optional[Tuple[PastryNode, str]]:
+            nonlocal timeouts
+            for candidate in candidates:
+                if candidate is current or candidate.id in visited:
+                    continue
+                if not candidate.alive:
+                    if candidate.id not in dead_tried:
+                        dead_tried.add(candidate.id)
+                        timeouts += 1
+                    continue
+                return candidate, phase
+            return None
+
+        current_distance = self._distance(key_id, current.id)
+        leaves = current.leaf_entries()
+
+        # Leaf-set range check: the key lies within the arc the leaf set
+        # covers, so deliver to the numerically closest leaf.
+        if self._within_leaf_range(current, key_id):
+            closer = [
+                leaf
+                for leaf in leaves
+                if self._distance(key_id, leaf.id) < current_distance
+            ]
+            closer.sort(key=lambda n: self._distance(key_id, n.id))
+            found = try_chain(closer, PHASE_LEAF)
+            if found is not None:
+                return found[0], found[1], timeouts
+            return None, PHASE_LEAF, timeouts
+
+        # Prefix routing: fix the next digit.
+        shared = self.shared_prefix_digits(current.id, key_id)
+        if shared < current.rows:
+            wanted = self.digit_of(key_id, shared)
+            entry = current.routing_rows[shared][wanted]
+            if entry is not None:
+                found = try_chain([entry], PHASE_PREFIX)
+                if found is not None:
+                    return found[0], found[1], timeouts
+
+        # Rare case: any known node with at least as long a prefix and
+        # numerically closer to the key.
+        fallback = []
+        for candidate in list(leaves) + [
+            entry
+            for row in current.routing_rows
+            for entry in row
+            if entry is not None
+        ]:
+            if candidate is current:
+                continue
+            if self.shared_prefix_digits(candidate.id, key_id) < shared:
+                continue
+            if self._distance(key_id, candidate.id) >= current_distance:
+                continue
+            fallback.append(candidate)
+        fallback.sort(key=lambda n: self._distance(key_id, n.id))
+        found = try_chain(fallback, PHASE_LEAF)
+        if found is not None:
+            return found[0], found[1], timeouts
+        del modulus
+        return None, PHASE_LEAF, timeouts
+
+    def _within_leaf_range(self, node: PastryNode, key_id: int) -> bool:
+        if len(self.ring) <= self.leaf_set_size:
+            return True  # the leaf set covers the whole population
+        if not node.leaf_smaller or not node.leaf_larger:
+            return True
+        left = node.leaf_smaller[-1].id
+        right = node.leaf_larger[-1].id
+        return in_interval(
+            key_id, (left - 1) % self.ring.modulus, right, self.ring.modulus
+        )
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+
+    def join(self, name: object) -> PastryNode:
+        node_id = self._free_id_for(name)
+        node = PastryNode(name, node_id, self.bits, self.digit_bits)
+        self.ring.add(node_id, node)
+        self._wire(node)
+        self.maintenance_updates += self._refresh_leaves_near(
+            node_id, exclude=node
+        )
+        return node
+
+    def leave(self, node: PastryNode) -> None:
+        """Graceful departure: leaf-set holders are notified; routing
+        tables stay stale until stabilisation (the Pastry repair
+        model)."""
+        if not node.alive:
+            raise ValueError(f"{node!r} already departed")
+        node.alive = False
+        self.ring.remove(node.id)
+        self.maintenance_updates += self._refresh_leaves_near(node.id)
+
+    def fail(self, node: PastryNode) -> None:
+        """Silent failure: nothing is repaired until stabilisation."""
+        if not node.alive:
+            raise ValueError(f"{node!r} already departed")
+        node.alive = False
+        self.ring.remove(node.id)
+
+    def _free_id_for(self, name: object) -> int:
+        node_id = hash_to_ring(name, self.bits)
+        space = 1 << self.bits
+        if len(self.ring) >= space:
+            raise RuntimeError("identifier space exhausted")
+        while node_id in self.ring:
+            node_id = (node_id + 1) % space
+        return node_id
+
+    def _refresh_leaves_near(
+        self, point: int, exclude: Optional[PastryNode] = None
+    ) -> int:
+        """Refresh leaf sets of the nodes numerically near ``point``
+        (those whose leaf sets a membership change there can affect)."""
+        if len(self.ring) == 0:
+            return 0
+        half = self.leaf_set_size // 2
+        affected: List[PastryNode] = []
+        cursor = point
+        for _ in range(min(half + 1, len(self.ring))):
+            node = self.ring.successor(cursor)
+            affected.append(node)
+            cursor = (node.id + 1) % self.ring.modulus
+        cursor = point
+        for _ in range(min(half + 1, len(self.ring))):
+            node = self.ring.predecessor(cursor)
+            if node not in affected:
+                affected.append(node)
+            cursor = node.id
+        changed = 0
+        for node in affected:
+            if self._wire_leaves(node) and node is not exclude:
+                changed += 1
+        return changed
+
+    def stabilize(self) -> None:
+        for node in self.ring.nodes():
+            self._wire(node)
+
+    def stabilize_node(self, node: PastryNode) -> None:
+        if node.alive:
+            self._wire(node)
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+
+    def _wire(self, node: PastryNode) -> None:
+        self._wire_leaves(node)
+        base = node.base
+        for row in range(node.rows):
+            prefix_bits = row * self.digit_bits
+            suffix_bits = self.bits - prefix_bits - self.digit_bits
+            prefix = node.id >> (self.bits - prefix_bits) if prefix_bits else 0
+            own_digit = node.digit(row)
+            for column in range(base):
+                if column == own_digit:
+                    node.routing_rows[row][column] = None
+                    continue
+                block_start = (
+                    (prefix << self.digit_bits | column) << suffix_bits
+                )
+                anchor = block_start | (node.id & ((1 << suffix_bits) - 1))
+                node.routing_rows[row][column] = self._pick_in_range(
+                    block_start, 1 << suffix_bits, anchor
+                )
+
+    def _pick_in_range(
+        self, start: int, size: int, anchor: int
+    ) -> Optional[PastryNode]:
+        """A live node with id in [start, start + size), nearest to
+        ``anchor`` — the deterministic stand-in for Pastry's
+        pick-by-proximity among the many eligible suffixes."""
+        ids = self.ring.ids()
+        lo = bisect.bisect_left(ids, start)
+        hi = bisect.bisect_left(ids, start + size)
+        if lo == hi:
+            return None
+        index = bisect.bisect_left(ids, anchor, lo, hi)
+        best = None
+        best_gap = None
+        for candidate_index in (index - 1, index):
+            if lo <= candidate_index < hi:
+                candidate = ids[candidate_index]
+                gap = abs(candidate - anchor)
+                if best_gap is None or gap < best_gap:
+                    best, best_gap = candidate, gap
+        return self.ring.get(best) if best is not None else None
+
+    def _wire_leaves(self, node: PastryNode) -> bool:
+        before = (
+            [n.id for n in node.leaf_smaller],
+            [n.id for n in node.leaf_larger],
+        )
+        half = self.leaf_set_size // 2
+        take = min(half, len(self.ring) - 1)
+        smaller: List[PastryNode] = []
+        cursor = node.id
+        for _ in range(take):
+            neighbor = self.ring.predecessor(cursor)
+            smaller.append(neighbor)
+            cursor = neighbor.id
+        larger: List[PastryNode] = []
+        cursor = (node.id + 1) % self.ring.modulus
+        for _ in range(take):
+            neighbor = self.ring.successor(cursor)
+            larger.append(neighbor)
+            cursor = (neighbor.id + 1) % self.ring.modulus
+        node.leaf_smaller = smaller
+        node.leaf_larger = larger
+        after = (
+            [n.id for n in node.leaf_smaller],
+            [n.id for n in node.leaf_larger],
+        )
+        return before != after
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        super().check_invariants()
+        for node in self.ring.nodes():
+            if len(self.ring) > 1:
+                assert node.leaf_smaller and node.leaf_larger
+                assert node.leaf_smaller[0].id == self.ring.predecessor_id(
+                    node.id
+                )
+            for leaf in node.leaf_entries():
+                assert leaf.alive, f"{node!r} has dead leaf {leaf!r}"

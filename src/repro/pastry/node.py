@@ -1,0 +1,103 @@
+"""Pastry node state.
+
+Identifiers are sequences of base-``2^b`` digits on a ``2^bits`` ring.
+Per paper §2.1, a node keeps:
+
+* a **routing table** with one row per digit position and one column
+  per digit value: row ``r``, column ``c`` holds some node sharing the
+  first ``r`` digits with this node and having digit ``c`` at position
+  ``r`` ("there are many such neighbors ... no restriction on the
+  suffix" — the abundance that gives Pastry its fault resilience);
+* a **leaf set** L of the |L| numerically closest nodes, half smaller
+  and half larger;
+* a **neighbourhood set** M of geographically close nodes — locality
+  only, unused by our topology-level simulator and kept empty.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.dht.base import Node
+
+__all__ = ["PastryNode"]
+
+
+class PastryNode(Node):
+    """A Pastry participant."""
+
+    __slots__ = (
+        "id",
+        "bits",
+        "digit_bits",
+        "routing_rows",
+        "leaf_smaller",
+        "leaf_larger",
+        "neighborhood",
+    )
+
+    def __init__(
+        self, name: object, node_id: int, bits: int, digit_bits: int
+    ) -> None:
+        super().__init__(name)
+        if bits % digit_bits != 0:
+            raise ValueError("bits must be a multiple of digit_bits")
+        if not 0 <= node_id < (1 << bits):
+            raise ValueError(f"id {node_id} outside [0, 2^{bits})")
+        self.id = node_id
+        self.bits = bits
+        self.digit_bits = digit_bits
+        rows = bits // digit_bits
+        base = 1 << digit_bits
+        #: routing_rows[r][c]: shares r leading digits, digit r == c.
+        self.routing_rows: List[List[Optional["PastryNode"]]] = [
+            [None] * base for _ in range(rows)
+        ]
+        #: numerically closest nodes, nearest first on each side.
+        self.leaf_smaller: List["PastryNode"] = []
+        self.leaf_larger: List["PastryNode"] = []
+        self.neighborhood: List["PastryNode"] = []
+
+    @property
+    def node_id(self) -> int:
+        return self.id
+
+    @property
+    def rows(self) -> int:
+        return self.bits // self.digit_bits
+
+    @property
+    def base(self) -> int:
+        return 1 << self.digit_bits
+
+    def digit(self, position: int) -> int:
+        """Digit ``position`` of the id (0 = most significant)."""
+        shift = self.bits - (position + 1) * self.digit_bits
+        return (self.id >> shift) & (self.base - 1)
+
+    def leaf_entries(self) -> List["PastryNode"]:
+        return self.leaf_smaller + self.leaf_larger
+
+    @property
+    def degree(self) -> int:
+        unique = {
+            entry.id
+            for row in self.routing_rows
+            for entry in row
+            if entry is not None
+        }
+        unique.update(leaf.id for leaf in self.leaf_entries())
+        unique.discard(self.id)
+        return len(unique)
+
+    @property
+    def state_size(self) -> int:
+        """Occupied routing-table cells plus leaf entries (Table 1's
+        O(|L|) + O(log n) row)."""
+        filled = sum(
+            1
+            for row in self.routing_rows
+            for entry in row
+            if entry is not None
+        )
+        return filled + len(self.leaf_smaller) + len(self.leaf_larger)

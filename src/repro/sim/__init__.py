@@ -1,0 +1,27 @@
+"""Discrete-event simulation substrate.
+
+Drives the paper's §4.4 churn experiment: Poisson node arrivals and
+departures at rate R, Poisson lookups at one per second, and periodic
+per-node stabilisation every 30 simulated seconds with uniformly
+distributed phases.
+"""
+
+from repro.sim.engine import Event, EventQueue, Simulator
+from repro.sim.churn import ChurnConfig, ChurnResult, run_churn_simulation
+from repro.sim.workload import (
+    lookup_workload,
+    random_keys,
+    uniform_key_corpus,
+)
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "ChurnConfig",
+    "ChurnResult",
+    "run_churn_simulation",
+    "lookup_workload",
+    "random_keys",
+    "uniform_key_corpus",
+]

@@ -1,0 +1,137 @@
+"""The §4.4 continuous churn experiment driver.
+
+Reproduces the Chord paper's setting that this paper reuses verbatim:
+key lookups arrive as a Poisson process at one per second; joins and
+voluntary leaves are each Poisson with mean rate R per second (R = 0.05
+corresponds to one join and one leave every 20 s); each node invokes
+stabilisation every 30 s at a phase uniformly distributed within the
+interval.  Viceroy does not stabilise — its join/leave protocol repairs
+eagerly — which its network object encodes as a no-op.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dht.base import Network, Node
+from repro.dht.metrics import LookupStats
+from repro.sim.engine import Simulator
+from repro.util.rng import derive_rng, make_rng
+
+__all__ = ["ChurnConfig", "ChurnResult", "run_churn_simulation"]
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Parameters of one churn run (defaults are the paper's)."""
+
+    join_leave_rate: float  # R: joins/s and leaves/s, each
+    duration: float = 1000.0  # simulated seconds
+    lookup_rate: float = 1.0  # lookups/s
+    stabilization_interval: float = 30.0  # seconds
+    seed: int = 0
+    warmup: float = 0.0  # seconds to discard from lookup statistics
+
+    def __post_init__(self) -> None:
+        if self.join_leave_rate < 0:
+            raise ValueError("join_leave_rate must be non-negative")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.lookup_rate <= 0:
+            raise ValueError("lookup_rate must be positive")
+        if self.stabilization_interval <= 0:
+            raise ValueError("stabilization_interval must be positive")
+
+
+@dataclass
+class ChurnResult:
+    """Outcome of a churn run."""
+
+    stats: LookupStats = field(default_factory=LookupStats)
+    joins: int = 0
+    leaves: int = 0
+    final_size: int = 0
+
+    @property
+    def failures(self) -> int:
+        return self.stats.failures
+
+
+def run_churn_simulation(
+    network: Network, config: ChurnConfig
+) -> ChurnResult:
+    """Run joins, leaves, lookups and stabilisation against ``network``.
+
+    The network is mutated in place and should arrive freshly built and
+    stabilised (the paper starts each run from a stable 2048-node
+    system).
+    """
+    root = make_rng(config.seed)
+    lookup_timing = derive_rng(root, 1)
+    join_timing = derive_rng(root, 2)
+    leave_timing = derive_rng(root, 3)
+    selection = derive_rng(root, 4)
+    phases = derive_rng(root, 5)
+
+    simulator = Simulator()
+    result = ChurnResult()
+    join_counter = [0]
+
+    def schedule_stabilizer(node: Node, first_delay: float) -> None:
+        def fire() -> None:
+            if not node.alive:
+                return  # departed; timer dies with the node
+            network.stabilize_node(node)
+            simulator.schedule(config.stabilization_interval, fire)
+
+        simulator.schedule(first_delay, fire)
+
+    def do_lookup() -> None:
+        nodes = network.live_nodes()
+        if nodes:
+            source = nodes[selection.randrange(len(nodes))]
+            key = f"churn-key-{selection.getrandbits(64):016x}"
+            record = network.lookup(source, key)
+            if simulator.now >= config.warmup:
+                result.stats.add(record)
+        simulator.schedule(
+            lookup_timing.expovariate(config.lookup_rate), do_lookup
+        )
+
+    def do_join() -> None:
+        join_counter[0] += 1
+        node = network.join(f"churn-join-{join_counter[0]}")
+        result.joins += 1
+        schedule_stabilizer(
+            node, phases.uniform(0.0, config.stabilization_interval)
+        )
+        simulator.schedule(
+            join_timing.expovariate(config.join_leave_rate), do_join
+        )
+
+    def do_leave() -> None:
+        nodes = network.live_nodes()
+        if len(nodes) > 1:
+            network.leave(nodes[selection.randrange(len(nodes))])
+            result.leaves += 1
+        simulator.schedule(
+            leave_timing.expovariate(config.join_leave_rate), do_leave
+        )
+
+    for node in network.live_nodes():
+        schedule_stabilizer(
+            node, phases.uniform(0.0, config.stabilization_interval)
+        )
+    simulator.schedule(lookup_timing.expovariate(config.lookup_rate), do_lookup)
+    if config.join_leave_rate > 0:
+        simulator.schedule(
+            join_timing.expovariate(config.join_leave_rate), do_join
+        )
+        simulator.schedule(
+            leave_timing.expovariate(config.join_leave_rate), do_leave
+        )
+
+    simulator.run_until(config.duration)
+    result.final_size = network.size
+    return result

@@ -1,0 +1,95 @@
+"""A small deterministic discrete-event engine.
+
+The churn experiment needs exactly three event kinds (join, leave,
+lookup) plus per-node stabilisation timers, so a heap-based callback
+scheduler is the right size of tool — no process coroutines needed.
+
+Determinism: ties in event time are broken by insertion sequence, so a
+run is a pure function of the seed and configuration.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["Event", "EventQueue", "Simulator"]
+
+
+@dataclass(order=True, frozen=True)
+class Event:
+    """A scheduled callback; ordering is (time, sequence number)."""
+
+    time: float
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("event time must be non-negative")
+
+
+class EventQueue:
+    """A min-heap of :class:`Event` with stable tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: float, action: Callable[[], None]) -> Event:
+        event = Event(time, next(self._counter), action)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise IndexError("pop from empty event queue")
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> Optional[float]:
+        return self._heap[0].time if self._heap else None
+
+
+class Simulator:
+    """Runs events in time order up to a horizon."""
+
+    def __init__(self) -> None:
+        self.queue = EventQueue()
+        self.now = 0.0
+        self.processed = 0
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.queue.push(self.now + delay, action)
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` at an absolute simulated time."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        return self.queue.push(time, action)
+
+    def run_until(self, horizon: float) -> int:
+        """Process events with ``time <= horizon``; returns the count.
+
+        Events an action schedules within the horizon are processed in
+        the same call.  Time never moves backwards.
+        """
+        processed = 0
+        while True:
+            next_time = self.queue.peek_time()
+            if next_time is None or next_time > horizon:
+                break
+            event = self.queue.pop()
+            self.now = max(self.now, event.time)
+            event.action()
+            processed += 1
+        self.now = max(self.now, horizon)
+        self.processed += processed
+        return processed

@@ -1,0 +1,51 @@
+"""Workload generators for the experiments.
+
+The paper's workloads are simple and uniform: random (source, key)
+lookup pairs, and key corpora of 10^4..10^5 keys hashed onto each DHT's
+space (Figs 8-9).  Generators are seeded for reproducibility.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.dht.base import Network, Node
+
+__all__ = ["random_keys", "uniform_key_corpus", "lookup_workload"]
+
+
+def random_keys(count: int, rng: random.Random, prefix: str = "key") -> List[str]:
+    """``count`` distinct application keys with random suffixes."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return [f"{prefix}-{rng.getrandbits(64):016x}-{i}" for i in range(count)]
+
+
+def uniform_key_corpus(count: int, seed: int) -> List[str]:
+    """A deterministic corpus of ``count`` keys (Figs 8-9 workloads)."""
+    return random_keys(count, random.Random(seed))
+
+
+def lookup_workload(
+    network: Network,
+    count: int,
+    rng: random.Random,
+    keys: Sequence[object] = (),
+) -> Iterator[Tuple[Node, object]]:
+    """Yield ``count`` (source node, key) lookup pairs.
+
+    Sources are uniform over live nodes.  Keys come from ``keys`` when
+    provided, otherwise fresh uniform random keys are drawn — the
+    paper's "lookup requests to random destinations".
+    """
+    nodes = network.live_nodes()
+    if not nodes:
+        raise ValueError("network has no live nodes")
+    for index in range(count):
+        source = nodes[rng.randrange(len(nodes))]
+        if keys:
+            key = keys[rng.randrange(len(keys))]
+        else:
+            key = f"lookup-{rng.getrandbits(64):016x}-{index}"
+        yield source, key

@@ -1,0 +1,41 @@
+"""Shared low-level utilities: bit manipulation, statistics, seeded RNG.
+
+These helpers are deliberately dependency-light; everything in
+:mod:`repro` builds on them.
+"""
+
+from repro.util.bitops import (
+    bit_at,
+    circular_distance,
+    clockwise_distance,
+    counterclockwise_distance,
+    flip_bit,
+    msdb,
+    to_bits,
+)
+from repro.util.rng import derive_rng, make_rng, sample_pairs
+from repro.util.stats import (
+    DistributionSummary,
+    PhaseBreakdown,
+    mean,
+    percentile,
+    summarize,
+)
+
+__all__ = [
+    "bit_at",
+    "flip_bit",
+    "msdb",
+    "to_bits",
+    "circular_distance",
+    "clockwise_distance",
+    "counterclockwise_distance",
+    "make_rng",
+    "derive_rng",
+    "sample_pairs",
+    "mean",
+    "percentile",
+    "summarize",
+    "DistributionSummary",
+    "PhaseBreakdown",
+]

@@ -1,0 +1,88 @@
+"""Bit-level helpers for DHT identifier arithmetic.
+
+All DHTs in this package work over power-of-two identifier rings; the
+Cycloid cubical index in particular needs most-significant-different-bit
+(MSDB) computations and prefix comparisons. These are hot-path functions
+for the routing simulators, so they stay small and allocation-free.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = [
+    "bit_at",
+    "flip_bit",
+    "msdb",
+    "shares_prefix_above",
+    "to_bits",
+    "from_bits",
+    "circular_distance",
+    "clockwise_distance",
+    "counterclockwise_distance",
+]
+
+
+def bit_at(value: int, position: int) -> int:
+    """Return bit ``position`` (0 = least significant) of ``value``."""
+    return (value >> position) & 1
+
+
+def flip_bit(value: int, position: int) -> int:
+    """Return ``value`` with bit ``position`` inverted."""
+    return value ^ (1 << position)
+
+
+def msdb(a: int, b: int) -> int:
+    """Most significant different bit position between ``a`` and ``b``.
+
+    Returns ``-1`` when ``a == b``.  This is the quantity the Cycloid
+    routing algorithm compares against the cyclic index (paper §3.2).
+    """
+    diff = a ^ b
+    if diff == 0:
+        return -1
+    return diff.bit_length() - 1
+
+
+def shares_prefix_above(a: int, b: int, position: int) -> bool:
+    """True iff ``a`` and ``b`` agree on every bit strictly above ``position``.
+
+    Equivalently, their MSDB is ``<= position``.
+    """
+    return (a >> (position + 1)) == (b >> (position + 1))
+
+
+def to_bits(value: int, width: int) -> List[int]:
+    """Binary expansion of ``value``, most significant bit first."""
+    if value < 0 or value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return [(value >> i) & 1 for i in range(width - 1, -1, -1)]
+
+
+def from_bits(bits: List[int]) -> int:
+    """Inverse of :func:`to_bits` (MSB-first bit list to integer)."""
+    value = 0
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ValueError(f"invalid bit {bit!r}")
+        value = (value << 1) | bit
+    return value
+
+
+def clockwise_distance(start: int, end: int, modulus: int) -> int:
+    """Steps from ``start`` to ``end`` moving clockwise (increasing) mod ``modulus``."""
+    if modulus <= 0:
+        raise ValueError("modulus must be positive")
+    return (end - start) % modulus
+
+
+def counterclockwise_distance(start: int, end: int, modulus: int) -> int:
+    """Steps from ``start`` to ``end`` moving counter-clockwise mod ``modulus``."""
+    return (start - end) % modulus
+
+
+def circular_distance(a: int, b: int, modulus: int) -> int:
+    """Shortest circular distance between ``a`` and ``b`` mod ``modulus``."""
+    d = (a - b) % modulus
+    return min(d, modulus - d)

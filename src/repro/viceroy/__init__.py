@@ -1,0 +1,14 @@
+"""Viceroy DHT (Malkhi, Naor & Ratajczak, PODC 2002).
+
+A constant-degree DHT approximating a butterfly network over the real
+identifier space [0, 1).  Each node holds seven links: general-ring
+predecessor/successor, level-ring predecessor/successor, two down links
+and one up link.  Joins and departures update both incoming and outgoing
+connections, so lookups never hit a departed node (paper §4.3) — at a
+maintenance cost the paper's conclusions weigh against Cycloid.
+"""
+
+from repro.viceroy.network import ViceroyNetwork
+from repro.viceroy.node import ViceroyNode
+
+__all__ = ["ViceroyNetwork", "ViceroyNode"]

@@ -1,0 +1,59 @@
+"""Unit tests for the plain-text reporting helpers."""
+
+from repro.analysis.report import ascii_series, format_table, series_by_protocol
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            ["proto", "hops"], [["cycloid", 4.5], ["viceroy", 18.2]]
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("proto")
+        assert "-" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = format_table(["a"], [["x"]], title="Fig 5")
+        assert text.splitlines()[0] == "Fig 5"
+
+    def test_wide_values_expand_columns(self):
+        text = format_table(["a"], [["very-long-value"]])
+        header, rule, row = text.splitlines()
+        assert len(rule) >= len("very-long-value")
+        del header, row
+
+
+class TestSeriesByProtocol:
+    def test_grouping(self):
+        points = [("cycloid", 3, 2.0), ("cycloid", 4, 3.0), ("chord", 3, 2.5)]
+        series = series_by_protocol(
+            points,
+            x_of=lambda p: p[1],
+            y_of=lambda p: p[2],
+            protocol_of=lambda p: p[0],
+        )
+        assert series == {
+            "cycloid": [(3, 2.0), (4, 3.0)],
+            "chord": [(3, 2.5)],
+        }
+
+
+class TestAsciiSeries:
+    def test_renders_bars(self):
+        text = ascii_series({"cycloid": [(3, 2.0), (8, 8.0)]}, width=10)
+        assert "cycloid:" in text
+        assert "##########" in text  # peak fills the width
+
+    def test_empty_series(self):
+        assert ascii_series({}) == ""
+        assert ascii_series({"x": []}) == "x:"
+
+    def test_zero_values(self):
+        text = ascii_series({"x": [(1, 0.0)]})
+        assert "0.00" in text
+
+    def test_title_and_unit(self):
+        text = ascii_series({"x": [(1, 1.0)]}, title="T", unit=" hops")
+        assert text.splitlines()[0] == "T"
+        assert "hops" in text

@@ -1,0 +1,221 @@
+"""CAN protocol tests: zones, splits, takeover, greedy routing."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.can import CanNetwork, Zone
+from repro.can.network import RESOLUTION_BITS
+from repro.util.rng import make_rng, sample_pairs
+
+M = 1 << RESOLUTION_BITS
+
+
+class TestZone:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Zone((0, 0), (0, 10))
+        with pytest.raises(ValueError):
+            Zone((0,), (1, 1))
+
+    def test_contains_half_open(self):
+        zone = Zone((0, 0), (10, 10))
+        assert zone.contains((0, 0))
+        assert zone.contains((9, 9))
+        assert not zone.contains((10, 0))
+
+    def test_volume_and_center(self):
+        zone = Zone((0, 0), (10, 20))
+        assert zone.volume() == 200
+        assert zone.center() == (5, 10)
+
+    def test_split_halves(self):
+        zone = Zone((0, 0), (8, 4))
+        lower, upper = zone.split(0)
+        assert lower == Zone((0, 0), (4, 4))
+        assert upper == Zone((4, 0), (8, 4))
+
+    def test_split_too_thin(self):
+        with pytest.raises(ValueError):
+            Zone((0, 0), (1, 4)).split(0)
+
+    def test_widest_axis(self):
+        assert Zone((0, 0), (8, 4)).widest_axis() == 0
+        assert Zone((0, 0), (4, 8)).widest_axis() == 1
+        assert Zone((0, 0), (4, 4)).widest_axis() == 0  # tie: lowest
+
+    def test_buddy_and_merge(self):
+        zone = Zone((0, 0), (8, 4))
+        lower, upper = zone.split(0)
+        assert lower.buddy_of(upper)
+        assert lower.merge(upper) == zone
+
+    def test_non_buddies(self):
+        a = Zone((0, 0), (4, 4))
+        b = Zone((4, 4), (8, 8))  # diagonal, not a buddy
+        assert not a.buddy_of(b)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_abuts_plain(self):
+        a = Zone((0, 0), (4, 4))
+        b = Zone((4, 0), (8, 4))
+        c = Zone((4, 4), (8, 8))
+        assert a.abuts(b, M)
+        assert not a.abuts(c, M)  # corner contact only
+
+    def test_abuts_wraps_torus(self):
+        left = Zone((0, 0), (4, M))
+        right = Zone((M - 4, 0), (M, M))
+        assert left.abuts(right, M)
+
+
+class TestConstruction:
+    def test_zones_partition_space(self):
+        network = CanNetwork.with_random_zones(50, seed=1)
+        network.check_invariants()
+        total = sum(node.total_volume() for node in network.live_nodes())
+        assert total == M * M
+
+    def test_every_point_has_one_owner(self):
+        network = CanNetwork.with_random_zones(30, seed=2)
+        rng = make_rng(3)
+        for _ in range(200):
+            point = (rng.randrange(M), rng.randrange(M))
+            owners = [n for n in network.live_nodes() if n.owns(point)]
+            assert len(owners) == 1
+
+    def test_degree_is_order_2d(self):
+        network = CanNetwork.with_random_zones(200, seed=4)
+        network.stabilize()
+        degrees = [node.degree for node in network.live_nodes()]
+        mean = sum(degrees) / len(degrees)
+        assert 3 <= mean <= 8  # ~2d with split-imbalance slack
+
+    def test_three_dimensional(self):
+        network = CanNetwork.with_random_zones(40, dimensions=3, seed=5)
+        network.check_invariants()
+        assert network.dimensions == 3
+
+
+class TestRouting:
+    @pytest.fixture(scope="class")
+    def network(self):
+        net = CanNetwork.with_random_zones(150, seed=6)
+        net.stabilize()
+        return net
+
+    def test_all_lookups_resolve(self, network):
+        rng = make_rng(7)
+        nodes = network.live_nodes()
+        for index in range(300):
+            source = nodes[rng.randrange(len(nodes))]
+            record = network.lookup(source, f"can-key-{index}")
+            assert record.success
+
+    def test_self_lookup_is_free(self, network):
+        node = network.live_nodes()[0]
+        point = node.zones[0].center()
+        record = network.route(node, point)
+        assert record.success and record.hops == 0
+
+    def test_path_scales_as_root_n(self):
+        means = []
+        for count in (64, 256):
+            network = CanNetwork.with_random_zones(count, seed=8)
+            network.stabilize()
+            rng = make_rng(9)
+            hops = [
+                network.route(s, t.zones[0].center()).hops
+                for s, t in sample_pairs(network.live_nodes(), 300, rng)
+            ]
+            means.append(sum(hops) / len(hops))
+        # O(n^(1/2)) for d=2: quadrupling n roughly doubles the path.
+        assert 1.5 <= means[1] / means[0] <= 3.0
+
+    def test_phase_hops_consistent(self, network):
+        rng = make_rng(10)
+        for source, target in sample_pairs(network.live_nodes(), 50, rng):
+            record = network.route(source, target.zones[0].center())
+            assert record.phase_hops == {"greedy": record.hops}
+
+
+class TestMembership:
+    def test_join_splits_holder_zone(self):
+        network = CanNetwork(seed=11)
+        first = network.join("a")
+        assert first.total_volume() == M * M
+        network.join("b")
+        network.check_invariants()
+        volumes = sorted(n.total_volume() for n in network.live_nodes())
+        assert volumes == [M * M // 2, M * M // 2]
+
+    def test_leave_hands_zone_to_taker(self):
+        network = CanNetwork.with_random_zones(20, seed=12)
+        network.stabilize()
+        victim = network.live_nodes()[5]
+        network.leave(victim)
+        network.check_invariants()
+
+    def test_buddy_zones_coalesce(self):
+        network = CanNetwork(seed=13)
+        network.join("a")
+        b = network.join("b")
+        # b's zone is a's buddy: leaving must re-merge into one box.
+        network.leave(b)
+        survivor = network.live_nodes()[0]
+        assert len(survivor.zones) == 1
+        assert survivor.total_volume() == M * M
+
+    def test_heavy_churn_keeps_partition(self):
+        network = CanNetwork.with_random_zones(40, seed=14)
+        network.stabilize()
+        rng = make_rng(15)
+        for step in range(120):
+            if rng.random() < 0.5 or network.size < 5:
+                network.join(f"churn-{step}")
+            else:
+                nodes = network.live_nodes()
+                network.leave(nodes[rng.randrange(len(nodes))])
+        network.stabilize()
+        network.check_invariants()
+        for source, target in sample_pairs(network.live_nodes(), 150, rng):
+            assert network.route(source, target.zones[0].center()).success
+
+    def test_silent_failure_then_stabilize(self):
+        network = CanNetwork.with_random_zones(60, seed=16)
+        network.stabilize()
+        rng = make_rng(17)
+        for victim in rng.sample(list(network.live_nodes()), 12):
+            network.fail(victim)
+        network.stabilize()
+        network.check_invariants()
+        for source, target in sample_pairs(network.live_nodes(), 150, rng):
+            assert network.route(source, target.zones[0].center()).success
+
+    def test_architecture_row(self):
+        from repro.experiments import architecture_table
+
+        rows = architecture_table(protocols=("can",), dimension=5)
+        assert rows[0].base_network == "mesh"
+        assert rows[0].key_placement == "zone owner"
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    joins=st.integers(2, 25),
+    leaves=st.integers(0, 10),
+    seed=st.integers(0, 100),
+)
+def test_partition_invariant_under_random_churn(joins, leaves, seed):
+    """The zones always partition the torus exactly."""
+    network = CanNetwork(seed=seed)
+    for index in range(joins):
+        network.join(f"j{index}")
+    rng = make_rng(seed)
+    for _ in range(min(leaves, network.size - 1)):
+        nodes = network.live_nodes()
+        network.leave(nodes[rng.randrange(len(nodes))])
+    network.stabilize()
+    network.check_invariants()

@@ -1,0 +1,171 @@
+"""Chord protocol tests: wiring, routing, membership, failures."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.chord import ChordNetwork
+from repro.util.rng import make_rng, sample_pairs
+
+
+class TestConstruction:
+    def test_complete(self):
+        network = ChordNetwork.complete(5)
+        assert network.size == 32
+        network.check_invariants()
+
+    def test_random_ids_distinct(self):
+        network = ChordNetwork.with_random_ids(100, 8, seed=1)
+        ids = [n.id for n in network.live_nodes()]
+        assert len(set(ids)) == 100
+
+    def test_too_many_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            ChordNetwork.with_random_ids(300, 8, seed=1)
+
+    def test_explicit_ids(self):
+        network = ChordNetwork.with_ids([3, 7, 200], 8)
+        assert [n.id for n in network.live_nodes()] == [3, 7, 200]
+
+
+class TestWiring:
+    @pytest.fixture(scope="class")
+    def network(self):
+        return ChordNetwork.with_ids([0, 10, 50, 120, 200], 8)
+
+    def test_successor_pointers(self, network):
+        node = network.ring.get(10)
+        assert node.successor.id == 50
+        assert [s.id for s in node.successors][:3] == [50, 120, 200]
+
+    def test_predecessor_pointers(self, network):
+        assert network.ring.get(0).predecessor.id == 200
+
+    def test_fingers_target_powers_of_two(self, network):
+        node = network.ring.get(0)
+        for i, finger in enumerate(node.fingers):
+            expected = network.ring.successor_id((0 + (1 << i)) % 256)
+            assert finger.id == expected
+
+    def test_degree_is_order_log_n(self):
+        network = ChordNetwork.with_random_ids(128, 10, seed=2)
+        degrees = [n.degree for n in network.live_nodes()]
+        assert max(degrees) <= 2 * 10 + 2  # fingers + successor list + pred
+
+    def test_successor_list_default_is_bits(self):
+        network = ChordNetwork.with_random_ids(64, 9, seed=3)
+        assert network.successor_list_size == 9
+
+
+class TestRouting:
+    def test_exhaustive_small_network(self):
+        network = ChordNetwork.with_ids([1, 5, 9, 14], 4)
+        for source in network.live_nodes():
+            for key in range(16):
+                record = network.route(source, key)
+                assert record.success, (source.id, key)
+                assert record.owner == network.owner_of_id(key).name
+
+    def test_logarithmic_path_length(self):
+        network = ChordNetwork.with_random_ids(256, 10, seed=4)
+        rng = make_rng(5)
+        hops = [
+            network.route(s, t.id).hops
+            for s, t in sample_pairs(network.live_nodes(), 400, rng)
+        ]
+        assert sum(hops) / len(hops) <= 10  # ~0.5 log2(256) expected
+
+    def test_owner_of_key_is_successor(self):
+        network = ChordNetwork.with_ids([10, 100], 8)
+        assert network.owner_of_id(50).id == 100
+        assert network.owner_of_id(150).id == 10  # wraps
+        assert network.owner_of_id(100).id == 100  # exact
+
+    def test_phases_are_finger_and_successor(self):
+        network = ChordNetwork.with_random_ids(100, 8, seed=6)
+        rng = make_rng(7)
+        source, target = next(sample_pairs(network.live_nodes(), 1, rng))
+        record = network.route(source, target.id)
+        assert set(record.phase_hops) == {"finger", "successor"}
+
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        ids=st.sets(st.integers(0, 255), min_size=1, max_size=30),
+        key=st.integers(0, 255),
+        source_index=st.integers(0, 1000),
+    )
+    def test_routing_matches_owner_property(self, ids, key, source_index):
+        network = ChordNetwork.with_ids(sorted(ids), 8)
+        nodes = network.live_nodes()
+        source = nodes[source_index % len(nodes)]
+        record = network.route(source, key)
+        assert record.success
+
+
+class TestMembership:
+    def test_join_updates_ring_neighbors(self):
+        network = ChordNetwork.with_ids([10, 100], 8)
+        node = network.join("n")
+        pred = network.ring.predecessor(node.id)
+        assert pred.successor is node
+        succ = network.ring.successor((node.id + 1) % 256)
+        assert succ.predecessor is node
+
+    def test_leave_splices_ring(self):
+        network = ChordNetwork.with_ids([10, 100, 200], 8)
+        middle = network.ring.get(100)
+        network.leave(middle)
+        assert network.ring.get(10).successor.id == 200
+        assert network.ring.get(200).predecessor.id == 10
+
+    def test_fingers_stale_after_leave(self):
+        network = ChordNetwork.complete(6)
+        rng = make_rng(8)
+        for node in rng.sample(list(network.live_nodes()), 20):
+            network.leave(node)
+        stale = sum(
+            1
+            for node in network.live_nodes()
+            for finger in node.fingers
+            if finger is not None and not finger.alive
+        )
+        assert stale > 0
+
+    def test_mass_departure_no_lookup_failures(self):
+        # Table 4: Chord resolves everything thanks to its log-n
+        # successor list.
+        network = ChordNetwork.complete(9)
+        rng = make_rng(9)
+        for node in list(network.live_nodes()):
+            if rng.random() < 0.5 and network.size > 1:
+                network.leave(node)
+        for source, target in sample_pairs(network.live_nodes(), 500, rng):
+            assert network.route(source, target.id).success
+
+    def test_timeouts_grow_with_departures(self):
+        totals = []
+        for probability in (0.1, 0.4):
+            network = ChordNetwork.complete(9)
+            rng = make_rng(10)
+            for node in list(network.live_nodes()):
+                if rng.random() < probability and network.size > 1:
+                    network.leave(node)
+            rng2 = make_rng(11)
+            totals.append(
+                sum(
+                    network.route(s, t.id).timeouts
+                    for s, t in sample_pairs(network.live_nodes(), 300, rng2)
+                )
+            )
+        assert totals[1] > totals[0]
+
+    def test_stabilize_clears_timeouts(self):
+        network = ChordNetwork.complete(8)
+        rng = make_rng(12)
+        for node in rng.sample(list(network.live_nodes()), 100):
+            network.leave(node)
+        network.stabilize()
+        network.check_invariants()
+        rng2 = make_rng(13)
+        for source, target in sample_pairs(network.live_nodes(), 200, rng2):
+            assert network.route(source, target.id).timeouts == 0

@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite.
+
+Networks are deliberately small (d = 3..5, a few hundred nodes) so the
+full suite stays fast; the benchmark harness exercises paper-scale
+configurations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chord import ChordNetwork
+from repro.core import CycloidNetwork
+from repro.koorde import KoordeNetwork
+from repro.util.rng import make_rng
+from repro.viceroy import ViceroyNetwork
+
+
+@pytest.fixture
+def rng():
+    return make_rng(12345)
+
+
+@pytest.fixture
+def cycloid_small():
+    """Complete 4-dimensional Cycloid (64 nodes)."""
+    return CycloidNetwork.complete(4)
+
+
+@pytest.fixture
+def cycloid_sparse():
+    """Sparse 6-dimensional Cycloid (100 of 384 ids)."""
+    return CycloidNetwork.with_random_ids(100, 6, seed=7)
+
+
+@pytest.fixture
+def chord_small():
+    """Chord with 100 nodes on an 8-bit ring."""
+    return ChordNetwork.with_random_ids(100, 8, seed=7)
+
+
+@pytest.fixture
+def koorde_small():
+    """Koorde with 100 nodes on an 8-bit ring."""
+    return KoordeNetwork.with_random_ids(100, 8, seed=7)
+
+
+@pytest.fixture
+def viceroy_small():
+    """Viceroy with 100 nodes."""
+    return ViceroyNetwork.with_random_ids(100, seed=7)
+
+
+@pytest.fixture(
+    params=["cycloid", "chord", "koorde", "viceroy"],
+    ids=["cycloid", "chord", "koorde", "viceroy"],
+)
+def any_network(request, cycloid_sparse, chord_small, koorde_small, viceroy_small):
+    """Parametrised fixture running a test against every protocol.
+
+    All four networks hold 100 nodes with room for joins (the Cycloid
+    variant uses a 384-id space).
+    """
+    return {
+        "cycloid": cycloid_sparse,
+        "chord": chord_small,
+        "koorde": koorde_small,
+        "viceroy": viceroy_small,
+    }[request.param]

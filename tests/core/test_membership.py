@@ -1,0 +1,161 @@
+"""Cycloid join / graceful-leave / stabilisation tests (paper §3.3)."""
+
+import pytest
+
+from repro.core import CycloidNetwork
+from repro.dht.identifiers import CycloidId
+from repro.util.rng import make_rng, sample_pairs
+
+
+class TestJoin:
+    def test_join_wires_the_joiner(self, cycloid_sparse):
+        node = cycloid_sparse.join("newcomer")
+        assert node.inside_left and node.inside_right
+        assert node.outside_left and node.outside_right
+
+    def test_join_updates_cycle_neighbors(self, cycloid_sparse):
+        node = cycloid_sparse.join("newcomer")
+        pred, succ = cycloid_sparse.topology.cycle_neighbors(
+            node.cyclic, node.cubical
+        )
+        if pred is not node:
+            assert pred.inside_right[0] is node
+        if succ is not node:
+            assert succ.inside_left[0] is node
+
+    def test_join_into_empty_cycle_updates_outside_leaves(self):
+        network = CycloidNetwork.with_ids(
+            [CycloidId(0, 2, 4), CycloidId(1, 10, 4)], 4
+        )
+        # Force an id between the two cycles by name probing.
+        joiner = network.join("x")
+        network.check_invariants()
+        for node in network.live_nodes():
+            for leaf in node.leaf_entries():
+                assert leaf.alive
+        del joiner
+
+    def test_collision_probes_to_free_id(self):
+        network = CycloidNetwork.with_random_ids(50, 4, seed=1)
+        before = {n.id for n in network.live_nodes()}
+        node = network.join("collide-me")
+        assert node.id not in before
+
+    def test_space_exhaustion(self):
+        network = CycloidNetwork.complete(3)
+        with pytest.raises(RuntimeError):
+            network.join("no-room")
+
+    def test_lookup_for_joined_node_key(self, cycloid_sparse):
+        node = cycloid_sparse.join("target")
+        source = next(
+            n for n in cycloid_sparse.live_nodes() if n is not node
+        )
+        record = cycloid_sparse.route(source, node.id)
+        assert record.success
+        assert record.owner == node.name
+
+
+class TestLeave:
+    def test_leaf_sets_never_contain_departed(self, cycloid_sparse):
+        rng = make_rng(1)
+        nodes = list(cycloid_sparse.live_nodes())
+        for node in rng.sample(nodes, 40):
+            cycloid_sparse.leave(node)
+            # §3.3.2: inside/outside leaf sets are repaired immediately.
+            for live in cycloid_sparse.live_nodes():
+                for leaf in live.leaf_entries():
+                    assert leaf.alive
+
+    def test_routing_tables_go_stale(self):
+        network = CycloidNetwork.complete(5)
+        rng = make_rng(2)
+        for node in rng.sample(list(network.live_nodes()), 60):
+            network.leave(node)
+        stale = sum(
+            1
+            for node in network.live_nodes()
+            for entry in node.routing_entries()
+            if not entry.alive
+        )
+        # Cubical/cyclic neighbours are stabilisation's job (§3.3.2), so
+        # some must be stale after mass departures.
+        assert stale > 0
+
+    def test_stabilize_removes_staleness(self):
+        network = CycloidNetwork.complete(5)
+        rng = make_rng(3)
+        for node in rng.sample(list(network.live_nodes()), 60):
+            network.leave(node)
+        network.stabilize()
+        for node in network.live_nodes():
+            for entry in node.routing_entries():
+                assert entry.alive
+
+    def test_lookups_survive_mass_departure_without_stabilization(self):
+        # §4.3: "All lookups were successfully resolved".
+        network = CycloidNetwork.complete(6)
+        rng = make_rng(4)
+        for node in rng.sample(list(network.live_nodes()), 150):
+            network.leave(node)
+        for source, target in sample_pairs(network.live_nodes(), 400, rng):
+            record = network.route(source, target.id)
+            assert record.success
+
+    def test_timeouts_counted_for_dead_contacts(self):
+        network = CycloidNetwork.complete(6)
+        rng = make_rng(5)
+        for node in rng.sample(list(network.live_nodes()), 150):
+            network.leave(node)
+        timeouts = sum(
+            network.route(s, t.id).timeouts
+            for s, t in sample_pairs(network.live_nodes(), 300, rng)
+        )
+        assert timeouts > 0
+
+    def test_last_node_cannot_be_interrogated_after_leaving(self):
+        network = CycloidNetwork.with_ids([CycloidId(0, 0, 3)], 3)
+        node = network.live_nodes()[0]
+        network.leave(node)
+        assert network.size == 0
+
+
+class TestStabilizeNode:
+    def test_single_node_stabilization_repairs_it(self):
+        network = CycloidNetwork.complete(5)
+        rng = make_rng(6)
+        for node in rng.sample(list(network.live_nodes()), 40):
+            network.leave(node)
+        victim = next(
+            node
+            for node in network.live_nodes()
+            if any(not e.alive for e in node.routing_entries())
+        )
+        network.stabilize_node(victim)
+        assert all(e.alive for e in victim.routing_entries())
+
+    def test_stabilizing_dead_node_is_noop(self):
+        network = CycloidNetwork.with_random_ids(10, 4, seed=7)
+        node = network.live_nodes()[0]
+        network.leave(node)
+        network.stabilize_node(node)  # must not raise
+
+
+class TestChurnMix:
+    def test_interleaved_joins_and_leaves_stay_consistent(self):
+        network = CycloidNetwork.with_random_ids(60, 5, seed=8)
+        rng = make_rng(9)
+        for step in range(120):
+            if rng.random() < 0.5 and network.size < 150:
+                network.join(f"mix-{step}")
+            elif network.size > 2:
+                nodes = network.live_nodes()
+                network.leave(nodes[rng.randrange(len(nodes))])
+            # Leaf sets stay fresh at every step.
+            for node in network.live_nodes():
+                for leaf in node.leaf_entries():
+                    assert leaf.alive
+        network.stabilize()
+        network.check_invariants()
+        for source, target in sample_pairs(network.live_nodes(), 200, rng):
+            assert network.route(source, target.id).success

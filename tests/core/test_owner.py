@@ -1,0 +1,86 @@
+"""Ground-truth ownership: the fast owner query vs brute force."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CycloidNetwork
+from repro.dht.identifiers import CycloidId, cycloid_space_size
+
+
+def brute_force_owner(network, key):
+    """Reference implementation: scan every live node."""
+    return min(
+        network.live_nodes(), key=lambda node: key.distance_to(node.id)
+    )
+
+
+class TestOwnerQuery:
+    def test_exact_hit(self):
+        network = CycloidNetwork.complete(4)
+        node = network.live_nodes()[17]
+        assert network.owner_of_id(node.id) is node
+
+    def test_empty_network_raises(self):
+        import pytest
+
+        with pytest.raises(LookupError):
+            CycloidNetwork(4).owner_of_id(CycloidId(0, 0, 4))
+
+    def test_singleton_owns_everything(self):
+        network = CycloidNetwork.with_ids([CycloidId(2, 7, 4)], 4)
+        only = network.live_nodes()[0]
+        for linear in range(0, 64, 7):
+            assert network.owner_of_id(
+                CycloidId.from_linear(linear, 4)
+            ) is only
+
+    @settings(max_examples=60)
+    @given(
+        linears=st.sets(
+            st.integers(0, cycloid_space_size(5) - 1),
+            min_size=1,
+            max_size=50,
+        ),
+        key_linear=st.integers(0, cycloid_space_size(5) - 1),
+    )
+    def test_matches_brute_force(self, linears, key_linear):
+        network = CycloidNetwork.with_ids(
+            [CycloidId.from_linear(v, 5) for v in linears], 5
+        )
+        key = CycloidId.from_linear(key_linear, 5)
+        assert network.owner_of_id(key) is brute_force_owner(network, key)
+
+    @settings(max_examples=30)
+    @given(
+        linears=st.sets(
+            st.integers(0, cycloid_space_size(4) - 1),
+            min_size=2,
+            max_size=30,
+        ),
+    )
+    def test_partitions_whole_key_space(self, linears):
+        """Every key has exactly one owner; owners partition the space."""
+        network = CycloidNetwork.with_ids(
+            [CycloidId.from_linear(v, 4) for v in linears], 4
+        )
+        counts = {node: 0 for node in network.live_nodes()}
+        for linear in range(cycloid_space_size(4)):
+            counts[network.owner_of_id(CycloidId.from_linear(linear, 4))] += 1
+        assert sum(counts.values()) == cycloid_space_size(4)
+        # Every node owns at least its own identifier.
+        assert all(count >= 1 for count in counts.values())
+
+    def test_owner_changes_only_locally_on_leave(self):
+        """A departure re-assigns only the departed node's keys."""
+        network = CycloidNetwork.with_random_ids(80, 5, seed=9)
+        space = cycloid_space_size(5)
+        before = {
+            linear: network.owner_of_id(CycloidId.from_linear(linear, 5))
+            for linear in range(space)
+        }
+        victim = network.live_nodes()[13]
+        network.leave(victim)
+        for linear in range(space):
+            owner_now = network.owner_of_id(CycloidId.from_linear(linear, 5))
+            if before[linear] is not victim:
+                assert owner_now is before[linear], linear

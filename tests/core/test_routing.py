@@ -1,0 +1,189 @@
+"""Cycloid routing tests (paper §3.2), anchored on the Fig. 4 example."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import CycloidNetwork
+from repro.dht.identifiers import CycloidId, cycloid_space_size
+from repro.util.rng import make_rng, sample_pairs
+
+
+class TestFig4Example:
+    """Routing from (0,0100) to (2,1111) in a complete 4-dim Cycloid."""
+
+    @pytest.fixture(scope="class")
+    def network(self):
+        return CycloidNetwork.complete(4)
+
+    def test_route_succeeds(self, network):
+        source = network.topology.get(0, 0b0100)
+        record = network.route(source, CycloidId(2, 0b1111, 4))
+        assert record.success
+
+    def test_uses_all_three_phases(self, network):
+        source = network.topology.get(0, 0b0100)
+        record = network.route(source, CycloidId(2, 0b1111, 4))
+        assert record.phase_hops["ascending"] >= 1
+        assert record.phase_hops["descending"] >= 1
+        assert record.phase_hops["traverse"] >= 1
+
+    def test_path_length_is_bounded_by_example(self, network):
+        # The paper's example path takes 5 hops; the complete network
+        # lets ascending reach the primary in one hop so ours is <= 5.
+        source = network.topology.get(0, 0b0100)
+        record = network.route(source, CycloidId(2, 0b1111, 4))
+        assert record.hops <= 5
+
+    def test_descending_corrects_prefix(self, network):
+        # From (3,0010), one cubical hop must reach cycle 1010 (fix bit
+        # 3), as in the example.
+        node = network.topology.get(3, 0b0010)
+        assert node.cubical_neighbor.cubical >> 3 == 0b1
+
+
+class TestCompleteNetworkRouting:
+    @pytest.fixture(scope="class", params=[3, 4, 5])
+    def network(self, request):
+        return CycloidNetwork.complete(request.param)
+
+    def test_all_pairs_resolve(self, network):
+        # Exhaustive for d=3; sampled beyond.
+        nodes = network.live_nodes()
+        rng = make_rng(1)
+        pairs = (
+            [(a, b) for a in nodes for b in nodes]
+            if len(nodes) <= 24
+            else list(sample_pairs(nodes, 600, rng))
+        )
+        for source, target in pairs:
+            record = network.route(source, target.id)
+            assert record.success, (source.id, target.id)
+
+    def test_path_bounded_by_protocol(self, network):
+        # Each phase is O(d); allow the documented constant.
+        d = network.dimension
+        rng = make_rng(2)
+        for source, target in sample_pairs(network.live_nodes(), 300, rng):
+            record = network.route(source, target.id)
+            assert record.hops <= 4 * d + 4
+
+    def test_no_timeouts_when_stable(self, network):
+        rng = make_rng(3)
+        for source, target in sample_pairs(network.live_nodes(), 200, rng):
+            assert network.route(source, target.id).timeouts == 0
+
+
+class TestAscendingPhase:
+    def test_single_hop_to_primary(self):
+        # §4.1: "the ascending phase in Cycloid usually takes only one
+        # step because the outside leaf set entry node is the primary".
+        network = CycloidNetwork.complete(5)
+        rng = make_rng(4)
+        ascents = []
+        for source, target in sample_pairs(network.live_nodes(), 400, rng):
+            record = network.route(source, target.id)
+            ascents.append(record.phase_hops["ascending"])
+        assert max(ascents) <= 2
+        assert sum(ascents) / len(ascents) <= 1.0
+
+    def test_ascending_small_share(self):
+        # Fig. 7(a): ascending is at most ~15% of the total path.
+        network = CycloidNetwork.complete(6)
+        rng = make_rng(5)
+        total = {"ascending": 0, "descending": 0, "traverse": 0}
+        for source, target in sample_pairs(network.live_nodes(), 500, rng):
+            for phase, hops in network.route(source, target.id).phase_hops.items():
+                total[phase] += hops
+        share = total["ascending"] / sum(total.values())
+        assert share < 0.20
+
+
+class TestSparseRouting:
+    @pytest.mark.parametrize("population", [10, 50, 150, 300])
+    def test_random_population_resolves_node_targets(self, population):
+        network = CycloidNetwork.with_random_ids(population, 6, seed=9)
+        rng = make_rng(6)
+        for source, target in sample_pairs(network.live_nodes(), 300, rng):
+            record = network.route(source, target.id)
+            assert record.success, (source.id, target.id)
+
+    @pytest.mark.parametrize("population", [10, 150])
+    def test_random_population_resolves_random_keys(self, population):
+        network = CycloidNetwork.with_random_ids(population, 6, seed=10)
+        nodes = network.live_nodes()
+        rng = make_rng(7)
+        for index in range(300):
+            source = nodes[rng.randrange(len(nodes))]
+            record = network.lookup(source, f"sparse-{index}")
+            assert record.success
+
+    def test_singleton_network(self):
+        network = CycloidNetwork.with_ids([CycloidId(1, 3, 4)], 4)
+        node = network.live_nodes()[0]
+        record = network.lookup(node, "anything")
+        assert record.success
+        assert record.hops == 0
+
+    def test_two_node_network(self):
+        network = CycloidNetwork.with_ids(
+            [CycloidId(1, 3, 4), CycloidId(0, 12, 4)], 4
+        )
+        a, b = network.live_nodes()
+        for source in (a, b):
+            for index in range(20):
+                assert network.lookup(source, f"k{index}").success
+
+    def test_path_does_not_blow_up_when_sparse(self):
+        # Fig. 13: sparsity must not degrade Cycloid's efficiency.
+        dense = CycloidNetwork.with_random_ids(1800, 8, seed=11)
+        sparse = CycloidNetwork.with_random_ids(300, 8, seed=11)
+        rng = make_rng(8)
+        dense_mean = sum(
+            dense.route(s, t.id).hops
+            for s, t in sample_pairs(dense.live_nodes(), 400, rng)
+        ) / 400
+        sparse_mean = sum(
+            sparse.route(s, t.id).hops
+            for s, t in sample_pairs(sparse.live_nodes(), 400, rng)
+        ) / 400
+        assert sparse_mean <= dense_mean + 1.0
+
+
+class TestElevenEntryRouting:
+    def test_shorter_or_equal_paths(self):
+        # §3.2: the 11-entry DHT trades state for hop count.
+        seven = CycloidNetwork.complete(6, leaf_radius=1)
+        eleven = CycloidNetwork.complete(6, leaf_radius=2)
+        rng = make_rng(9)
+        pairs = list(sample_pairs(seven.live_nodes(), 500, rng))
+        seven_mean = sum(seven.route(s, t.id).hops for s, t in pairs) / len(pairs)
+        eleven_mean = sum(
+            eleven.route(
+                eleven.topology.get(s.cyclic, s.cubical),
+                t.id,
+            ).hops
+            for s, t in pairs
+        ) / len(pairs)
+        assert eleven_mean < seven_mean
+
+
+@settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    linears=st.sets(
+        st.integers(0, cycloid_space_size(5) - 1), min_size=2, max_size=40
+    ),
+    key_linear=st.integers(0, cycloid_space_size(5) - 1),
+    source_index=st.integers(0, 10_000),
+)
+def test_routing_matches_global_owner(linears, key_linear, source_index):
+    """Property: from any source, any key routes to the global owner."""
+    network = CycloidNetwork.with_ids(
+        [CycloidId.from_linear(v, 5) for v in linears], 5
+    )
+    nodes = network.live_nodes()
+    source = nodes[source_index % len(nodes)]
+    key = CycloidId.from_linear(key_linear, 5)
+    record = network.route(source, key)
+    assert record.success
+    assert record.owner == network.owner_of_id(key).name

@@ -1,0 +1,154 @@
+"""Cycloid routing-table and leaf-set wiring tests (paper §3.1).
+
+Anchored on the paper's Table 2: the routing state of node
+``(4, 1011 0110)`` in a complete eight-dimensional Cycloid.
+"""
+
+import pytest
+
+from repro.core import CycloidNetwork
+from repro.dht.identifiers import CycloidId
+from repro.util.bitops import msdb
+
+
+def node_at(network, cyclic, cubical):
+    return network.topology.get(cyclic, cubical)
+
+
+class TestTable2Example:
+    """Routing state of (4, 10110110) in the complete d=8 Cycloid."""
+
+    @pytest.fixture(scope="class")
+    def network(self):
+        return CycloidNetwork.complete(8)
+
+    @pytest.fixture(scope="class")
+    def node(self, network):
+        return node_at(network, 4, 0b10110110)
+
+    def test_cubical_neighbor_pattern(self, node):
+        # Table 2: cubical neighbour is (3, 1010 xxxx): cyclic index 3,
+        # bits 7..5 preserved (101), bit 4 flipped (1 -> 0).
+        neighbor = node.cubical_neighbor
+        assert neighbor is not None
+        assert neighbor.cyclic == 3
+        assert neighbor.cubical >> 4 == 0b1010
+
+    def test_cyclic_neighbors_share_prefix(self, node):
+        # Cyclic neighbours are at cyclic index 3 and agree with the
+        # node's cubical index on bits 7..4 (MSDB <= 3).
+        for neighbor in (node.cyclic_larger, node.cyclic_smaller):
+            assert neighbor is not None
+            assert neighbor.cyclic == 3
+            assert msdb(neighbor.cubical, node.cubical) <= 3
+
+    def test_cyclic_neighbor_bounds(self, node):
+        # First-larger and first-smaller rule; a complete network has a
+        # node at the anchor itself, so both resolve to (3, 10110110).
+        assert node.cyclic_larger.cubical == 0b10110110
+        assert node.cyclic_smaller.cubical == 0b10110110
+
+    def test_inside_leaf_set(self, node):
+        # Table 2: inside leaf set (3, 10110110) and (5, 10110110).
+        assert node.inside_left[0].id == CycloidId(3, 0b10110110, 8)
+        assert node.inside_right[0].id == CycloidId(5, 0b10110110, 8)
+
+    def test_outside_leaf_set(self, node):
+        # Table 2: outside leaf set (7, 10110101) and (7, 10110111) —
+        # primaries of the preceding and succeeding remote cycles.
+        assert node.outside_left[0].id == CycloidId(7, 0b10110101, 8)
+        assert node.outside_right[0].id == CycloidId(7, 0b10110111, 8)
+
+    def test_seven_entries(self, node):
+        assert node.state_size == 7
+
+
+class TestWiringRules:
+    @pytest.fixture(scope="class")
+    def network(self):
+        return CycloidNetwork.complete(4)
+
+    def test_cyclic_zero_has_no_routing_neighbors(self, network):
+        # §3.1: "The node with a cyclic index k = 0 has no cubical
+        # neighbor and cyclic neighbors."
+        for cubical in range(16):
+            node = node_at(network, 0, cubical)
+            assert node.cubical_neighbor is None
+            assert node.cyclic_larger is None
+            assert node.cyclic_smaller is None
+
+    def test_cubical_neighbor_flips_bit_k(self, network):
+        for node in network.live_nodes():
+            k = node.cyclic
+            if k == 0:
+                continue
+            neighbor = node.cubical_neighbor
+            assert neighbor is not None
+            assert neighbor.cyclic == k - 1
+            assert msdb(neighbor.cubical, node.cubical) == k
+
+    def test_leaf_sets_are_cycle_neighbors(self, network):
+        for node in network.live_nodes():
+            d = network.dimension
+            assert node.inside_left[0].cyclic == (node.cyclic - 1) % d
+            assert node.inside_right[0].cyclic == (node.cyclic + 1) % d
+            assert node.inside_left[0].cubical == node.cubical
+
+    def test_outside_leaves_are_primaries(self, network):
+        for node in network.live_nodes():
+            assert node.outside_left[0].cyclic == network.dimension - 1
+            assert node.outside_left[0].cubical == (node.cubical - 1) % 16
+            assert node.outside_right[0].cubical == (node.cubical + 1) % 16
+
+    def test_degree_bounded_by_seven(self, network):
+        for node in network.live_nodes():
+            assert node.degree <= 7
+
+
+class TestElevenEntryVariant:
+    def test_state_size(self):
+        network = CycloidNetwork.complete(4, leaf_radius=2)
+        for node in network.live_nodes():
+            assert node.state_size == 11
+
+    def test_two_deep_leaf_sets(self):
+        network = CycloidNetwork.complete(4, leaf_radius=2)
+        node = node_at(network, 1, 5)
+        assert [n.cyclic for n in node.inside_left] == [0, 3]
+        assert [n.cyclic for n in node.inside_right] == [2, 3]
+        assert [n.cubical for n in node.outside_left] == [4, 3]
+        assert [n.cubical for n in node.outside_right] == [6, 7]
+
+
+class TestSparseWiring:
+    def test_singleton_cycle_inside_leaves_are_self(self):
+        # §3.3.1 case 2: "two nodes in X's inside leaf set are X itself".
+        network = CycloidNetwork.with_ids(
+            [CycloidId(2, 5, 4), CycloidId(1, 9, 4)], 4
+        )
+        node = node_at(network, 2, 5)
+        assert node.inside_left == [node]
+        assert node.inside_right == [node]
+
+    def test_two_cycles_point_at_each_other(self):
+        network = CycloidNetwork.with_ids(
+            [CycloidId(2, 5, 4), CycloidId(1, 9, 4)], 4
+        )
+        a = node_at(network, 2, 5)
+        b = node_at(network, 1, 9)
+        assert a.outside_left[0] is b
+        assert a.outside_right[0] is b
+        assert b.outside_left[0] is a
+
+    def test_approximate_cubical_neighbor_when_block_empty(self):
+        # Nodes exist at cyclic 1 but none inside the exact flipped
+        # block; the local-remote search wires the nearest instead.
+        network = CycloidNetwork.with_ids(
+            [CycloidId(2, 0b0101, 4), CycloidId(1, 0b0100, 4)], 4
+        )
+        node = node_at(network, 2, 0b0101)
+        # Exact block would be cubical in [0b0000, 0b0100) at cyclic 1.
+        assert node.cubical_neighbor is node_at(network, 1, 0b0100)
+
+    def test_all_nodes_alive_invariant(self, cycloid_sparse):
+        cycloid_sparse.check_invariants()

@@ -1,0 +1,159 @@
+"""Cross-protocol contract tests for the Network/Node interface.
+
+Every overlay must satisfy the same behavioural contract; these tests
+run once per protocol via the ``any_network`` fixture.
+"""
+
+import pytest
+
+from repro.util.rng import make_rng, sample_pairs
+
+
+class TestInterfaceContract:
+    def test_live_nodes_non_empty(self, any_network):
+        assert any_network.size == len(any_network.live_nodes()) == 100
+
+    def test_invariants_hold_after_build(self, any_network):
+        any_network.check_invariants()
+
+    def test_owner_is_live(self, any_network):
+        owner = any_network.owner_of_key("some-key")
+        assert owner.alive
+
+    def test_owner_is_deterministic(self, any_network):
+        assert any_network.owner_of_key("k") is any_network.owner_of_key("k")
+
+    def test_lookup_reaches_owner(self, any_network):
+        rng = make_rng(0)
+        nodes = any_network.live_nodes()
+        for index in range(200):
+            source = nodes[rng.randrange(len(nodes))]
+            key = f"contract-key-{index}"
+            record = any_network.lookup(source, key)
+            assert record.success, (
+                f"{any_network.protocol_name} lookup for {key} ended at "
+                f"{record.owner}, expected "
+                f"{any_network.owner_of_key(key).name}"
+            )
+
+    def test_lookup_from_owner_is_free(self, any_network):
+        key = "self-lookup"
+        owner = any_network.owner_of_key(key)
+        record = any_network.lookup(owner, key)
+        assert record.success
+        assert record.hops == 0
+
+    def test_phase_hops_sum_to_hops(self, any_network):
+        rng = make_rng(1)
+        for source, target in sample_pairs(any_network.live_nodes(), 50, rng):
+            record = any_network.lookup(source, f"k-{target.name}")
+            assert sum(record.phase_hops.values()) == record.hops
+
+    def test_no_timeouts_in_stable_network(self, any_network):
+        rng = make_rng(2)
+        for source, _ in sample_pairs(any_network.live_nodes(), 100, rng):
+            record = any_network.lookup(source, "stable-key")
+            assert record.timeouts == 0
+
+    def test_dead_source_rejected(self, any_network):
+        node = any_network.live_nodes()[0]
+        any_network.leave(node)
+        with pytest.raises(ValueError):
+            any_network.lookup(node, "key")
+
+    def test_leave_twice_rejected(self, any_network):
+        node = any_network.live_nodes()[0]
+        any_network.leave(node)
+        with pytest.raises(ValueError):
+            any_network.leave(node)
+
+    def test_leave_shrinks_population(self, any_network):
+        before = any_network.size
+        any_network.leave(any_network.live_nodes()[0])
+        assert any_network.size == before - 1
+
+    def test_join_grows_population(self, any_network):
+        before = any_network.size
+        node = any_network.join("joiner-0")
+        assert any_network.size == before + 1
+        assert node.alive
+        assert node in any_network.live_nodes()
+
+    def test_joined_node_can_look_up(self, any_network):
+        node = any_network.join("joiner-1")
+        record = any_network.lookup(node, "after-join-key")
+        assert record.success
+
+    def test_joined_node_is_reachable(self, any_network):
+        """Keys the joiner now owns must be routable from elsewhere."""
+        node = any_network.join("joiner-2")
+        any_network.stabilize()
+        source = next(n for n in any_network.live_nodes() if n is not node)
+        for index in range(300):
+            key = f"reach-{index}"
+            if any_network.owner_of_key(key) is node:
+                record = any_network.lookup(source, key)
+                assert record.success
+                break
+
+    def test_stabilize_restores_invariants(self, any_network):
+        rng = make_rng(3)
+        nodes = list(any_network.live_nodes())
+        for node in rng.sample(nodes, 30):
+            any_network.leave(node)
+        for index in range(10):
+            any_network.join(f"churned-{index}")
+        any_network.stabilize()
+        any_network.check_invariants()
+
+    def test_lookups_resolve_after_churn_and_stabilize(self, any_network):
+        rng = make_rng(4)
+        for round_index in range(3):
+            nodes = list(any_network.live_nodes())
+            for node in rng.sample(nodes, 10):
+                any_network.leave(node)
+            for index in range(10):
+                any_network.join(f"round{round_index}-{index}")
+            any_network.stabilize()
+        rng2 = make_rng(5)
+        nodes = any_network.live_nodes()
+        for index in range(100):
+            source = nodes[rng2.randrange(len(nodes))]
+            assert any_network.lookup(source, f"post-churn-{index}").success
+
+
+class TestQueryLoadAccounting:
+    def test_counts_accumulate(self, any_network):
+        any_network.reset_query_counts()
+        rng = make_rng(6)
+        total_hops = 0
+        for source, _ in sample_pairs(any_network.live_nodes(), 50, rng):
+            total_hops += any_network.lookup(source, "load-key").hops
+        assert sum(any_network.query_counts()) == total_hops
+
+    def test_reset_clears(self, any_network):
+        source = any_network.live_nodes()[0]
+        any_network.lookup(source, "x")
+        any_network.reset_query_counts()
+        assert sum(any_network.query_counts()) == 0
+
+    def test_counts_cover_all_live_nodes(self, any_network):
+        assert len(any_network.query_counts()) == any_network.size
+
+
+class TestKeyAssignment:
+    def test_every_key_assigned_once(self, any_network):
+        keys = [f"assign-{i}" for i in range(500)]
+        counts = any_network.assign_keys(keys)
+        assert sum(counts.values()) == 500
+
+    def test_zero_key_nodes_reported(self, any_network):
+        counts = any_network.assign_keys(["one-key"])
+        assert len(counts) == any_network.size
+        assert sum(1 for c in counts.values() if c == 0) == any_network.size - 1
+
+    def test_assignment_matches_owner(self, any_network):
+        keys = [f"owner-{i}" for i in range(50)]
+        counts = any_network.assign_keys(keys)
+        for key in keys:
+            assert counts[any_network.owner_of_key(key)] >= 1

@@ -1,0 +1,74 @@
+"""Unit tests for consistent hashing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dht.hashing import (
+    consistent_hash,
+    hash_to_cycloid,
+    hash_to_ring,
+    hash_to_unit,
+    key_ids,
+)
+from repro.dht.identifiers import cycloid_space_size
+
+
+class TestConsistentHash:
+    def test_deterministic(self):
+        assert consistent_hash("abc") == consistent_hash("abc")
+
+    def test_distinct_inputs(self):
+        assert consistent_hash("abc") != consistent_hash("abd")
+
+    def test_160_bits(self):
+        assert 0 <= consistent_hash("x") < (1 << 160)
+
+    def test_non_string_keys(self):
+        assert consistent_hash(42) == consistent_hash("42")
+
+
+class TestHashToRing:
+    def test_range(self):
+        for key in range(100):
+            assert 0 <= hash_to_ring(key, 8) < 256
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            hash_to_ring("k", 0)
+
+    def test_roughly_uniform(self):
+        # Chi-squared-free sanity: each half gets a fair share.
+        low = sum(1 for i in range(2000) if hash_to_ring(f"k{i}", 8) < 128)
+        assert 850 < low < 1150
+
+
+class TestHashToUnit:
+    def test_range(self):
+        for key in range(100):
+            assert 0.0 <= hash_to_unit(f"u{key}") < 1.0
+
+
+class TestHashToCycloid:
+    @given(st.integers(0, 10_000))
+    def test_valid_id(self, key):
+        node = hash_to_cycloid(key, 8)
+        assert 0 <= node.cyclic < 8
+        assert 0 <= node.cubical < 256
+
+    def test_mod_div_rule(self):
+        # §3.1: cyclic = h mod d, cubical = h div d.
+        node = hash_to_cycloid("some-key", 8)
+        h = consistent_hash("some-key") % cycloid_space_size(8)
+        assert node.cyclic == h % 8
+        assert node.cubical == h // 8
+
+    def test_covers_all_cyclic_indices(self):
+        seen = {hash_to_cycloid(f"k{i}", 4).cyclic for i in range(500)}
+        assert seen == set(range(4))
+
+
+class TestKeyIds:
+    def test_batch(self):
+        ids = key_ids(["a", "b", "c"], 8)
+        assert ids == [hash_to_ring(k, 8) for k in "abc"]

@@ -1,0 +1,145 @@
+"""Unit and property tests for the identifier spaces."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dht.identifiers import CycloidId, RingId, cycloid_space_size
+
+
+def cycloid_ids(dimension: int):
+    return st.builds(
+        CycloidId,
+        cyclic=st.integers(0, dimension - 1),
+        cubical=st.integers(0, (1 << dimension) - 1),
+        dimension=st.just(dimension),
+    )
+
+
+class TestCycloidSpaceSize:
+    def test_paper_sizes(self):
+        # Fig. 5's network sizes: n = d * 2^d.
+        assert cycloid_space_size(3) == 24
+        assert cycloid_space_size(8) == 2048
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            cycloid_space_size(0)
+
+
+class TestCycloidIdValidation:
+    def test_valid(self):
+        node = CycloidId(4, 0b10110110, 8)
+        assert node.cyclic == 4
+        assert node.cubical == 0b10110110
+
+    def test_cyclic_out_of_range(self):
+        with pytest.raises(ValueError):
+            CycloidId(8, 0, 8)
+
+    def test_cubical_out_of_range(self):
+        with pytest.raises(ValueError):
+            CycloidId(0, 256, 8)
+
+    def test_negative(self):
+        with pytest.raises(ValueError):
+            CycloidId(-1, 0, 8)
+
+
+class TestLinearisation:
+    def test_key_mapping_rule(self):
+        # §3.1: cyclic = hash mod d, cubical = hash div d.
+        node = CycloidId.from_linear(42, 4)
+        assert node.cyclic == 42 % 4
+        assert node.cubical == 42 // 4
+
+    def test_rejects_out_of_space(self):
+        with pytest.raises(ValueError):
+            CycloidId.from_linear(64, 4)
+
+    @given(st.integers(0, cycloid_space_size(6) - 1))
+    def test_round_trip(self, value):
+        assert CycloidId.from_linear(value, 6).linear == value
+
+    @given(cycloid_ids(5))
+    def test_inverse_round_trip(self, node):
+        assert CycloidId.from_linear(node.linear, 5) == node
+
+
+class TestCycloidOrdering:
+    def test_cubical_dominates(self):
+        assert CycloidId(3, 1, 4) < CycloidId(0, 2, 4)
+
+    def test_cyclic_breaks_ties(self):
+        assert CycloidId(1, 5, 4) < CycloidId(2, 5, 4)
+
+    def test_cross_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            _ = CycloidId(0, 0, 4) < CycloidId(0, 0, 5)
+
+    @given(cycloid_ids(5), cycloid_ids(5), cycloid_ids(5))
+    def test_total_order_transitive(self, a, b, c):
+        if a < b and b < c:
+            assert a < c
+
+
+class TestCycloidDistance:
+    def test_paper_closeness_example(self):
+        # §3.1: (1,1101) is closer to (2,1101) than (2,1001).
+        key = CycloidId(1, 0b1101, 4)
+        assert key.closer_of(
+            CycloidId(2, 0b1101, 4), CycloidId(2, 0b1001, 4)
+        ) == CycloidId(2, 0b1101, 4)
+
+    def test_self_distance_zero(self):
+        node = CycloidId(2, 9, 4)
+        assert node.distance_to(node) == (0, 0, 0, 0)
+
+    def test_cubical_wraps(self):
+        key = CycloidId(0, 0, 4)
+        near_by_wrap = CycloidId(0, 15, 4)
+        far = CycloidId(0, 8, 4)
+        assert key.distance_to(near_by_wrap) < key.distance_to(far)
+
+    def test_successor_preferred_on_tie(self):
+        # Equidistant cubically and cyclically: clockwise side wins.
+        key = CycloidId(0, 8, 4)
+        clockwise = CycloidId(0, 9, 4)
+        counter = CycloidId(0, 7, 4)
+        assert key.distance_to(clockwise) < key.distance_to(counter)
+
+    @given(cycloid_ids(5), cycloid_ids(5))
+    def test_strict_total_order(self, key, other):
+        # Distinct ids never compare equal under the distance metric —
+        # every key has a unique owner.
+        if key != other:
+            d = key.distance_to(other)
+            assert d > (0, 0, 0, 0)
+
+    @given(cycloid_ids(5), cycloid_ids(5), cycloid_ids(5))
+    def test_distance_distinguishes(self, key, a, b):
+        if a != b:
+            assert key.distance_to(a) != key.distance_to(b)
+
+
+class TestRingId:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RingId(256, 8)
+        with pytest.raises(ValueError):
+            RingId(0, 0)
+
+    def test_distance_is_clockwise(self):
+        assert RingId(250, 8).distance_to(RingId(5, 8)) == 11
+        assert RingId(5, 8).distance_to(RingId(250, 8)) == 245
+
+    def test_between_half_open(self):
+        assert RingId(5, 8).between(RingId(250, 8), RingId(5, 8))
+        assert not RingId(250, 8).between(RingId(250, 8), RingId(5, 8))
+
+    def test_full_circle_convention(self):
+        assert RingId(77, 8).between(RingId(3, 8), RingId(3, 8))
+
+    def test_incompatible_spaces(self):
+        with pytest.raises(ValueError):
+            RingId(1, 8).distance_to(RingId(1, 9))

@@ -1,0 +1,73 @@
+"""Unit tests for lookup metrics."""
+
+import pytest
+
+from repro.dht.metrics import LookupRecord, LookupStats
+from repro.util.stats import DistributionSummary
+
+
+class TestLookupRecord:
+    def test_valid(self):
+        record = LookupRecord(hops=3, success=True, timeouts=1)
+        assert record.hops == 3
+
+    def test_negative_hops_rejected(self):
+        with pytest.raises(ValueError):
+            LookupRecord(hops=-1, success=True)
+
+    def test_negative_timeouts_rejected(self):
+        with pytest.raises(ValueError):
+            LookupRecord(hops=0, success=True, timeouts=-2)
+
+    def test_phase_hops_must_sum_to_hops(self):
+        with pytest.raises(ValueError):
+            LookupRecord(hops=5, success=True, phase_hops={"a": 1, "b": 1})
+
+    def test_consistent_phase_hops(self):
+        record = LookupRecord(hops=5, success=True, phase_hops={"a": 2, "b": 3})
+        assert record.phase_hops["b"] == 3
+
+    def test_empty_phase_hops_allowed(self):
+        LookupRecord(hops=5, success=True)
+
+
+class TestLookupStats:
+    def make(self):
+        stats = LookupStats()
+        stats.add(LookupRecord(hops=2, success=True, timeouts=0,
+                               phase_hops={"x": 2}))
+        stats.add(LookupRecord(hops=4, success=False, timeouts=3,
+                               phase_hops={"x": 1, "y": 3}))
+        return stats
+
+    def test_counts(self):
+        stats = self.make()
+        assert len(stats) == 2
+        assert stats.count == 2
+        assert stats.failures == 1
+
+    def test_mean_path_length(self):
+        assert self.make().mean_path_length == 3.0
+
+    def test_empty_mean(self):
+        assert LookupStats().mean_path_length == 0.0
+
+    def test_timeout_summary(self):
+        summary = self.make().timeout_summary()
+        assert isinstance(summary, DistributionSummary)
+        assert summary.mean == 1.5
+        assert summary.maximum == 3
+
+    def test_phase_breakdown(self):
+        breakdown = self.make().phase_breakdown()
+        assert breakdown.totals == {"x": 3, "y": 3}
+        assert breakdown.lookups == 2
+
+    def test_extend(self):
+        stats = LookupStats()
+        stats.extend(self.make().records)
+        assert stats.count == 2
+
+    def test_query_load_redirects_to_network(self):
+        with pytest.raises(NotImplementedError):
+            self.make().query_load()

@@ -1,0 +1,42 @@
+"""Cross-protocol invariants of the recorded lookup paths."""
+
+from repro.util.rng import make_rng, sample_pairs
+
+
+class TestPathRecording:
+    def test_path_length_matches_hops(self, any_network):
+        rng = make_rng(1)
+        for source, target in sample_pairs(any_network.live_nodes(), 60, rng):
+            record = any_network.route(source, target.node_id)
+            assert len(record.path) == record.hops + 1
+
+    def test_path_starts_at_source(self, any_network):
+        source = any_network.live_nodes()[3]
+        record = any_network.lookup(source, "path-start")
+        assert record.path[0] == source.name
+
+    def test_path_ends_at_reported_owner(self, any_network):
+        rng = make_rng(2)
+        for source, _ in sample_pairs(any_network.live_nodes(), 40, rng):
+            record = any_network.lookup(source, "path-end")
+            assert record.path[-1] == record.owner
+
+    def test_path_traverses_live_nodes(self, any_network):
+        live = {node.name for node in any_network.live_nodes()}
+        rng = make_rng(3)
+        for source, target in sample_pairs(any_network.live_nodes(), 40, rng):
+            record = any_network.route(source, target.node_id)
+            assert set(record.path) <= live
+
+    def test_consecutive_hops_are_distinct(self, any_network):
+        rng = make_rng(4)
+        for source, target in sample_pairs(any_network.live_nodes(), 60, rng):
+            record = any_network.route(source, target.node_id)
+            for a, b in zip(record.path, record.path[1:]):
+                assert a != b
+
+    def test_paths_deterministic_in_stable_network(self, any_network):
+        source = any_network.live_nodes()[0]
+        first = any_network.lookup(source, "deterministic")
+        second = any_network.lookup(source, "deterministic")
+        assert first.path == second.path

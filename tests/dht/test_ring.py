@@ -1,0 +1,129 @@
+"""Unit and property tests for the sorted ring membership structure."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dht.ring import SortedRing, in_interval
+
+
+class TestInInterval:
+    def test_plain_interval(self):
+        assert in_interval(5, 3, 7, 16)
+        assert in_interval(7, 3, 7, 16)  # right end closed
+        assert not in_interval(3, 3, 7, 16)  # left end open
+
+    def test_wrapping_interval(self):
+        assert in_interval(1, 14, 3, 16)
+        assert in_interval(15, 14, 3, 16)
+        assert not in_interval(10, 14, 3, 16)
+
+    def test_degenerate_is_full_circle(self):
+        assert in_interval(9, 4, 4, 16)
+        assert in_interval(4, 4, 4, 16)
+
+    @given(st.integers(0, 15), st.integers(0, 15), st.integers(0, 15))
+    def test_membership_matches_enumeration(self, x, left, right):
+        if left == right:
+            assert in_interval(x, left, right, 16)
+            return
+        members = set()
+        position = (left + 1) % 16
+        while True:
+            members.add(position)
+            if position == right:
+                break
+            position = (position + 1) % 16
+        assert in_interval(x, left, right, 16) == (x in members)
+
+
+class TestSortedRingMembership:
+    def test_add_remove(self):
+        ring = SortedRing(8)
+        ring.add(5, "five")
+        assert 5 in ring
+        assert len(ring) == 1
+        assert ring.remove(5) == "five"
+        assert 5 not in ring
+
+    def test_duplicate_rejected(self):
+        ring = SortedRing(8)
+        ring.add(5, "a")
+        with pytest.raises(ValueError):
+            ring.add(5, "b")
+
+    def test_out_of_space_rejected(self):
+        ring = SortedRing(4)
+        with pytest.raises(ValueError):
+            ring.add(16, "x")
+
+    def test_remove_missing(self):
+        with pytest.raises(KeyError):
+            SortedRing(4).remove(3)
+
+    def test_nodes_in_order(self):
+        ring = SortedRing(8)
+        for value in (9, 3, 200):
+            ring.add(value, value)
+        assert ring.nodes() == [3, 9, 200]
+
+
+class TestRingQueries:
+    @pytest.fixture
+    def ring(self):
+        ring = SortedRing(8)
+        for value in (10, 50, 200):
+            ring.add(value, f"n{value}")
+        return ring
+
+    def test_successor_at_point(self, ring):
+        assert ring.successor_id(50) == 50
+
+    def test_successor_after_point(self, ring):
+        assert ring.successor_id(51) == 200
+
+    def test_successor_wraps(self, ring):
+        assert ring.successor_id(201) == 10
+
+    def test_predecessor_strict(self, ring):
+        assert ring.predecessor_id(50) == 10
+
+    def test_predecessor_wraps(self, ring):
+        assert ring.predecessor_id(5) == 200
+
+    def test_at_or_before(self, ring):
+        assert ring.at_or_before_id(50) == 50
+        assert ring.at_or_before_id(49) == 10
+
+    def test_empty_ring_raises(self):
+        with pytest.raises(LookupError):
+            SortedRing(4).successor_id(0)
+
+    def test_successor_run_excludes_self(self, ring):
+        run = ring.successor_run(10, 2)
+        assert [n for n in run] == ["n50", "n200"]
+
+    def test_successor_run_capped_at_population(self, ring):
+        run = ring.successor_run(10, 99)
+        assert len(run) == 2  # never wraps back onto itself
+
+    def test_successor_run_unknown_node(self, ring):
+        with pytest.raises(KeyError):
+            ring.successor_run(11, 2)
+
+
+@given(
+    st.sets(st.integers(0, 255), min_size=1, max_size=30),
+    st.integers(0, 255),
+)
+def test_successor_predecessor_match_reference(ids, point):
+    """Ring queries agree with brute-force reference definitions."""
+    ring = SortedRing(8)
+    for value in ids:
+        ring.add(value, value)
+    expected_successor = min(ids, key=lambda i: (i - point) % 256)
+    expected_predecessor = min(ids, key=lambda i: (point - 1 - i) % 256)
+    assert ring.successor_id(point) == expected_successor
+    assert ring.predecessor_id(point) == expected_predecessor
+    expected_at_or_before = min(ids, key=lambda i: (point - i) % 256)
+    assert ring.at_or_before_id(point) == expected_at_or_before

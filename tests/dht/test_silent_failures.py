@@ -1,0 +1,131 @@
+"""Tests for the silent (ungraceful) failure extension.
+
+The paper assumes graceful departures (§3.4) and lists silent-failure
+handling as future work (§5).  These tests pin the extension's
+semantics: pointers everywhere go stale, lookups degrade but never
+crash or loop forever, and one stabilisation round fully repairs every
+protocol.
+"""
+
+import pytest
+
+from repro.chord import ChordNetwork
+from repro.core import CycloidNetwork
+from repro.koorde import KoordeNetwork
+from repro.util.rng import make_rng, sample_pairs
+from repro.viceroy import ViceroyNetwork
+
+
+class TestFailSemantics:
+    def test_fail_twice_rejected(self, any_network):
+        node = any_network.live_nodes()[0]
+        any_network.fail(node)
+        with pytest.raises(ValueError):
+            any_network.fail(node)
+
+    def test_fail_shrinks_population(self, any_network):
+        before = any_network.size
+        any_network.fail(any_network.live_nodes()[0])
+        assert any_network.size == before - 1
+
+    def test_ownership_moves_immediately(self, any_network):
+        key = "silently-owned"
+        owner = any_network.owner_of_key(key)
+        any_network.fail(owner)
+        assert any_network.owner_of_key(key) is not owner
+
+
+class TestStaleness:
+    def test_cycloid_leaf_sets_go_stale(self):
+        network = CycloidNetwork.complete(5)
+        rng = make_rng(1)
+        for node in rng.sample(list(network.live_nodes()), 40):
+            network.fail(node)
+        stale_leaves = sum(
+            1
+            for node in network.live_nodes()
+            for leaf in node.leaf_entries()
+            if not leaf.alive
+        )
+        # Unlike graceful departure, nobody was notified.
+        assert stale_leaves > 0
+
+    def test_chord_ring_not_spliced(self):
+        network = ChordNetwork.with_ids([10, 100, 200], 8)
+        network.fail(network.ring.get(100))
+        assert network.ring.get(10).successor.id == 100  # stale
+        assert not network.ring.get(10).successor.alive
+
+
+class TestRoutingUnderSilentFailures:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: CycloidNetwork.complete(6),
+            lambda: ChordNetwork.complete(9),
+            lambda: KoordeNetwork.complete(9),
+            lambda: ViceroyNetwork.with_random_ids(384, seed=1),
+        ],
+        ids=["cycloid", "chord", "koorde", "viceroy"],
+    )
+    def test_no_crash_and_bounded_paths(self, factory):
+        network = factory()
+        rng = make_rng(2)
+        for node in list(network.live_nodes()):
+            if rng.random() < 0.25 and network.size > 2:
+                network.fail(node)
+        for source, target in sample_pairs(network.live_nodes(), 200, rng):
+            record = network.route(source, target.id)
+            assert record.hops < network.HOP_LIMIT
+
+    def test_chord_survives_on_successor_list(self):
+        network = ChordNetwork.complete(9)
+        rng = make_rng(3)
+        for node in list(network.live_nodes()):
+            if rng.random() < 0.2 and network.size > 2:
+                network.fail(node)
+        failures = sum(
+            not network.route(s, t.id).success
+            for s, t in sample_pairs(network.live_nodes(), 400, rng)
+        )
+        # r = log n consecutive silent failures are needed to break it.
+        assert failures == 0
+
+    def test_cycloid_degrades_but_some_resolve(self):
+        network = CycloidNetwork.complete(6)
+        rng = make_rng(4)
+        for node in list(network.live_nodes()):
+            if rng.random() < 0.2 and network.size > 2:
+                network.fail(node)
+        records = [
+            network.route(s, t.id)
+            for s, t in sample_pairs(network.live_nodes(), 400, rng)
+        ]
+        successes = sum(r.success for r in records)
+        # Constant-degree state cannot mask silent failures (the paper's
+        # motivation for graceful departure), but most lookups still
+        # resolve through timeouts and leaf fallbacks.
+        assert successes > 200
+        assert any(r.timeouts > 0 for r in records)
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: CycloidNetwork.complete(6),
+            lambda: ChordNetwork.complete(9),
+            lambda: KoordeNetwork.complete(9),
+        ],
+        ids=["cycloid", "chord", "koorde"],
+    )
+    def test_stabilization_fully_repairs(self, factory):
+        network = factory()
+        rng = make_rng(5)
+        for node in list(network.live_nodes()):
+            if rng.random() < 0.3 and network.size > 2:
+                network.fail(node)
+        network.stabilize()
+        network.check_invariants()
+        for source, target in sample_pairs(network.live_nodes(), 300, rng):
+            record = network.route(source, target.id)
+            assert record.success
+            assert record.timeouts == 0

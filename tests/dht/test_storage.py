@@ -1,0 +1,143 @@
+"""Tests for the key-value storage layer with migration and replicas."""
+
+import pytest
+
+from repro.core import CycloidNetwork
+from repro.chord import ChordNetwork
+from repro.dht.storage import KeyValueStore
+from repro.util.rng import make_rng
+
+
+@pytest.fixture
+def network():
+    return CycloidNetwork.with_random_ids(60, 5, seed=3)
+
+
+@pytest.fixture
+def store(network):
+    return KeyValueStore(network)
+
+
+class TestPutGet:
+    def test_round_trip(self, network, store):
+        node = network.live_nodes()[0]
+        store.put(node, "song", b"bytes")
+        result = store.get(network.live_nodes()[5], "song")
+        assert result.found
+        assert result.value == b"bytes"
+
+    def test_get_missing(self, network, store):
+        result = store.get(network.live_nodes()[0], "nothing")
+        assert not result.found
+        assert result.value is None
+
+    def test_put_stores_on_owner(self, network, store):
+        node = network.live_nodes()[0]
+        store.put(node, "k1", 1)
+        owner = network.owner_of_key("k1")
+        assert "k1" in store.keys_on(owner)
+
+    def test_hops_counted(self, network, store):
+        node = network.live_nodes()[0]
+        result = store.put(node, "k2", 2)
+        assert result.hops == result.record.hops >= 0
+
+    def test_overwrite(self, network, store):
+        node = network.live_nodes()[0]
+        store.put(node, "k", "old")
+        store.put(node, "k", "new")
+        assert store.get(node, "k").value == "new"
+
+    def test_total_pairs_counts_distinct_keys(self, network):
+        store = KeyValueStore(network, replicas=3)
+        node = network.live_nodes()[0]
+        for i in range(10):
+            store.put(node, f"k{i}", i)
+        assert store.total_pairs() == 10
+
+    def test_invalid_replicas(self, network):
+        with pytest.raises(ValueError):
+            KeyValueStore(network, replicas=0)
+
+
+class TestMigration:
+    def test_join_pulls_owned_keys(self, network, store):
+        node = network.live_nodes()[0]
+        keys = [f"key-{i}" for i in range(300)]
+        for key in keys:
+            store.put(node, key, key.upper())
+        newcomer = network.join("fresh")
+        moved = store.on_join(newcomer)
+        owned_now = [k for k in keys if network.owner_of_key(k) is newcomer]
+        assert moved == len(owned_now)
+        for key in owned_now:
+            assert key in store.keys_on(newcomer)
+        # Every key still retrievable.
+        for key in keys:
+            assert store.get(node, key).found
+
+    def test_leave_pushes_keys(self, network, store):
+        node = network.live_nodes()[0]
+        keys = [f"leave-{i}" for i in range(300)]
+        for key in keys:
+            store.put(node, key, 1)
+        victim = network.live_nodes()[7]
+        held = store.keys_on(victim)
+        network.leave(victim)
+        store.on_leave(victim)
+        source = network.live_nodes()[0]
+        for key in held:
+            assert store.get(source, key).found
+        # Nothing lost overall.
+        assert store.total_pairs() == len(keys)
+
+    def test_silent_failure_loses_unreplicated_keys(self, network, store):
+        node = network.live_nodes()[0]
+        for i in range(300):
+            store.put(node, f"s-{i}", i)
+        victim = network.live_nodes()[9]
+        held = len(store.keys_on(victim))
+        network.fail(victim)
+        lost = store.on_silent_failure(victim)
+        assert lost == held
+
+    def test_replicas_survive_silent_failure(self):
+        net = CycloidNetwork.with_random_ids(60, 5, seed=4)
+        store = KeyValueStore(net, replicas=3)
+        node = net.live_nodes()[0]
+        keys = [f"r-{i}" for i in range(200)]
+        for key in keys:
+            store.put(node, key, key)
+        victim = net.live_nodes()[11]
+        net.fail(victim)
+        lost = store.on_silent_failure(victim)
+        assert lost == 0
+        net.stabilize()
+        source = net.live_nodes()[0]
+        assert all(store.get(source, key).found for key in keys)
+
+    def test_rereplicate_restores_invariant(self):
+        net = CycloidNetwork.with_random_ids(60, 5, seed=5)
+        store = KeyValueStore(net, replicas=2)
+        node = net.live_nodes()[0]
+        for i in range(100):
+            store.put(node, f"rr-{i}", i)
+        rng = make_rng(6)
+        for victim in rng.sample(list(net.live_nodes()), 10):
+            net.leave(victim)
+            store.on_leave(victim)
+        net.stabilize()
+        copies = store.rereplicate()
+        assert copies >= 0
+        # After re-replication, running it again is a no-op.
+        assert store.rereplicate() == 0
+
+    def test_works_on_ring_dhts_too(self):
+        net = ChordNetwork.with_random_ids(50, 8, seed=7)
+        store = KeyValueStore(net, replicas=2)
+        node = net.live_nodes()[0]
+        store.put(node, "ring-key", 42)
+        assert store.get(net.live_nodes()[3], "ring-key").value == 42
+        newcomer = net.join("late")
+        store.on_join(newcomer)
+        assert store.get(newcomer, "ring-key").value == 42

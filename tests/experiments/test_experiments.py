@@ -1,0 +1,314 @@
+"""Tests for the experiment harness (E1-E11) at reduced scale.
+
+Full paper-scale sweeps live in benchmarks/; these tests validate that
+each harness function measures what it claims and that the paper's
+qualitative shapes already show up at small scale.
+"""
+
+import pytest
+
+from repro.experiments import (
+    architecture_table,
+    run_churn_experiment,
+    run_key_distribution_experiment,
+    run_koorde_sparsity_breakdown,
+    run_mass_departure_experiment,
+    run_path_length_experiment,
+    run_phase_breakdown_experiment,
+    run_query_load_experiment,
+    run_sparsity_experiment,
+)
+
+
+class TestPathLength:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_path_length_experiment(
+            dimensions=(3, 4, 5), lookups=600, seed=1
+        )
+
+    def test_grid_complete(self, points):
+        assert len(points) == 3 * 5  # dims x protocols
+
+    def test_no_failures(self, points):
+        assert all(p.failures == 0 for p in points)
+
+    def test_sizes_match_formula(self, points):
+        for point in points:
+            assert point.size == point.dimension * (1 << point.dimension)
+
+    def test_cycloid_beats_viceroy(self, points):
+        # Fig. 5's headline: Viceroy's paths are > 2x Cycloid's.
+        for dimension in (4, 5):
+            cycloid = next(
+                p for p in points
+                if p.protocol == "cycloid" and p.dimension == dimension
+            )
+            viceroy = next(
+                p for p in points
+                if p.protocol == "viceroy" and p.dimension == dimension
+            )
+            assert viceroy.mean_path_length > 2 * cycloid.mean_path_length
+
+    def test_eleven_entry_shorter(self, points):
+        for dimension in (3, 4, 5):
+            seven = next(
+                p for p in points
+                if p.protocol == "cycloid" and p.dimension == dimension
+            )
+            eleven = next(
+                p for p in points
+                if p.protocol == "cycloid-11" and p.dimension == dimension
+            )
+            assert eleven.mean_path_length <= seven.mean_path_length
+
+    def test_path_grows_with_dimension(self, points):
+        cycloid = sorted(
+            (p for p in points if p.protocol == "cycloid"),
+            key=lambda p: p.dimension,
+        )
+        assert (
+            cycloid[0].mean_path_length
+            < cycloid[1].mean_path_length
+            < cycloid[2].mean_path_length
+        )
+
+
+class TestPhaseBreakdown:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_phase_breakdown_experiment(
+            dimensions=(5,), lookups=800, seed=2
+        )
+
+    def test_fractions_sum_to_one(self, points):
+        for point in points:
+            assert sum(point.fraction_by_phase.values()) == pytest.approx(1.0)
+
+    def test_cycloid_ascending_small(self, points):
+        cycloid = next(p for p in points if p.protocol == "cycloid")
+        assert cycloid.fraction_by_phase["ascending"] <= 0.20
+
+    def test_viceroy_traverse_large(self, points):
+        viceroy = next(p for p in points if p.protocol == "viceroy")
+        assert viceroy.fraction_by_phase["traverse"] >= 0.30
+
+    def test_koorde_phases(self, points):
+        koorde = next(p for p in points if p.protocol == "koorde")
+        assert set(koorde.fraction_by_phase) == {"de_bruijn", "successor"}
+        assert 0.15 <= koorde.fraction_by_phase["successor"] <= 0.5
+
+
+class TestKoordeSparsityBreakdown:
+    def test_successor_share_grows(self):
+        points = run_koorde_sparsity_breakdown(
+            sparsities=(0.0, 0.7), id_space=512, lookups=600, seed=3
+        )
+        assert (
+            points[1].fraction_by_phase["successor"]
+            > points[0].fraction_by_phase["successor"]
+        )
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            run_koorde_sparsity_breakdown(id_space=1000)
+
+
+class TestKeyDistribution:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_key_distribution_experiment(
+            node_count=500,
+            key_counts=(5000, 10000),
+            id_space=2048,
+            seed=4,
+        )
+
+    def test_mean_is_keys_over_nodes(self, points):
+        for point in points:
+            assert point.summary.mean == pytest.approx(point.keys / 500)
+
+    def test_spread_grows_with_keys(self, points):
+        for protocol in ("cycloid", "chord"):
+            series = [p for p in points if p.protocol == protocol]
+            assert series[1].summary.spread >= series[0].summary.spread
+
+    def test_viceroy_most_imbalanced(self, points):
+        # Fig. 8: Viceroy's 99th percentile is far above the others'.
+        at_10k = {p.protocol: p for p in points if p.keys == 10000}
+        assert (
+            at_10k["viceroy"].summary.p99
+            > at_10k["cycloid"].summary.p99
+        )
+
+    def test_cycloid_balances_sparse_better_than_koorde(self):
+        # Fig. 9.
+        points = run_key_distribution_experiment(
+            node_count=250,
+            key_counts=(10000,),
+            protocols=("cycloid", "koorde"),
+            id_space=2048,
+            seed=5,
+        )
+        by_protocol = {p.protocol: p for p in points}
+        assert (
+            by_protocol["cycloid"].summary.spread
+            < by_protocol["koorde"].summary.spread
+        )
+
+
+class TestQueryLoad:
+    def test_spread_ranking(self):
+        # Fig. 10: Cycloid's query load is more even than Viceroy's and
+        # Koorde's.
+        points = run_query_load_experiment(
+            dimensions=(5,), lookups_per_node=6, seed=6
+        )
+        by_protocol = {p.protocol: p for p in points}
+        assert (
+            by_protocol["cycloid"].summary.spread
+            < by_protocol["viceroy"].summary.spread
+        )
+        assert (
+            by_protocol["cycloid"].summary.spread
+            < by_protocol["koorde"].summary.spread
+        )
+
+    def test_lookup_count_recorded(self):
+        points = run_query_load_experiment(
+            dimensions=(4,), protocols=("cycloid",), lookups_per_node=2, seed=7
+        )
+        assert points[0].lookups == 2 * 64
+
+
+class TestMassDepartures:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_mass_departure_experiment(
+            probabilities=(0.1, 0.5),
+            protocols=("cycloid", "viceroy", "koorde", "chord"),
+            dimension=6,
+            lookups=1200,
+            seed=8,
+        )
+
+    def test_cycloid_no_failures(self, points):
+        for point in points:
+            if point.protocol == "cycloid":
+                assert point.lookup_failures == 0
+
+    def test_viceroy_zero_timeouts(self, points):
+        for point in points:
+            if point.protocol == "viceroy":
+                assert point.timeout_summary.maximum == 0
+
+    def test_koorde_fails_at_high_p(self, points):
+        koorde_high = next(
+            p for p in points
+            if p.protocol == "koorde" and p.probability == 0.5
+        )
+        assert koorde_high.lookup_failures > 0
+
+    def test_timeouts_grow_with_p(self, points):
+        for protocol in ("cycloid", "chord"):
+            series = sorted(
+                (p for p in points if p.protocol == protocol),
+                key=lambda p: p.probability,
+            )
+            assert series[1].timeout_summary.mean > series[0].timeout_summary.mean
+
+    def test_viceroy_path_decreases(self, points):
+        series = sorted(
+            (p for p in points if p.protocol == "viceroy"),
+            key=lambda p: p.probability,
+        )
+        assert series[1].mean_path_length < series[0].mean_path_length
+
+    def test_cycloid_path_increases(self, points):
+        series = sorted(
+            (p for p in points if p.protocol == "cycloid"),
+            key=lambda p: p.probability,
+        )
+        assert series[1].mean_path_length > series[0].mean_path_length
+
+
+class TestChurnExperiment:
+    def test_no_failures_and_small_timeouts(self):
+        points = run_churn_experiment(
+            rates=(0.1, 0.4),
+            protocols=("cycloid",),
+            population=150,
+            duration=250,
+            seed=9,
+        )
+        for point in points:
+            assert point.lookup_failures == 0
+            # Table 5: stabilisation keeps timeouts well below Table 4's.
+            assert point.timeout_summary.mean < 0.5
+
+    def test_event_counters(self):
+        (point,) = run_churn_experiment(
+            rates=(0.3,),
+            protocols=("chord",),
+            population=120,
+            duration=200,
+            seed=10,
+        )
+        assert point.joins > 0 and point.leaves > 0
+        assert point.final_size == 120 + point.joins - point.leaves
+
+
+class TestSparsity:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_sparsity_experiment(
+            sparsities=(0.0, 0.6),
+            protocols=("cycloid", "koorde"),
+            id_space=2048,
+            lookups=800,
+            seed=11,
+        )
+
+    def test_population_matches_sparsity(self, points):
+        for point in points:
+            assert point.population == max(
+                2, round(2048 * (1 - point.sparsity))
+            )
+
+    def test_cycloid_unaffected(self, points):
+        series = sorted(
+            (p for p in points if p.protocol == "cycloid"),
+            key=lambda p: p.sparsity,
+        )
+        assert series[1].mean_path_length <= series[0].mean_path_length + 1.0
+
+    def test_koorde_degrades(self, points):
+        series = sorted(
+            (p for p in points if p.protocol == "koorde"),
+            key=lambda p: p.sparsity,
+        )
+        assert series[1].mean_path_length > series[0].mean_path_length
+
+    def test_no_lookup_failures(self, points):
+        assert all(p.lookup_failures == 0 for p in points)
+
+
+class TestArchitectureTable:
+    def test_constant_degree_protocols(self):
+        rows = architecture_table(dimension=4)
+        by_protocol = {r.protocol: r for r in rows}
+        assert by_protocol["cycloid"].max_observed_state == 7
+        assert by_protocol["cycloid-11"].max_observed_state == 11
+        assert by_protocol["viceroy"].max_observed_state == 7
+        assert by_protocol["koorde"].max_observed_state <= 8
+
+    def test_chord_state_grows(self):
+        rows = architecture_table(protocols=("chord",), dimension=4)
+        assert rows[0].max_observed_state > 7
+
+    def test_labels_and_metadata(self):
+        rows = architecture_table(dimension=3)
+        cycloid = next(r for r in rows if r.protocol == "cycloid")
+        assert cycloid.base_network == "CCC"
+        assert cycloid.lookup_complexity == "O(d)"
+        assert cycloid.key_placement == "numerically closest node"

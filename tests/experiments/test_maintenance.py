@@ -1,0 +1,90 @@
+"""Tests for the maintenance-cost experiment (E12 extension)."""
+
+import pytest
+
+from repro.chord import ChordNetwork
+from repro.core import CycloidNetwork
+from repro.experiments import run_maintenance_experiment
+from repro.util.rng import make_rng
+from repro.viceroy import ViceroyNetwork
+
+
+class TestMaintenanceCounters:
+    def test_fresh_network_has_zero(self):
+        network = CycloidNetwork.with_random_ids(50, 5, seed=1)
+        assert network.maintenance_updates == 0
+
+    def test_cycloid_join_counts_leaf_refreshes(self):
+        network = CycloidNetwork.with_random_ids(50, 5, seed=1)
+        network.join("joiner")
+        # At least the cycle neighbours / adjacent primaries changed.
+        assert network.maintenance_updates >= 1
+
+    def test_cycloid_silent_failure_costs_nothing(self):
+        network = CycloidNetwork.with_random_ids(50, 5, seed=2)
+        network.maintenance_updates = 0
+        network.fail(network.live_nodes()[0])
+        assert network.maintenance_updates == 0
+
+    def test_chord_events_touch_two_neighbors(self):
+        network = ChordNetwork.with_random_ids(64, 8, seed=3)
+        network.maintenance_updates = 0
+        network.join("x")
+        assert network.maintenance_updates == 2
+        network.maintenance_updates = 0
+        network.leave(network.live_nodes()[5])
+        assert network.maintenance_updates == 2
+
+    def test_viceroy_counts_link_holders(self):
+        network = ViceroyNetwork.with_random_ids(100, seed=4)
+        network.maintenance_updates = 0
+        network.leave(network.live_nodes()[0])
+        assert network.maintenance_updates >= 2  # ring neighbours at least
+
+    def test_viceroy_level_demotions_are_charged(self):
+        network = ViceroyNetwork.with_random_ids(256, seed=5)
+        rng = make_rng(6)
+        network.maintenance_updates = 0
+        # Halve the network: the top level must demote, at a cost.
+        for node in list(network.live_nodes()):
+            if rng.random() < 0.6 and network.size > 2:
+                network.leave(node)
+        per_leave = network.maintenance_updates / (256 - network.size)
+        assert per_leave > 2.0
+
+
+class TestMaintenanceExperiment:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_maintenance_experiment(
+            population=200, events=40, dimension=6, seed=7
+        )
+
+    def test_all_protocols_measured(self, points):
+        assert {p.protocol for p in points} == {
+            "cycloid",
+            "cycloid-11",
+            "chord",
+            "koorde",
+            "viceroy",
+        }
+
+    def test_ring_dhts_cheapest(self, points):
+        by_protocol = {p.protocol: p for p in points}
+        for protocol in ("chord", "koorde"):
+            assert by_protocol[protocol].updates_per_join <= 2
+            assert by_protocol[protocol].updates_per_leave <= 2
+
+    def test_viceroy_more_expensive_than_cycloid(self, points):
+        by_protocol = {p.protocol: p for p in points}
+        assert (
+            by_protocol["viceroy"].mass_departure_updates
+            > by_protocol["cycloid"].mass_departure_updates
+        )
+
+    def test_updates_per_departure_derived(self, points):
+        for point in points:
+            if point.mass_departure_events:
+                assert point.updates_per_departure == pytest.approx(
+                    point.mass_departure_updates / point.mass_departure_events
+                )

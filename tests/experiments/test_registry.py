@@ -1,0 +1,81 @@
+"""Tests for the protocol registry."""
+
+import pytest
+
+from repro.chord import ChordNetwork
+from repro.core import CycloidNetwork
+from repro.experiments.registry import (
+    PROTOCOLS,
+    build_complete_network,
+    build_sized_network,
+    dimension_for_space,
+    protocol_label,
+)
+from repro.koorde import KoordeNetwork
+from repro.viceroy import ViceroyNetwork
+
+
+class TestBuildComplete:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_same_node_count(self, protocol):
+        network = build_complete_network(protocol, 4)
+        assert network.size == 64
+
+    def test_cycloid_variants(self):
+        seven = build_complete_network("cycloid", 4)
+        eleven = build_complete_network("cycloid-11", 4)
+        assert isinstance(seven, CycloidNetwork)
+        assert seven.leaf_radius == 1
+        assert eleven.leaf_radius == 2
+
+    def test_types(self):
+        assert isinstance(build_complete_network("chord", 3), ChordNetwork)
+        assert isinstance(build_complete_network("koorde", 3), KoordeNetwork)
+        assert isinstance(build_complete_network("viceroy", 3), ViceroyNetwork)
+
+    def test_unknown_protocol(self):
+        with pytest.raises(ValueError):
+            build_complete_network("kademlia", 4)
+
+    def test_extended_protocols_buildable(self):
+        # Pastry and CAN are implemented for Table 1 but not part of
+        # the paper's figure sweeps.
+        for protocol in ("pastry", "can"):
+            network = build_complete_network(protocol, 3)
+            assert network.size == 24
+
+
+class TestBuildSized:
+    def test_pinned_id_space(self):
+        network = build_sized_network(
+            "chord", 100, id_space_bits=11
+        )
+        assert network.bits == 11
+
+    def test_pinned_cycloid_dimension(self):
+        network = build_sized_network(
+            "cycloid", 100, cycloid_dimension=8
+        )
+        assert network.dimension == 8
+
+    def test_default_dimension_fits(self):
+        network = build_sized_network("cycloid", 100)
+        assert network.dimension * (1 << network.dimension) >= 100
+
+    def test_seed_reproducibility(self):
+        a = build_sized_network("koorde", 50, seed=3)
+        b = build_sized_network("koorde", 50, seed=3)
+        assert [n.id for n in a.live_nodes()] == [n.id for n in b.live_nodes()]
+
+
+class TestHelpers:
+    def test_labels(self):
+        assert protocol_label("cycloid") == "7-entry Cycloid"
+        assert protocol_label("cycloid-11") == "11-entry Cycloid"
+        with pytest.raises(ValueError):
+            protocol_label("nope")
+
+    def test_dimension_for_space(self):
+        assert dimension_for_space(24) == 3
+        assert dimension_for_space(25) == 4
+        assert dimension_for_space(2048) == 8

@@ -1,0 +1,83 @@
+"""Mechanics of Koorde's imaginary de Bruijn walk."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.koorde import KoordeNetwork
+from repro.util.rng import make_rng, sample_pairs
+
+
+class TestBitConsumption:
+    def test_complete_ring_hop_budget(self):
+        """In a complete ring the walk consumes one key bit per de
+        Bruijn hop: at most ``bits`` de Bruijn hops plus at most one
+        successor hop per bit plus the delivery hop."""
+        bits = 7
+        network = KoordeNetwork.complete(bits)
+        rng = make_rng(1)
+        for source, target in sample_pairs(network.live_nodes(), 400, rng):
+            record = network.route(source, target.id)
+            assert record.phase_hops["de_bruijn"] <= bits
+            assert record.hops <= 2 * bits + 1
+
+    def test_self_pointer_hops_are_free(self):
+        """Node 0's de Bruijn pointer is itself (pred of 2*0); shifting
+        through it must not cost hops."""
+        network = KoordeNetwork.complete(6)
+        zero = network.ring.get(0)
+        assert zero.debruijn is zero
+        record = network.route(zero, 1)
+        assert record.success
+        # A correct walk from 0 to 1 costs at most bits+1 hops even
+        # though the imaginary node is rewritten `bits` times.
+        assert record.hops <= 7
+
+    def test_mean_path_close_to_dimension(self):
+        """§4.1: 'Both of their path lengths are close to d'."""
+        bits = 10
+        network = KoordeNetwork.complete(bits)
+        rng = make_rng(2)
+        hops = [
+            network.route(s, t.id).hops
+            for s, t in sample_pairs(network.live_nodes(), 400, rng)
+        ]
+        mean = sum(hops) / len(hops)
+        assert bits <= mean <= 1.8 * bits
+
+    @settings(max_examples=25)
+    @given(
+        ids=st.sets(st.integers(0, 63), min_size=2, max_size=20),
+        key=st.integers(0, 63),
+    )
+    def test_sparse_walk_terminates_well_under_limit(self, ids, key):
+        network = KoordeNetwork.with_ids(sorted(ids), 6)
+        source = network.live_nodes()[0]
+        record = network.route(source, key)
+        assert record.success
+        # 6 de Bruijn hops plus gap corrections bounded by population.
+        assert record.hops <= 6 + 3 * len(ids) + 1
+
+
+class TestDeBruijnTopology:
+    def test_every_node_reaches_every_node(self):
+        """The de Bruijn walk is universal: exhaustive reachability on a
+        small complete ring."""
+        network = KoordeNetwork.complete(5)
+        for source in network.live_nodes():
+            for target in network.live_nodes():
+                assert network.route(source, target.id).success
+
+    def test_even_ids_carry_more_load(self):
+        """§4.2: de Bruijn pointers are even in dense networks, so even
+        identifiers receive more queries."""
+        network = KoordeNetwork.complete(9)
+        network.reset_query_counts()
+        rng = make_rng(3)
+        for source, target in sample_pairs(network.live_nodes(), 3000, rng):
+            network.route(source, target.id)
+        loads = dict(zip(
+            [n.id for n in network.live_nodes()], network.query_counts()
+        ))
+        even = sum(v for k, v in loads.items() if k % 2 == 0)
+        odd = sum(v for k, v in loads.items() if k % 2 == 1)
+        assert even > 1.5 * odd

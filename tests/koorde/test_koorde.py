@@ -1,0 +1,166 @@
+"""Koorde protocol tests: de Bruijn wiring, routing, failure modes."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.koorde import KoordeNetwork
+from repro.koorde.network import DEBRUIJN_BACKUPS, SUCCESSOR_LIST_SIZE
+from repro.util.rng import make_rng, sample_pairs
+
+
+class TestWiring:
+    def test_debruijn_pointer_in_complete_network(self):
+        # §4.2: "all the first de Bruijn nodes identifiers are even in a
+        # complete (dense) network" — d = node 2m.
+        network = KoordeNetwork.complete(6)
+        for node in network.live_nodes():
+            assert node.debruijn.id == (2 * node.id) % 64
+            assert node.debruijn.id % 2 == 0
+
+    def test_debruijn_pointer_in_sparse_network(self):
+        network = KoordeNetwork.with_ids([3, 17, 40, 58], 6)
+        node = network.ring.get(17)
+        # 2 * 17 = 34; at-or-before 34 is 17 itself.
+        assert node.debruijn.id == 17
+        node = network.ring.get(40)
+        # 2 * 40 = 80 mod 64 = 16; at-or-before is 3.
+        assert node.debruijn.id == 3
+
+    def test_backups_are_debruijn_predecessors(self):
+        network = KoordeNetwork.with_random_ids(64, 8, seed=1)
+        for node in network.live_nodes():
+            chain = [node.debruijn] + node.debruijn_backups
+            for earlier, later in zip(chain, chain[1:]):
+                assert network.ring.predecessor(earlier.id) is later
+
+    def test_seven_neighbor_configuration(self):
+        assert SUCCESSOR_LIST_SIZE == 3
+        assert DEBRUIJN_BACKUPS == 3
+        network = KoordeNetwork.with_random_ids(128, 9, seed=2)
+        for node in network.live_nodes():
+            assert len(node.successors) == 3
+            assert len(node.debruijn_backups) == 3
+            assert node.degree <= 8  # 7 routing entries + predecessor
+
+
+class TestRouting:
+    def test_exhaustive_small_network(self):
+        network = KoordeNetwork.with_ids([1, 5, 9, 14], 4)
+        for source in network.live_nodes():
+            for key in range(16):
+                record = network.route(source, key)
+                assert record.success, (source.id, key)
+
+    def test_complete_network_all_resolve(self):
+        network = KoordeNetwork.complete(7)
+        rng = make_rng(3)
+        for source, target in sample_pairs(network.live_nodes(), 500, rng):
+            assert network.route(source, target.id).success
+
+    def test_phase_split_dense(self):
+        # Fig. 7(c): successor hops are roughly 30% of the path when the
+        # network is dense.
+        network = KoordeNetwork.complete(9)
+        rng = make_rng(4)
+        debruijn = successor = 0
+        for source, target in sample_pairs(network.live_nodes(), 500, rng):
+            record = network.route(source, target.id)
+            debruijn += record.phase_hops["de_bruijn"]
+            successor += record.phase_hops["successor"]
+        share = successor / (debruijn + successor)
+        assert 0.2 < share < 0.45
+
+    def test_successor_share_grows_with_sparsity(self):
+        # Fig. 14.
+        shares = []
+        for population in (512, 128):
+            network = KoordeNetwork.with_random_ids(population, 9, seed=5)
+            rng = make_rng(6)
+            debruijn = successor = 0
+            for source, target in sample_pairs(
+                network.live_nodes(), 400, rng
+            ):
+                record = network.route(source, target.id)
+                debruijn += record.phase_hops["de_bruijn"]
+                successor += record.phase_hops["successor"]
+            shares.append(successor / (debruijn + successor))
+        assert shares[1] > shares[0]
+
+    def test_path_grows_with_sparsity(self):
+        # Fig. 13: "Koorde's performance degrades with the decrease of
+        # the number of actual participants."
+        means = []
+        for population in (512, 128):
+            network = KoordeNetwork.with_random_ids(population, 9, seed=7)
+            rng = make_rng(8)
+            hops = [
+                network.route(s, t.id).hops
+                for s, t in sample_pairs(network.live_nodes(), 400, rng)
+            ]
+            means.append(sum(hops) / len(hops))
+        assert means[1] > means[0]
+
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        ids=st.sets(st.integers(0, 127), min_size=2, max_size=25),
+        key=st.integers(0, 127),
+        source_index=st.integers(0, 1000),
+    )
+    def test_routing_matches_owner_property(self, ids, key, source_index):
+        network = KoordeNetwork.with_ids(sorted(ids), 7)
+        nodes = network.live_nodes()
+        source = nodes[source_index % len(nodes)]
+        record = network.route(source, key)
+        assert record.success
+        assert record.owner == network.owner_of_id(key).name
+
+
+class TestFailureModes:
+    def _departed_network(self, probability, seed=9, bits=9):
+        network = KoordeNetwork.complete(bits)
+        rng = make_rng(seed)
+        for node in list(network.live_nodes()):
+            if rng.random() < probability and network.size > 1:
+                network.leave(node)
+        return network
+
+    def test_low_departure_rate_resolves_all(self):
+        # §4.3: all queries solved when p <= 0.2.
+        network = self._departed_network(0.15)
+        rng = make_rng(10)
+        failures = sum(
+            not network.route(s, t.id).success
+            for s, t in sample_pairs(network.live_nodes(), 500, rng)
+        )
+        assert failures == 0
+
+    def test_high_departure_rate_causes_failures(self):
+        # §4.3: lookup failures appear when p >= 0.3 because the de
+        # Bruijn pointer and its backups can all be dead.
+        network = self._departed_network(0.5)
+        rng = make_rng(11)
+        failures = sum(
+            not network.route(s, t.id).success
+            for s, t in sample_pairs(network.live_nodes(), 500, rng)
+        )
+        assert failures > 0
+
+    def test_stabilization_eliminates_failures(self):
+        # §4.4: "stabilization updates the first de Bruijn node ... in
+        # time", reducing failures to zero.
+        network = self._departed_network(0.5)
+        network.stabilize()
+        network.check_invariants()
+        rng = make_rng(12)
+        failures = sum(
+            not network.route(s, t.id).success
+            for s, t in sample_pairs(network.live_nodes(), 500, rng)
+        )
+        assert failures == 0
+
+    def test_ring_spliced_on_leave(self):
+        network = KoordeNetwork.with_ids([10, 100, 200], 8)
+        network.leave(network.ring.get(100))
+        assert network.ring.get(10).successor.id == 200
+        assert network.ring.get(200).predecessor.id == 10

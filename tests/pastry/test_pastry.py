@@ -1,0 +1,175 @@
+"""Pastry protocol tests: prefix routing, leaf sets, membership."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.pastry import PastryNetwork, PastryNode
+from repro.util.rng import make_rng, sample_pairs
+
+
+class TestDigits:
+    def test_digit_extraction_msb_first(self):
+        node = PastryNode("x", 0b11_01_00_10, bits=8, digit_bits=2)
+        assert [node.digit(i) for i in range(4)] == [3, 1, 0, 2]
+
+    def test_bits_must_align(self):
+        with pytest.raises(ValueError):
+            PastryNode("x", 0, bits=9, digit_bits=2)
+
+    def test_shared_prefix_digits(self):
+        network = PastryNetwork(bits=8, digit_bits=2)
+        assert network.shared_prefix_digits(0b11010010, 0b11010010) == 4
+        assert network.shared_prefix_digits(0b11010010, 0b11011111) == 2
+        assert network.shared_prefix_digits(0b11010010, 0b00000000) == 0
+
+    def test_paper_prefix_example(self):
+        """§2.1: routing from 12345 toward key 12456 must go to a node
+        matching one more digit, e.g. 12467."""
+        # base-10 flavoured in the paper; base-4 here, same mechanics.
+        network = PastryNetwork.with_ids(
+            [0b11_01_00_10, 0b11_01_11_01, 0b00_10_01_11],
+            bits=8,
+        )
+        source = network.ring.get(0b11_01_00_10)
+        key = 0b11_01_11_11
+        record = network.route(source, key)
+        assert record.success
+        # First hop shares at least 2 digits (11 01) with the key.
+        first_hop = network.ring.get(
+            next(n.id for n in network.live_nodes() if n.name == record.path[1])
+        ) if len(record.path) > 1 else source
+        assert network.shared_prefix_digits(first_hop.id, key) >= 2
+
+
+class TestWiring:
+    @pytest.fixture(scope="class")
+    def network(self):
+        return PastryNetwork.with_random_ids(300, seed=1)
+
+    def test_routing_rows_share_prefix(self, network):
+        for node in network.live_nodes()[:40]:
+            for row_index, row in enumerate(node.routing_rows):
+                for column, entry in enumerate(row):
+                    if entry is None:
+                        continue
+                    assert (
+                        network.shared_prefix_digits(node.id, entry.id)
+                        == row_index
+                    )
+                    assert network.digit_of(entry.id, row_index) == column
+
+    def test_own_digit_column_empty(self, network):
+        for node in network.live_nodes()[:40]:
+            for row_index, row in enumerate(node.routing_rows):
+                assert row[node.digit(row_index)] is None
+
+    def test_leaf_sets_are_numeric_neighbors(self, network):
+        for node in network.live_nodes()[:40]:
+            assert node.leaf_smaller[0] is network.ring.predecessor(node.id)
+            assert len(node.leaf_smaller) == len(node.leaf_larger) == 4
+
+    def test_state_is_logarithmic(self, network):
+        # O(|L|) + O(log n): far above the constant-degree DHTs but far
+        # below n.
+        states = [node.state_size for node in network.live_nodes()]
+        assert 11 < max(states) < 60
+
+
+class TestRouting:
+    def test_exhaustive_small(self):
+        network = PastryNetwork.with_ids([3, 77, 130, 200, 255], bits=8)
+        for source in network.live_nodes():
+            for key in range(256):
+                record = network.route(source, key)
+                assert record.success, (source.id, key)
+                assert record.owner == network.owner_of_id(key).name
+
+    def test_owner_is_numerically_closest(self):
+        network = PastryNetwork.with_ids([10, 100], bits=8)
+        assert network.owner_of_id(54).id == 10  # distance 44 vs 46
+        assert network.owner_of_id(56).id == 100
+        # Equidistant: clockwise (successor) wins.
+        assert network.owner_of_id(55).id == 100
+
+    def test_logarithmic_paths(self):
+        network = PastryNetwork.with_random_ids(1000, seed=2)
+        rng = make_rng(3)
+        hops = [
+            network.route(s, t.id).hops
+            for s, t in sample_pairs(network.live_nodes(), 500, rng)
+        ]
+        assert sum(hops) / len(hops) < 6  # ~log_4(1000) = 5
+
+    def test_phase_mix(self):
+        network = PastryNetwork.with_random_ids(400, seed=4)
+        rng = make_rng(5)
+        prefix = leaf = 0
+        for s, t in sample_pairs(network.live_nodes(), 300, rng):
+            record = network.route(s, t.id)
+            prefix += record.phase_hops["prefix"]
+            leaf += record.phase_hops["leaf"]
+        assert prefix > 0 and leaf > 0
+
+    @settings(max_examples=25, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        ids=st.sets(st.integers(0, 255), min_size=1, max_size=25),
+        key=st.integers(0, 255),
+        source_index=st.integers(0, 1000),
+    )
+    def test_routing_matches_owner_property(self, ids, key, source_index):
+        network = PastryNetwork.with_ids(sorted(ids), bits=8)
+        nodes = network.live_nodes()
+        source = nodes[source_index % len(nodes)]
+        record = network.route(source, key)
+        assert record.success
+        assert record.owner == network.owner_of_id(key).name
+
+
+class TestMembership:
+    def test_join_refreshes_nearby_leaf_sets(self):
+        network = PastryNetwork.with_random_ids(100, seed=6)
+        node = network.join("newcomer")
+        pred = network.ring.predecessor(node.id)
+        assert node in pred.leaf_larger
+
+    def test_graceful_departures_resolve_everything(self):
+        network = PastryNetwork.with_random_ids(400, seed=7)
+        rng = make_rng(8)
+        for victim in list(network.live_nodes()):
+            if rng.random() < 0.3 and network.size > 2:
+                network.leave(victim)
+        for s, t in sample_pairs(network.live_nodes(), 400, rng):
+            assert network.route(s, t.id).success
+
+    def test_silent_failures_then_stabilize(self):
+        network = PastryNetwork.with_random_ids(300, seed=9)
+        rng = make_rng(10)
+        for victim in list(network.live_nodes()):
+            if rng.random() < 0.2 and network.size > 2:
+                network.fail(victim)
+        network.stabilize()
+        network.check_invariants()
+        for s, t in sample_pairs(network.live_nodes(), 300, rng):
+            record = network.route(s, t.id)
+            assert record.success and record.timeouts == 0
+
+    def test_maintenance_counted(self):
+        network = PastryNetwork.with_random_ids(100, seed=11)
+        network.maintenance_updates = 0
+        network.join("counted")
+        assert network.maintenance_updates >= 1
+
+    def test_registry_integration(self):
+        from repro.experiments.registry import build_sized_network
+
+        network = build_sized_network("pastry", 150, seed=12)
+        assert network.protocol_name == "pastry"
+        assert network.size == 150
+
+    def test_architecture_table_row(self):
+        from repro.experiments import architecture_table
+
+        rows = architecture_table(protocols=("pastry",), dimension=5)
+        assert rows[0].base_network == "hypercube"
+        assert rows[0].max_observed_state > 11

@@ -1,0 +1,135 @@
+"""Property-based fuzzing of membership operation sequences.
+
+Hypothesis drives random interleavings of joins, graceful leaves,
+silent failures and stabilisation rounds against every overlay, then
+asserts the core guarantees: invariants hold after stabilisation and
+every lookup resolves to the ground-truth owner.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.chord import ChordNetwork
+from repro.core import CycloidNetwork
+from repro.koorde import KoordeNetwork
+from repro.util.rng import make_rng
+from repro.viceroy import ViceroyNetwork
+
+# Each op: (kind, payload). Kinds: 0 join, 1 leave, 2 fail, 3 stabilize.
+operations = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 10_000)),
+    min_size=1,
+    max_size=25,
+)
+
+FACTORIES = {
+    "cycloid": lambda: CycloidNetwork.with_random_ids(40, 6, seed=5),
+    "chord": lambda: ChordNetwork.with_random_ids(40, 8, seed=5),
+    "koorde": lambda: KoordeNetwork.with_random_ids(40, 8, seed=5),
+    "viceroy": lambda: ViceroyNetwork.with_random_ids(40, seed=5),
+}
+
+
+def apply_operations(network, ops, tag):
+    joined = 0
+    for kind, payload in ops:
+        if kind == 0:
+            network.join(f"{tag}-{joined}-{payload}")
+            joined += 1
+        elif kind in (1, 2) and network.size > 3:
+            nodes = network.live_nodes()
+            victim = nodes[payload % len(nodes)]
+            if kind == 1:
+                network.leave(victim)
+            else:
+                network.fail(victim)
+        elif kind == 3:
+            network.stabilize()
+
+
+def assert_all_resolve(network, lookups=40):
+    rng = make_rng(99)
+    nodes = network.live_nodes()
+    for index in range(lookups):
+        source = nodes[rng.randrange(len(nodes))]
+        key = f"prop-{index}"
+        record = network.lookup(source, key)
+        assert record.success, (
+            network.protocol_name,
+            key,
+            record.owner,
+            network.owner_of_key(key).name,
+        )
+        assert record.timeouts == 0  # post-stabilisation: no staleness
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(ops=operations)
+def test_cycloid_survives_any_sequence(ops):
+    network = FACTORIES["cycloid"]()
+    apply_operations(network, ops, "c")
+    network.stabilize()
+    network.check_invariants()
+    assert_all_resolve(network)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(ops=operations)
+def test_chord_survives_any_sequence(ops):
+    network = FACTORIES["chord"]()
+    apply_operations(network, ops, "h")
+    network.stabilize()
+    network.check_invariants()
+    assert_all_resolve(network)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(ops=operations)
+def test_koorde_survives_any_sequence(ops):
+    network = FACTORIES["koorde"]()
+    apply_operations(network, ops, "k")
+    network.stabilize()
+    network.check_invariants()
+    assert_all_resolve(network)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(ops=operations)
+def test_viceroy_survives_any_sequence(ops):
+    network = FACTORIES["viceroy"]()
+    apply_operations(network, ops, "v")
+    network.check_invariants()  # eager repair: no stabilisation needed
+    assert_all_resolve(network)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(ops=operations)
+def test_cycloid_leaf_sets_fresh_under_graceful_ops(ops):
+    """Without silent failures, leaf sets stay fresh with NO
+    stabilisation at all (§3.3's notification guarantee)."""
+    network = FACTORIES["cycloid"]()
+    graceful = [(kind % 2, payload) for kind, payload in ops]
+    apply_operations(network, graceful, "g")
+    for node in network.live_nodes():
+        for leaf in node.leaf_entries():
+            assert leaf.alive

@@ -1,0 +1,110 @@
+"""Integration tests for the churn simulation driver."""
+
+import pytest
+
+from repro.chord import ChordNetwork
+from repro.core import CycloidNetwork
+from repro.sim.churn import ChurnConfig, run_churn_simulation
+from repro.viceroy import ViceroyNetwork
+
+
+class TestChurnConfig:
+    def test_defaults_match_paper(self):
+        config = ChurnConfig(join_leave_rate=0.05)
+        assert config.lookup_rate == 1.0
+        assert config.stabilization_interval == 30.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"join_leave_rate": -1.0},
+            {"join_leave_rate": 0.1, "duration": 0},
+            {"join_leave_rate": 0.1, "lookup_rate": 0},
+            {"join_leave_rate": 0.1, "stabilization_interval": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ChurnConfig(**kwargs)
+
+
+class TestChurnSimulation:
+    def test_deterministic_given_seed(self):
+        results = []
+        for _ in range(2):
+            network = CycloidNetwork.with_random_ids(100, 6, seed=1)
+            config = ChurnConfig(join_leave_rate=0.2, duration=120, seed=5)
+            result = run_churn_simulation(network, config)
+            results.append(
+                (
+                    result.joins,
+                    result.leaves,
+                    len(result.stats),
+                    result.stats.mean_path_length,
+                )
+            )
+        assert results[0] == results[1]
+
+    def test_poisson_event_counts_scale_with_rate(self):
+        low = run_churn_simulation(
+            CycloidNetwork.with_random_ids(100, 6, seed=1),
+            ChurnConfig(join_leave_rate=0.05, duration=200, seed=2),
+        )
+        high = run_churn_simulation(
+            CycloidNetwork.with_random_ids(100, 6, seed=1),
+            ChurnConfig(join_leave_rate=0.4, duration=200, seed=2),
+        )
+        assert high.joins > low.joins
+        assert high.leaves > low.leaves
+
+    def test_lookup_rate_produces_about_one_per_second(self):
+        result = run_churn_simulation(
+            CycloidNetwork.with_random_ids(100, 6, seed=1),
+            ChurnConfig(join_leave_rate=0.0, duration=400, seed=3),
+        )
+        assert 300 <= len(result.stats) <= 520
+
+    def test_zero_churn_never_fails(self):
+        result = run_churn_simulation(
+            ChordNetwork.with_random_ids(100, 8, seed=1),
+            ChurnConfig(join_leave_rate=0.0, duration=200, seed=4),
+        )
+        assert result.failures == 0
+        assert result.joins == result.leaves == 0
+
+    def test_cycloid_under_churn_resolves_all_lookups(self):
+        # Fig. 12 / Table 5: no failures with stabilisation running.
+        result = run_churn_simulation(
+            CycloidNetwork.with_random_ids(150, 6, seed=1),
+            ChurnConfig(join_leave_rate=0.3, duration=300, seed=5),
+        )
+        assert result.failures == 0
+        assert result.joins > 0 and result.leaves > 0
+
+    def test_viceroy_under_churn_has_zero_timeouts(self):
+        result = run_churn_simulation(
+            ViceroyNetwork.with_random_ids(150, seed=1),
+            ChurnConfig(join_leave_rate=0.3, duration=300, seed=6),
+        )
+        assert result.failures == 0
+        assert result.stats.timeout_summary().maximum == 0
+
+    def test_warmup_discards_early_lookups(self):
+        network = CycloidNetwork.with_random_ids(100, 6, seed=1)
+        result = run_churn_simulation(
+            network,
+            ChurnConfig(join_leave_rate=0.0, duration=200, seed=7, warmup=100),
+        )
+        full = run_churn_simulation(
+            CycloidNetwork.with_random_ids(100, 6, seed=1),
+            ChurnConfig(join_leave_rate=0.0, duration=200, seed=7),
+        )
+        assert len(result.stats) < len(full.stats)
+
+    def test_final_size_tracks_population(self):
+        network = CycloidNetwork.with_random_ids(100, 6, seed=1)
+        result = run_churn_simulation(
+            network, ChurnConfig(join_leave_rate=0.2, duration=200, seed=8)
+        )
+        assert result.final_size == network.size
+        assert result.final_size == 100 + result.joins - result.leaves

@@ -1,0 +1,47 @@
+"""Churn-driver integration with the extended protocols (Pastry, CAN)."""
+
+from repro.can import CanNetwork
+from repro.pastry import PastryNetwork
+from repro.sim.churn import ChurnConfig, run_churn_simulation
+
+
+class TestPastryUnderChurn:
+    def test_no_failures_with_stabilization(self):
+        network = PastryNetwork.with_random_ids(150, seed=1)
+        result = run_churn_simulation(
+            network,
+            ChurnConfig(join_leave_rate=0.3, duration=250, seed=2),
+        )
+        assert result.failures == 0
+        assert result.joins > 0 and result.leaves > 0
+        assert result.final_size == 150 + result.joins - result.leaves
+
+    def test_timeouts_small(self):
+        network = PastryNetwork.with_random_ids(150, seed=3)
+        result = run_churn_simulation(
+            network,
+            ChurnConfig(join_leave_rate=0.2, duration=250, seed=4),
+        )
+        assert result.stats.timeout_summary().mean < 0.5
+
+
+class TestCanUnderChurn:
+    def test_no_failures_with_stabilization(self):
+        network = CanNetwork.with_random_zones(80, seed=5)
+        network.stabilize()
+        result = run_churn_simulation(
+            network,
+            ChurnConfig(join_leave_rate=0.2, duration=200, seed=6),
+        )
+        assert result.failures == 0
+        network.check_invariants()
+
+    def test_partition_survives_churn(self):
+        network = CanNetwork.with_random_zones(60, seed=7)
+        network.stabilize()
+        run_churn_simulation(
+            network,
+            ChurnConfig(join_leave_rate=0.4, duration=150, seed=8),
+        )
+        network.stabilize()
+        network.check_invariants()

@@ -1,0 +1,88 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Event, EventQueue, Simulator
+
+
+class TestEvent:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            Event(-1.0, 0, lambda: None)
+
+    def test_ordering_by_time_then_sequence(self):
+        a = Event(1.0, 0, lambda: None)
+        b = Event(1.0, 1, lambda: None)
+        c = Event(0.5, 2, lambda: None)
+        assert c < a < b
+
+
+class TestEventQueue:
+    def test_fifo_for_equal_times(self):
+        queue = EventQueue()
+        order = []
+        queue.push(1.0, lambda: order.append("first"))
+        queue.push(1.0, lambda: order.append("second"))
+        queue.pop().action()
+        queue.pop().action()
+        assert order == ["first", "second"]
+
+    def test_pop_empty(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_peek(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.push(3.0, lambda: None)
+        assert queue.peek_time() == 3.0
+
+
+class TestSimulator:
+    def test_runs_in_time_order(self):
+        simulator = Simulator()
+        times = []
+        simulator.schedule(2.0, lambda: times.append(simulator.now))
+        simulator.schedule(1.0, lambda: times.append(simulator.now))
+        simulator.run_until(10.0)
+        assert times == [1.0, 2.0]
+        assert simulator.now == 10.0
+
+    def test_horizon_excludes_later_events(self):
+        simulator = Simulator()
+        fired = []
+        simulator.schedule(5.0, lambda: fired.append(5))
+        simulator.schedule(15.0, lambda: fired.append(15))
+        assert simulator.run_until(10.0) == 1
+        assert fired == [5]
+
+    def test_actions_can_reschedule(self):
+        simulator = Simulator()
+        ticks = []
+
+        def tick():
+            ticks.append(simulator.now)
+            if simulator.now < 5:
+                simulator.schedule(1.0, tick)
+
+        simulator.schedule(1.0, tick)
+        simulator.run_until(10.0)
+        assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-0.1, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        simulator = Simulator()
+        simulator.run_until(5.0)
+        with pytest.raises(ValueError):
+            simulator.schedule_at(1.0, lambda: None)
+
+    def test_time_monotone_across_runs(self):
+        simulator = Simulator()
+        simulator.run_until(3.0)
+        simulator.schedule(1.0, lambda: None)
+        simulator.run_until(8.0)
+        assert simulator.now == 8.0
+        assert simulator.processed == 1

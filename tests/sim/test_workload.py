@@ -1,0 +1,55 @@
+"""Unit tests for workload generators."""
+
+import pytest
+
+from repro.sim.workload import lookup_workload, random_keys, uniform_key_corpus
+from repro.util.rng import make_rng
+
+
+class TestRandomKeys:
+    def test_count_and_uniqueness(self, rng):
+        keys = random_keys(100, rng)
+        assert len(keys) == len(set(keys)) == 100
+
+    def test_negative_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_keys(-1, rng)
+
+    def test_prefix(self, rng):
+        assert random_keys(1, rng, prefix="abc")[0].startswith("abc-")
+
+
+class TestUniformKeyCorpus:
+    def test_deterministic(self):
+        assert uniform_key_corpus(50, 7) == uniform_key_corpus(50, 7)
+
+    def test_different_seeds_differ(self):
+        assert uniform_key_corpus(50, 7) != uniform_key_corpus(50, 8)
+
+    def test_prefix_stability(self):
+        # Growing the corpus preserves the prefix, as the incremental
+        # key-count sweep of Figs 8-9 requires.
+        small = uniform_key_corpus(10, 7)
+        large = uniform_key_corpus(20, 7)
+        assert large[:10] == small
+
+
+class TestLookupWorkload:
+    def test_yields_pairs(self, cycloid_sparse, rng):
+        pairs = list(lookup_workload(cycloid_sparse, 25, rng))
+        assert len(pairs) == 25
+        live = set(id(n) for n in cycloid_sparse.live_nodes())
+        for source, key in pairs:
+            assert id(source) in live
+            assert isinstance(key, str)
+
+    def test_uses_supplied_keys(self, cycloid_sparse, rng):
+        keys = ["a", "b"]
+        pairs = list(lookup_workload(cycloid_sparse, 20, rng, keys=keys))
+        assert {key for _, key in pairs} <= set(keys)
+
+    def test_empty_network_rejected(self, rng):
+        from repro.core import CycloidNetwork
+
+        with pytest.raises(ValueError):
+            list(lookup_workload(CycloidNetwork(4), 1, rng))

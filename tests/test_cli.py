@@ -1,0 +1,91 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig5_defaults(self):
+        args = build_parser().parse_args(["fig5"])
+        assert args.command == "fig5"
+        assert args.lookups == 3000
+        assert args.dimensions == [3, 4, 5, 6, 7, 8]
+
+    def test_seed_is_global(self):
+        args = build_parser().parse_args(["--seed", "7", "fig13"])
+        assert args.seed == 7
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestCommands:
+    def run(self, argv, capsys):
+        assert main(argv) == 0
+        return capsys.readouterr().out
+
+    def test_fig5_small(self, capsys):
+        out = self.run(
+            ["fig5", "--lookups", "100", "--dimensions", "3"], capsys
+        )
+        assert "Fig. 5" in out
+        assert "cycloid" in out and "viceroy" in out
+
+    def test_fig6_small(self, capsys):
+        out = self.run(
+            ["fig6", "--lookups", "100", "--dimensions", "3"], capsys
+        )
+        assert "Fig. 6" in out
+
+    def test_fig7_small(self, capsys):
+        out = self.run(
+            ["fig7", "--lookups", "100", "--dimensions", "4"], capsys
+        )
+        assert "ascending" in out and "de_bruijn" in out
+
+    def test_fig8_small(self, capsys):
+        out = self.run(
+            ["fig8", "--nodes", "200", "--keys", "2000"], capsys
+        )
+        assert "key distribution" in out
+
+    def test_fig10(self, capsys):
+        out = self.run(["fig10", "--lookups-per-node", "1"], capsys)
+        assert "query load" in out
+
+    def test_fig11_small(self, capsys):
+        out = self.run(
+            ["fig11", "--lookups", "200", "--probabilities", "0.2"], capsys
+        )
+        assert "Table 4" in out
+
+    def test_fig12_small(self, capsys):
+        out = self.run(
+            [
+                "fig12",
+                "--rates", "0.1",
+                "--duration", "60",
+                "--population", "100",
+            ],
+            capsys,
+        )
+        assert "Table 5" in out
+
+    def test_fig13_small(self, capsys):
+        out = self.run(["fig13", "--lookups", "100"], capsys)
+        assert "sparsity" in out
+
+    def test_fig14_small(self, capsys):
+        out = self.run(["fig14", "--lookups", "100"], capsys)
+        assert "Koorde" in out
+
+    def test_table1(self, capsys):
+        out = self.run(["table1"], capsys)
+        assert "7-entry Cycloid" in out
+        assert "CCC" in out

@@ -1,0 +1,129 @@
+"""Unit tests for repro.util.bitops."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bitops import (
+    bit_at,
+    circular_distance,
+    clockwise_distance,
+    counterclockwise_distance,
+    flip_bit,
+    from_bits,
+    msdb,
+    shares_prefix_above,
+    to_bits,
+)
+
+
+class TestBitAt:
+    def test_low_bit(self):
+        assert bit_at(0b1011, 0) == 1
+        assert bit_at(0b1010, 0) == 0
+
+    def test_high_bit(self):
+        assert bit_at(0b1000, 3) == 1
+        assert bit_at(0b0111, 3) == 0
+
+
+class TestFlipBit:
+    def test_flip_sets(self):
+        assert flip_bit(0b1000, 1) == 0b1010
+
+    def test_flip_clears(self):
+        assert flip_bit(0b1010, 1) == 0b1000
+
+    def test_double_flip_identity(self):
+        assert flip_bit(flip_bit(0b1101, 2), 2) == 0b1101
+
+
+class TestMsdb:
+    def test_equal_values(self):
+        assert msdb(42, 42) == -1
+
+    def test_differs_at_top(self):
+        assert msdb(0b0100, 0b1111) == 3
+
+    def test_differs_at_bottom(self):
+        assert msdb(0b0110, 0b0111) == 0
+
+    def test_paper_example(self):
+        # §3.2: MSDB of (0,0100) with destination (2,1111) is 3.
+        assert msdb(0b0100, 0b1111) == 3
+
+    @given(st.integers(0, 2**16 - 1), st.integers(0, 2**16 - 1))
+    def test_symmetry(self, a, b):
+        assert msdb(a, b) == msdb(b, a)
+
+    @given(st.integers(0, 2**16 - 1), st.integers(0, 2**16 - 1))
+    def test_agrees_above(self, a, b):
+        position = msdb(a, b)
+        if position >= 0:
+            assert (a >> (position + 1)) == (b >> (position + 1))
+            assert bit_at(a, position) != bit_at(b, position)
+
+
+class TestSharesPrefixAbove:
+    def test_share(self):
+        assert shares_prefix_above(0b1100, 0b1111, 1)
+
+    def test_differ(self):
+        assert not shares_prefix_above(0b1100, 0b0111, 1)
+
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 7))
+    def test_equivalent_to_msdb(self, a, b, position):
+        assert shares_prefix_above(a, b, position) == (msdb(a, b) <= position)
+
+
+class TestBitsRoundTrip:
+    def test_to_bits_msb_first(self):
+        assert to_bits(0b1010, 4) == [1, 0, 1, 0]
+
+    def test_to_bits_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            to_bits(16, 4)
+
+    def test_from_bits_rejects_non_bit(self):
+        with pytest.raises(ValueError):
+            from_bits([0, 2])
+
+    @given(st.integers(0, 2**12 - 1))
+    def test_round_trip(self, value):
+        assert from_bits(to_bits(value, 12)) == value
+
+
+class TestCircularDistances:
+    def test_clockwise(self):
+        assert clockwise_distance(250, 5, 256) == 11
+
+    def test_counterclockwise(self):
+        assert counterclockwise_distance(5, 250, 256) == 11
+
+    def test_circular_picks_shorter(self):
+        assert circular_distance(250, 5, 256) == 11
+        assert circular_distance(5, 250, 256) == 11
+
+    def test_zero_distance(self):
+        assert circular_distance(9, 9, 16) == 0
+
+    def test_rejects_bad_modulus(self):
+        with pytest.raises(ValueError):
+            clockwise_distance(0, 1, 0)
+
+    @given(
+        st.integers(0, 255), st.integers(0, 255)
+    )
+    def test_circular_symmetric(self, a, b):
+        assert circular_distance(a, b, 256) == circular_distance(b, a, 256)
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_cw_plus_ccw_is_modulus(self, a, b):
+        if a != b:
+            cw = clockwise_distance(a, b, 256)
+            ccw = counterclockwise_distance(a, b, 256)
+            assert cw + ccw == 256
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_circular_bounded_by_half(self, a, b):
+        assert circular_distance(a, b, 256) <= 128

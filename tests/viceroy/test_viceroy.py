@@ -1,0 +1,168 @@
+"""Viceroy protocol tests: levels, links, routing phases, maintenance."""
+
+import math
+
+import pytest
+
+from repro.util.rng import make_rng, sample_pairs
+from repro.viceroy import ViceroyNetwork
+from repro.viceroy.node import ID_SCALE, ViceroyNode
+
+
+class TestConstruction:
+    def test_levels_within_log_range(self):
+        network = ViceroyNetwork.with_random_ids(256, seed=1)
+        max_level = round(math.log2(256))
+        for node in network.live_nodes():
+            assert 1 <= node.level <= max_level
+
+    def test_all_levels_populated(self):
+        network = ViceroyNetwork.with_random_ids(512, seed=2)
+        levels = {node.level for node in network.live_nodes()}
+        assert levels == set(range(1, round(math.log2(512)) + 1))
+
+    def test_identity_in_unit_interval(self):
+        network = ViceroyNetwork.with_random_ids(50, seed=3)
+        for node in network.live_nodes():
+            assert 0.0 <= node.identity < 1.0
+
+    def test_constant_degree(self):
+        assert ViceroyNode("x", 0, 1).degree == 7
+
+    def test_node_validation(self):
+        with pytest.raises(ValueError):
+            ViceroyNode("x", ID_SCALE, 1)
+        with pytest.raises(ValueError):
+            ViceroyNode("x", 0, 0)
+
+
+class TestLinks:
+    @pytest.fixture(scope="class")
+    def network(self):
+        return ViceroyNetwork.with_random_ids(200, seed=4)
+
+    def test_up_link_is_previous_level(self, network):
+        for node in network.live_nodes():
+            up = network.up_link(node)
+            if node.level == 1:
+                assert up is None
+            elif up is not None:
+                assert up.level == node.level - 1
+
+    def test_down_links_next_level(self, network):
+        for node in network.live_nodes():
+            left, right = network.down_links(node)
+            for link in (left, right):
+                if link is not None:
+                    assert link.level == node.level + 1
+
+    def test_level_ring_same_level(self, network):
+        for node in network.live_nodes():
+            prev, next_ = network.level_ring(node)
+            for link in (prev, next_):
+                if link is not None:
+                    assert link.level == node.level
+
+    def test_general_ring_adjacency(self, network):
+        nodes = network.live_nodes()
+        for node in nodes[:20]:
+            pred, succ = network.general_ring(node)
+            assert network.ring.successor((node.id + 1) % ID_SCALE) is succ
+            assert network.ring.predecessor(node.id) is pred
+
+
+class TestRouting:
+    def test_all_lookups_resolve(self):
+        network = ViceroyNetwork.with_random_ids(300, seed=5)
+        rng = make_rng(6)
+        for source, target in sample_pairs(network.live_nodes(), 400, rng):
+            record = network.route(source, target.id)
+            assert record.success
+
+    def test_three_phases_present(self):
+        network = ViceroyNetwork.with_random_ids(300, seed=7)
+        rng = make_rng(8)
+        totals = {"ascending": 0, "descending": 0, "traverse": 0}
+        for source, target in sample_pairs(network.live_nodes(), 300, rng):
+            for phase, hops in network.route(source, target.id).phase_hops.items():
+                totals[phase] += hops
+        assert all(v > 0 for v in totals.values())
+
+    def test_traverse_dominates(self):
+        # Fig. 7(b): more than half the cost sits in the traverse phase
+        # and ascending is roughly 30%.
+        network = ViceroyNetwork.with_random_ids(1024, seed=9)
+        rng = make_rng(10)
+        totals = {"ascending": 0, "descending": 0, "traverse": 0}
+        for source, target in sample_pairs(network.live_nodes(), 400, rng):
+            for phase, hops in network.route(source, target.id).phase_hops.items():
+                totals[phase] += hops
+        total = sum(totals.values())
+        assert totals["traverse"] / total > 0.35
+        assert 0.10 < totals["ascending"] / total < 0.45
+
+    def test_never_times_out(self):
+        network = ViceroyNetwork.with_random_ids(200, seed=11)
+        rng = make_rng(12)
+        for node in list(network.live_nodes()):
+            if rng.random() < 0.4 and network.size > 2:
+                network.leave(node)
+        for source, target in sample_pairs(network.live_nodes(), 300, rng):
+            record = network.route(source, target.id)
+            assert record.timeouts == 0
+            assert record.success
+
+    def test_singleton(self):
+        network = ViceroyNetwork(seed=13)
+        node = network.join("only")
+        record = network.lookup(node, "key")
+        assert record.success and record.hops == 0
+
+
+class TestMaintenance:
+    def test_join_counts_affected_nodes(self):
+        network = ViceroyNetwork.with_random_ids(100, seed=14)
+        before = network.maintenance_updates
+        network.join("newcomer")
+        assert network.maintenance_updates > before
+
+    def test_leave_counts_affected_nodes(self):
+        network = ViceroyNetwork.with_random_ids(100, seed=15)
+        before = network.maintenance_updates
+        network.leave(network.live_nodes()[0])
+        assert network.maintenance_updates > before
+
+    def test_levels_readjusted_when_network_shrinks(self):
+        network = ViceroyNetwork.with_random_ids(256, seed=16)
+        rng = make_rng(17)
+        for node in list(network.live_nodes()):
+            if rng.random() < 0.75 and network.size > 2:
+                network.leave(node)
+        max_level = max(1, round(math.log2(network.size)))
+        for node in network.live_nodes():
+            assert node.level <= max_level
+        network.check_invariants()
+
+    def test_stabilize_is_noop(self):
+        network = ViceroyNetwork.with_random_ids(50, seed=18)
+        snapshot = [(n.id, n.level) for n in network.live_nodes()]
+        network.stabilize()
+        assert snapshot == [(n.id, n.level) for n in network.live_nodes()]
+
+    def test_path_decreases_as_network_shrinks(self):
+        # Fig. 11: Viceroy's path length drops under mass departures
+        # because the surviving network is smaller.
+        network = ViceroyNetwork.with_random_ids(1024, seed=19)
+        rng = make_rng(20)
+        before = sum(
+            network.route(s, t.id).hops
+            for s, t in sample_pairs(network.live_nodes(), 300, rng)
+        ) / 300
+        for node in list(network.live_nodes()):
+            if rng.random() < 0.6 and network.size > 2:
+                network.leave(node)
+        after = sum(
+            network.route(s, t.id).hops
+            for s, t in sample_pairs(network.live_nodes(), 300, rng)
+        ) / 300
+        assert after < before

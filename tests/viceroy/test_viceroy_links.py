@@ -1,0 +1,103 @@
+"""Detailed Viceroy link-geometry tests (butterfly construction)."""
+
+import pytest
+
+from repro.util.rng import make_rng
+from repro.viceroy import ViceroyNetwork
+from repro.viceroy.node import ID_BITS, ID_SCALE
+
+
+@pytest.fixture(scope="module")
+def network():
+    return ViceroyNetwork.with_random_ids(512, seed=21)
+
+
+class TestDownLinkGeometry:
+    def test_left_down_link_is_nearest_clockwise(self, network):
+        for node in network.live_nodes()[:50]:
+            left, _ = network.down_links(node)
+            if left is None:
+                continue
+            # No level-(l+1) node lies strictly between node.id and left.
+            for other in network.live_nodes():
+                if other.level != node.level + 1 or other is left:
+                    continue
+                own = (other.id - node.id) % ID_SCALE
+                chosen = (left.id - node.id) % ID_SCALE
+                assert own >= chosen
+
+    def test_right_down_link_offset(self, network):
+        for node in network.live_nodes()[:50]:
+            _, right = network.down_links(node)
+            if right is None:
+                continue
+            anchor = (node.id + (ID_SCALE >> node.level)) % ID_SCALE
+            for other in network.live_nodes():
+                if other.level != node.level + 1 or other is right:
+                    continue
+                own = (other.id - anchor) % ID_SCALE
+                chosen = (right.id - anchor) % ID_SCALE
+                assert own >= chosen
+
+    def test_bottom_level_has_no_down_links(self, network):
+        deepest = max(node.level for node in network.live_nodes())
+        for node in network.live_nodes():
+            if node.level == deepest:
+                left, right = network.down_links(node)
+                assert left is None and right is None
+
+
+class TestLevelRingGeometry:
+    def test_level_ring_is_circular(self, network):
+        start = next(
+            node for node in network.live_nodes() if node.level == 2
+        )
+        seen = {start.id}
+        _, cursor = network.level_ring(start)
+        steps = 0
+        while cursor is not start:
+            assert cursor.level == 2
+            seen.add(cursor.id)
+            _, cursor = network.level_ring(cursor)
+            steps += 1
+            assert steps < 1000
+        level_two = {
+            node.id for node in network.live_nodes() if node.level == 2
+        }
+        assert seen == level_two
+
+    def test_lone_level_node_has_no_ring(self):
+        small = ViceroyNetwork(seed=1)
+        a = small.join("a")
+        assert small.level_ring(a) == (None, None)
+
+
+class TestDescentBehaviour:
+    def test_descent_lands_in_the_keys_vicinity(self, network):
+        """The butterfly descent ends near the key: the remaining ring
+        walk is bounded, though it dominates the total cost (the >50%
+        traverse share of Fig. 7b)."""
+        rng = make_rng(2)
+        nodes = network.live_nodes()
+        long_traverses = 0
+        total = 200
+        for index in range(total):
+            source = nodes[rng.randrange(len(nodes))]
+            key = network.key_id(f"descent-{index}")
+            record = network.route(source, key)
+            assert record.success
+            if record.phase_hops["traverse"] > 12:
+                long_traverses += 1
+        # Most lookups end with a ring walk shorter than ~log2 n hops;
+        # the tail is what makes traverse Viceroy's dominant phase.
+        assert long_traverses < total * 0.5
+
+    def test_ascending_bounded_by_levels(self, network):
+        rng = make_rng(3)
+        nodes = network.live_nodes()
+        deepest = max(node.level for node in nodes)
+        for index in range(200):
+            source = nodes[rng.randrange(len(nodes))]
+            key = network.key_id(f"up-{index}")
+            record = network.route(source, key)
+            assert record.phase_hops["ascending"] <= deepest - 1
