@@ -20,7 +20,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 from repro.can.node import CanNode, Zone
 from repro.dht.base import Network
 from repro.dht.hashing import consistent_hash
-from repro.dht.metrics import LookupRecord
+from repro.dht.routing import RoutingDecision
 from repro.util.bitops import circular_distance
 from repro.util.rng import make_rng
 
@@ -36,6 +36,7 @@ class CanNetwork(Network):
     """A CAN over the ``[0, 2^RESOLUTION_BITS)^dimensions`` torus."""
 
     protocol_name = "can"
+    ROUTING_PHASES = (PHASE_GREEDY,)
 
     def __init__(
         self, dimensions: int = DEFAULT_DIMENSIONS, seed: Optional[int] = None
@@ -71,6 +72,10 @@ class CanNetwork(Network):
 
     def live_nodes(self) -> Sequence[CanNode]:
         return list(self._nodes)
+
+    @property
+    def size(self) -> int:
+        return len(self._nodes)
 
     def key_id(self, key: object) -> Tuple[int, ...]:
         """Hash a key to a point on the torus (one hash per axis)."""
@@ -118,60 +123,38 @@ class CanNetwork(Network):
                 clamped.append(lo if d_lo <= d_hi else hi)
         return tuple(clamped)
 
-    def route(
+    def begin_route(
         self, source: CanNode, key_id: Tuple[int, ...]
-    ) -> LookupRecord:
-        if not source.alive:
-            raise ValueError("lookup source must be alive")
-        current = source
-        hops = 0
-        timeouts = 0
-        owner = self.owner_of_id(key_id)
-        path = [source.name]
-        visited: Set[object] = set()
+    ) -> Set[object]:
+        return set()  # names of nodes the message has passed through
 
-        while hops < self.HOP_LIMIT:
-            if current.owns(key_id):
-                break
-            visited.add(current.name)
-            current_distance = self._node_distance(current, key_id)
-            ranked = sorted(
-                (
-                    neighbor
-                    for neighbor in current.neighbors
-                    if neighbor.name not in visited
-                ),
-                key=lambda n: self._node_distance(n, key_id),
-            )
-            next_hop = None
-            for candidate in ranked:
-                if not candidate.alive:
-                    timeouts += 1
-                    continue
-                if self._node_distance(candidate, key_id) >= current_distance:
-                    # Greedy progress stalled (possible after failures);
-                    # CAN would fall back to perimeter routing — we
-                    # allow one sideways hop to an unvisited neighbour.
-                    pass
-                next_hop = candidate
-                break
-            if next_hop is None:
-                break
-            current = next_hop
-            hops += 1
-            path.append(current.name)
-            self._record_visit(current)
-
-        return LookupRecord(
-            hops=hops,
-            success=current is owner,
-            timeouts=timeouts,
-            phase_hops={PHASE_GREEDY: hops},
-            source=source.name,
-            key=key_id,
-            owner=current.name,
-            path=path,
+    def next_hop(
+        self, current: CanNode, key_id: Tuple[int, ...], visited: Set[object]
+    ) -> RoutingDecision:
+        if current.owns(key_id):
+            return RoutingDecision.terminate()
+        visited.add(current.name)
+        current_distance = self._node_distance(current, key_id)
+        ranked = sorted(
+            (
+                neighbor
+                for neighbor in current.neighbors
+                if neighbor.name not in visited
+            ),
+            key=lambda n: self._node_distance(n, key_id),
         )
+        timeouts = 0
+        for candidate in ranked:
+            if not candidate.alive:
+                timeouts += 1
+                continue
+            if self._node_distance(candidate, key_id) >= current_distance:
+                # Greedy progress stalled (possible after failures);
+                # CAN would fall back to perimeter routing — we
+                # allow one sideways hop to an unvisited neighbour.
+                pass
+            return RoutingDecision.forward(candidate, PHASE_GREEDY, timeouts)
+        return RoutingDecision.terminate(timeouts)
 
     # ------------------------------------------------------------------
     # membership

@@ -16,8 +16,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set
 from repro.chord.node import ChordNode
 from repro.dht.base import Network
 from repro.dht.hashing import hash_to_ring
-from repro.dht.metrics import LookupRecord
 from repro.dht.ring import SortedRing, in_interval
+from repro.dht.routing import RoutingDecision
 from repro.util.rng import make_rng
 
 __all__ = ["ChordNetwork"]
@@ -36,6 +36,7 @@ class ChordNetwork(Network):
     """
 
     protocol_name = "chord"
+    ROUTING_PHASES = (PHASE_FINGER, PHASE_SUCCESSOR)
 
     def __init__(
         self,
@@ -107,6 +108,10 @@ class ChordNetwork(Network):
     def live_nodes(self) -> Sequence[ChordNode]:
         return self.ring.nodes()
 
+    @property
+    def size(self) -> int:
+        return len(self.ring)
+
     def key_id(self, key: object) -> int:
         return hash_to_ring(key, self.bits)
 
@@ -118,57 +123,23 @@ class ChordNetwork(Network):
     # routing
     # ------------------------------------------------------------------
 
-    def route(self, source: ChordNode, key_id: int) -> LookupRecord:
-        if not source.alive:
-            raise ValueError("lookup source must be alive")
-        current = source
-        hops = 0
-        timeouts = 0
-        phases = {PHASE_FINGER: 0, PHASE_SUCCESSOR: 0}
-        owner = self.owner_of_id(key_id)
-        path = [source.name]
-
-        while hops < self.HOP_LIMIT:
-            if current.id == key_id or self._believes_responsible(
-                current, key_id
-            ):
-                break
-            next_hop, phase, step_timeouts, final = self._next_hop(
-                current, key_id
-            )
-            timeouts += step_timeouts
-            if next_hop is None:
-                # No live pointer toward the key: the lookup dies here.
-                return LookupRecord(
-                    hops=hops,
-                    success=False,
-                    timeouts=timeouts,
-                    phase_hops=dict(phases),
-                    source=source.name,
-                    key=key_id,
-                    owner=current.name,
-                    path=path,
-                )
-            if next_hop is current:
-                break  # current believes it is responsible
-            current = next_hop
-            hops += 1
-            phases[phase] += 1
-            path.append(current.name)
-            self._record_visit(current)
-            if final:
-                break  # delivered to the key's believed successor
-
-        return LookupRecord(
-            hops=hops,
-            success=current is owner,
-            timeouts=timeouts,
-            phase_hops=dict(phases),
-            source=source.name,
-            key=key_id,
-            owner=current.name,
-            path=path,
-        )
+    def next_hop(
+        self, current: ChordNode, key_id: int, state: object
+    ) -> RoutingDecision:
+        if current.id == key_id or self._believes_responsible(
+            current, key_id
+        ):
+            return RoutingDecision.terminate()
+        node, phase, timeouts, final = self._choose_next(current, key_id)
+        if node is None:
+            # No live pointer toward the key: the lookup dies here.
+            return RoutingDecision.dead_end(timeouts)
+        if node is current:
+            return RoutingDecision.terminate(timeouts)
+        if final:
+            # Delivered to the key's believed successor.
+            return RoutingDecision.deliver(node, phase, timeouts)
+        return RoutingDecision.forward(node, phase, timeouts)
 
     def _believes_responsible(self, node: ChordNode, key_id: int) -> bool:
         """True when the node's local state says it stores the key
@@ -178,7 +149,7 @@ class ChordNetwork(Network):
             return not node.successors  # singleton owns everything
         return in_interval(key_id, predecessor.id, node.id, self.ring.modulus)
 
-    def _next_hop(self, current: ChordNode, key_id: int):
+    def _choose_next(self, current: ChordNode, key_id: int):
         """One Chord routing decision at ``current``.
 
         Returns ``(next_node_or_None, phase, timeouts, final)``.  Dead

@@ -14,6 +14,10 @@ Usage::
 
 Each command prints the reproduced table; the heavier sweeps accept
 size knobs so a laptop run can be scaled down.
+
+``--trace PATH`` (on the lookup-driven commands: fig5/6/7, fig10,
+fig11, fig13, fig14) streams every routing hop as one JSON line to
+``PATH`` — see :class:`repro.dht.routing.JsonlTraceSink`.
 """
 
 from __future__ import annotations
@@ -23,6 +27,7 @@ import sys
 from typing import List, Optional
 
 from repro.analysis import format_table
+from repro.dht.routing import JsonlTraceSink, TraceObserver
 from repro.experiments import (
     architecture_table,
     run_churn_experiment,
@@ -44,6 +49,13 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduce the Cycloid paper's tables and figures.",
     )
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a JSONL per-hop trace of every lookup to PATH "
+        "(lookup-driven commands only)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     fig5 = sub.add_parser("fig5", help="path length vs network size")
@@ -103,11 +115,22 @@ def _print(text: str) -> None:
     print()
 
 
-def _run_fig5_or_6(args: argparse.Namespace, by_dimension: bool) -> None:
+#: Commands whose lookups can stream to ``--trace`` (everything that
+#: runs through the routing engine; fig8/9/12 and table1 do not issue
+#: a plain lookup workload).
+TRACEABLE_COMMANDS = ("fig5", "fig6", "fig7", "fig10", "fig11", "fig13", "fig14")
+
+
+def _run_fig5_or_6(
+    args: argparse.Namespace,
+    by_dimension: bool,
+    observer: Optional[TraceObserver] = None,
+) -> None:
     points = run_path_length_experiment(
         dimensions=tuple(args.dimensions),
         lookups=args.lookups,
         seed=args.seed,
+        observer=observer,
     )
     x_header = "d" if by_dimension else "n"
     rows = [
@@ -129,15 +152,47 @@ def _run_fig5_or_6(args: argparse.Namespace, by_dimension: bool) -> None:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
+    sink: Optional[JsonlTraceSink] = None
+    trace_file = None
+    if args.trace is not None:
+        if args.command not in TRACEABLE_COMMANDS:
+            print(
+                f"error: --trace is not supported for {args.command} "
+                f"(traceable: {', '.join(TRACEABLE_COMMANDS)})",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            trace_file = open(args.trace, "w", encoding="utf-8")
+        except OSError as exc:
+            print(f"error: cannot open trace file: {exc}", file=sys.stderr)
+            return 2
+        sink = JsonlTraceSink(trace_file)
+
+    try:
+        return _dispatch(args, sink)
+    finally:
+        if trace_file is not None:
+            trace_file.close()
+            print(
+                f"trace: {sink.events_written} hop events -> {args.trace}",
+                file=sys.stderr,
+            )
+
+
+def _dispatch(
+    args: argparse.Namespace, sink: Optional[JsonlTraceSink]
+) -> int:
     if args.command == "fig5":
-        _run_fig5_or_6(args, by_dimension=False)
+        _run_fig5_or_6(args, by_dimension=False, observer=sink)
     elif args.command == "fig6":
-        _run_fig5_or_6(args, by_dimension=True)
+        _run_fig5_or_6(args, by_dimension=True, observer=sink)
     elif args.command == "fig7":
         points = run_phase_breakdown_experiment(
             dimensions=tuple(args.dimensions),
             lookups=args.lookups,
             seed=args.seed,
+            observer=sink,
         )
         rows = [
             [
@@ -182,7 +237,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     elif args.command == "fig10":
         points = run_query_load_experiment(
-            lookups_per_node=args.lookups_per_node, seed=args.seed
+            lookups_per_node=args.lookups_per_node,
+            seed=args.seed,
+            observer=sink,
         )
         rows = [
             [
@@ -206,6 +263,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             probabilities=tuple(args.probabilities),
             lookups=args.lookups,
             seed=args.seed,
+            observer=sink,
         )
         rows = [
             [
@@ -249,7 +307,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         )
     elif args.command == "fig13":
-        points = run_sparsity_experiment(lookups=args.lookups, seed=args.seed)
+        points = run_sparsity_experiment(
+            lookups=args.lookups, seed=args.seed, observer=sink
+        )
         rows = [
             [
                 p.protocol,
@@ -268,7 +328,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     elif args.command == "fig14":
         points = run_koorde_sparsity_breakdown(
-            lookups=args.lookups, seed=args.seed
+            lookups=args.lookups, seed=args.seed, observer=sink
         )
         rows = [
             [

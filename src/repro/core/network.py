@@ -33,7 +33,7 @@ from repro.core.topology import CycloidTopology
 from repro.dht.base import Network
 from repro.dht.hashing import hash_to_cycloid
 from repro.dht.identifiers import CycloidId, cycloid_space_size
-from repro.dht.metrics import LookupRecord
+from repro.dht.routing import RoutingDecision
 from repro.util.bitops import circular_distance, clockwise_distance, msdb
 from repro.util.rng import make_rng
 
@@ -87,6 +87,7 @@ class CycloidNetwork(Network):
     """
 
     protocol_name = "cycloid"
+    ROUTING_PHASES = (PHASE_ASCENDING, PHASE_DESCENDING, PHASE_TRAVERSE)
 
     def __init__(
         self,
@@ -157,6 +158,10 @@ class CycloidNetwork(Network):
     def live_nodes(self) -> Sequence[CycloidNode]:
         return list(self.topology.nodes())
 
+    @property
+    def size(self) -> int:
+        return len(self.topology)
+
     def key_id(self, key: object) -> CycloidId:
         return hash_to_cycloid(key, self.dimension)
 
@@ -203,58 +208,38 @@ class CycloidNetwork(Network):
     # routing
     # ------------------------------------------------------------------
 
-    def route(self, source: CycloidNode, key_id: CycloidId) -> LookupRecord:
-        if not source.alive:
-            raise ValueError("lookup source must be alive")
-        current = source
-        hops = 0
-        timeouts = 0
-        phases = {PHASE_ASCENDING: 0, PHASE_DESCENDING: 0, PHASE_TRAVERSE: 0}
-        owner = self.owner_of_id(key_id)
+    def begin_route(
+        self, source: CycloidNode, key_id: CycloidId
+    ) -> "_RouteState":
         state = _RouteState(key_id)
-        state.observe(current)
-        path = [source.name]
+        state.observe(source)
+        return state
 
-        while hops < self.HOP_LIMIT:
-            if current.id == key_id:
-                break
-            state.visited.add(current.id)
-            next_hop, phase, step_timeouts = self._next_hop(
-                current, key_id, state
-            )
-            timeouts += step_timeouts
-            if next_hop is None:
-                break  # no live entry improves on what has been seen
-            current = next_hop
-            hops += 1
-            phases[phase] += 1
-            path.append(current.name)
-            self._record_visit(current)
+    def next_hop(
+        self, current: CycloidNode, key_id: CycloidId, state: "_RouteState"
+    ) -> RoutingDecision:
+        if current.id == key_id:
+            return RoutingDecision.terminate()
+        state.visited.add(current.id)
+        node, phase, timeouts = self._choose_next(current, key_id, state)
+        if node is None:
+            # No live entry improves on what has been seen.
+            return RoutingDecision.terminate(timeouts)
+        return RoutingDecision.forward(node, phase, timeouts)
 
-        # The lookup message tracked the numerically closest live node it
-        # observed ("the leaf sets help ... check the termination
-        # condition", §3.1); if the walk ended elsewhere, one direct hop
-        # hands the request over.
+    def finish_route(
+        self, current: CycloidNode, key_id: CycloidId, state: "_RouteState"
+    ) -> Optional[RoutingDecision]:
+        """The lookup message tracked the numerically closest live node
+        it observed ("the leaf sets help ... check the termination
+        condition", §3.1); if the walk ended elsewhere, one direct hop
+        hands the request over."""
         best = state.best
         if best is not current and best is not None and best.alive:
-            current = best
-            hops += 1
-            phases[PHASE_TRAVERSE] += 1
-            path.append(current.name)
-            self._record_visit(current)
+            return RoutingDecision.deliver(best, PHASE_TRAVERSE)
+        return None
 
-        return LookupRecord(
-            hops=hops,
-            success=current is owner,
-            timeouts=timeouts,
-            phase_hops=dict(phases),
-            source=source.name,
-            key=key_id,
-            owner=current.name,
-            path=path,
-        )
-
-    def _next_hop(
+    def _choose_next(
         self,
         current: CycloidNode,
         key_id: CycloidId,

@@ -9,6 +9,14 @@ from repro.dht.base import LookupOutcome, Network, Node
 from repro.dht.hashing import consistent_hash, hash_to_ring, key_ids
 from repro.dht.identifiers import CycloidId, RingId, cycloid_space_size
 from repro.dht.metrics import LookupRecord, LookupStats
+from repro.dht.routing import (
+    JsonlTraceSink,
+    LookupEngine,
+    RecordingTracer,
+    RoutingDecision,
+    TraceEvent,
+    TraceObserver,
+)
 
 __all__ = [
     "Network",
@@ -16,6 +24,12 @@ __all__ = [
     "LookupOutcome",
     "LookupRecord",
     "LookupStats",
+    "RoutingDecision",
+    "LookupEngine",
+    "TraceEvent",
+    "TraceObserver",
+    "JsonlTraceSink",
+    "RecordingTracer",
     "CycloidId",
     "RingId",
     "cycloid_space_size",

@@ -16,9 +16,11 @@ from __future__ import annotations
 
 import abc
 import enum
-from typing import Dict, Iterable, List, Optional, Sequence
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.dht.metrics import LookupRecord
+from repro.dht.routing import LookupEngine, RoutingDecision, TraceObserver
 
 __all__ = ["LookupOutcome", "Node", "Network"]
 
@@ -77,8 +79,13 @@ class Network(abc.ABC):
     #: path so hitting it flags a routing bug rather than masking one.
     HOP_LIMIT = 4096
 
+    #: Every phase label :meth:`next_hop` may emit, in reporting order.
+    #: The lookup engine zero-fills these in ``LookupRecord.phase_hops``
+    #: so the per-phase breakdown (Figs 7/14) always sees every phase.
+    ROUTING_PHASES: Tuple[str, ...] = ()
+
     def __init__(self) -> None:
-        self._query_counts: Dict[object, int] = {}
+        self._query_counts: Counter = Counter()
         #: running count of *other* nodes whose routing state a join or
         #: graceful leave updated — the connectivity-maintenance cost
         #: the paper's conclusion weighs across designs.
@@ -94,6 +101,13 @@ class Network(abc.ABC):
 
     @property
     def size(self) -> int:
+        """Live population count.
+
+        The base implementation materialises :meth:`live_nodes`; every
+        concrete overlay overrides it with an O(1) answer from its own
+        index (ring/topology/zone list), which the per-hop paths and the
+        experiment drivers rely on.
+        """
         return len(self.live_nodes())
 
     @abc.abstractmethod
@@ -151,17 +165,70 @@ class Network(abc.ABC):
     def owner_of_key(self, key: object) -> Node:
         return self.owner_of_id(self.key_id(key))
 
-    @abc.abstractmethod
-    def route(self, source: Node, key_id: object) -> LookupRecord:
-        """Route a lookup from ``source`` toward ``key_id``.
+    # -- the routing step contract -------------------------------------
+    #
+    # Protocols no longer implement the lookup loop themselves: they
+    # expose a pure per-hop decision and the shared engine
+    # (:mod:`repro.dht.routing`) drives it, counting hops/timeouts,
+    # recording query load and emitting trace events.
 
-        Implementations must count hops/timeouts and fill ``phase_hops``;
-        they use :meth:`_record_visit` for query-load accounting.
+    @abc.abstractmethod
+    def next_hop(
+        self, current: Node, key_id: object, state: object
+    ) -> RoutingDecision:
+        """One protocol routing decision at ``current``.
+
+        ``state`` is whatever :meth:`begin_route` returned for this
+        lookup.  The decision carries the next node (or a terminal
+        outcome), the phase label of the hop, and the number of dead
+        nodes contacted while deciding (one timeout each, paper §4.3).
         """
+
+    def begin_route(self, source: Node, key_id: object) -> object:
+        """Per-lookup scratch state handed to every :meth:`next_hop`
+        call.  Default: stateless protocols return ``None``."""
+        return None
+
+    def finish_route(
+        self, current: Node, key_id: object, state: object
+    ) -> Optional[RoutingDecision]:
+        """An optional final delivery hop once the walk has stopped
+        (Cycloid's best-observed handoff).  Default: none."""
+        return None
+
+    def route(self, source: Node, key_id: object) -> LookupRecord:
+        """Route a lookup from ``source`` toward ``key_id`` via the
+        shared engine."""
+        return LookupEngine(self).run(source, key_id)
 
     def lookup(self, source: Node, key: object) -> LookupRecord:
         """Route a lookup for an application ``key`` from ``source``."""
-        return self.route(source, self.key_id(key))
+        return LookupEngine(self).run(source, self.key_id(key))
+
+    def lookup_many(
+        self,
+        pairs: Iterable[Tuple[Node, object]],
+        observer: Optional[TraceObserver] = None,
+    ) -> List[LookupRecord]:
+        """Route a batch of ``(source, application key)`` lookups.
+
+        One engine (and its scratch state) is reused across the whole
+        batch, and ``observer`` — e.g. a
+        :class:`~repro.dht.routing.JsonlTraceSink` — receives every
+        per-hop trace event with lookup ids numbered from 0.
+        """
+        engine = LookupEngine(self, observer)
+        key_id = self.key_id
+        return [engine.run(source, key_id(key)) for source, key in pairs]
+
+    def route_many(
+        self,
+        pairs: Iterable[Tuple[Node, object]],
+        observer: Optional[TraceObserver] = None,
+    ) -> List[LookupRecord]:
+        """Route a batch of ``(source, key id)`` lookups (pre-hashed
+        variant of :meth:`lookup_many`)."""
+        return LookupEngine(self, observer).run_batch(pairs)
 
     def assign_keys(self, keys: Iterable[object]) -> Dict[Node, int]:
         """Distribute a key corpus; returns keys-per-node counts (Figs 8-9).
@@ -179,16 +246,15 @@ class Network(abc.ABC):
     # ------------------------------------------------------------------
 
     def _record_visit(self, node: Node) -> None:
-        self._query_counts[node.name] = self._query_counts.get(node.name, 0) + 1
+        self._query_counts[node.name] += 1
 
     def reset_query_counts(self) -> None:
         self._query_counts.clear()
 
     def query_counts(self) -> List[int]:
         """Per-live-node query counts, zero-filled for unvisited nodes."""
-        return [
-            self._query_counts.get(node.name, 0) for node in self.live_nodes()
-        ]
+        counts = self._query_counts
+        return [counts[node.name] for node in self.live_nodes()]
 
     # ------------------------------------------------------------------
     # invariants

@@ -24,6 +24,11 @@ class LookupRecord:
 
     ``path`` holds the node names the message passed through, source
     first — ``len(path) == hops + 1`` whenever it is recorded.
+
+    ``phase_hops``, when present, must sum to ``hops``.  Records built
+    by :class:`repro.dht.routing.LookupEngine` always carry the full
+    phase dict (every phase of the protocol, zero-filled), so the
+    empty-dict escape below only applies to hand-built records.
     """
 
     hops: int

@@ -1,0 +1,340 @@
+"""The shared lookup execution engine.
+
+Every overlay used to re-implement the same ``route()`` driver loop —
+hop counting, ``HOP_LIMIT`` enforcement, timeout accounting, query-load
+recording, ``phase_hops`` bookkeeping — around its protocol-specific
+next-hop choice.  This module hoists that loop into one place:
+
+* a protocol exposes a *pure step function*
+  ``Network.next_hop(current, key_id, state) -> RoutingDecision`` plus
+  optional ``begin_route`` (per-lookup scratch state) and
+  ``finish_route`` (a final delivery hop, e.g. Cycloid's best-observed
+  handoff);
+* :class:`LookupEngine` drives the loop once for everyone, enforcing
+  ``HOP_LIMIT``, accumulating the :class:`~repro.dht.metrics.LookupRecord`,
+  doing query-load accounting, and asserting the phase-sum invariant
+  (``sum(phase_hops.values()) == hops``) that
+  :class:`~repro.dht.metrics.LookupRecord` can only check when the phase
+  dict is populated;
+* per-hop :class:`TraceEvent` objects go to a pluggable
+  :class:`TraceObserver`.  The default is no observer at all — the hot
+  path pays a single ``is None`` test per hop.
+
+The engine is deliberately tolerant of protocols that consume routing
+state without sending a message (Koorde's de Bruijn self-shift):
+a decision with neither a node nor a terminal flag re-enters the loop
+without counting a hop.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import (
+    IO,
+    TYPE_CHECKING,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
+
+from repro.dht.metrics import LookupRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
+    from repro.dht.base import Network, Node
+
+__all__ = [
+    "RoutingDecision",
+    "TraceEvent",
+    "TraceObserver",
+    "JsonlTraceSink",
+    "RecordingTracer",
+    "LookupEngine",
+    "execute_lookup",
+]
+
+
+class RoutingDecision:
+    """One protocol routing step, as seen by the engine.
+
+    The four meaningful shapes (use the factory methods):
+
+    ========================  =========================================
+    ``forward(node, phase)``  hop to ``node``, keep routing
+    ``deliver(node, phase)``  hop to ``node``, then stop (delivery step)
+    ``terminate()``           stop at the current node
+    ``dead_end()``            stop; the lookup failed (no live pointer)
+    ``advance()``             consume routing state, no message sent
+    ========================  =========================================
+
+    ``timeouts`` counts dead nodes contacted while making the decision
+    (paper §4.3); the engine accumulates it in every case, including
+    terminal ones.
+    """
+
+    __slots__ = ("node", "phase", "timeouts", "terminal", "failed")
+
+    def __init__(
+        self,
+        node: Optional["Node"],
+        phase: str,
+        timeouts: int,
+        terminal: bool,
+        failed: bool,
+    ) -> None:
+        self.node = node
+        self.phase = phase
+        self.timeouts = timeouts
+        self.terminal = terminal
+        self.failed = failed
+
+    @staticmethod
+    def forward(
+        node: "Node", phase: str, timeouts: int = 0
+    ) -> "RoutingDecision":
+        """Hop to ``node`` (one message) and keep routing."""
+        return RoutingDecision(node, phase, timeouts, False, False)
+
+    @staticmethod
+    def deliver(
+        node: "Node", phase: str, timeouts: int = 0
+    ) -> "RoutingDecision":
+        """Hop to ``node`` and terminate — the delivery step."""
+        return RoutingDecision(node, phase, timeouts, True, False)
+
+    @staticmethod
+    def terminate(timeouts: int = 0) -> "RoutingDecision":
+        """Stop at the current node (it believes it is responsible, or
+        no entry improves on what has been seen)."""
+        return RoutingDecision(None, "", timeouts, True, False)
+
+    @staticmethod
+    def dead_end(timeouts: int = 0) -> "RoutingDecision":
+        """Stop at the current node; the lookup failed outright."""
+        return RoutingDecision(None, "", timeouts, True, True)
+
+    @staticmethod
+    def advance(timeouts: int = 0) -> "RoutingDecision":
+        """Consume routing state without sending a message (Koorde's
+        self-pointing de Bruijn shift); the engine loops again without
+        counting a hop."""
+        return RoutingDecision(None, "", timeouts, False, False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        target = self.node if self.node is not None else "-"
+        kind = "terminal" if self.terminal else "forward"
+        return (
+            f"<RoutingDecision {kind} {target} phase={self.phase!r} "
+            f"timeouts={self.timeouts} failed={self.failed}>"
+        )
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One routed hop, as emitted to trace observers.
+
+    ``hop`` is 1-based; ``timeouts`` counts the dead nodes contacted
+    while deciding this hop (not a running total).
+    """
+
+    lookup_id: int
+    hop: int
+    node: object
+    phase: str
+    timeouts: int
+
+
+class TraceObserver:
+    """Receiver of per-lookup trace callbacks.  All methods are no-ops;
+    subclass and override what you need.  Passing ``observer=None`` to
+    the engine (the default) skips event construction entirely."""
+
+    def on_lookup_start(
+        self, lookup_id: int, source: "Node", key_id: object
+    ) -> None:
+        """A lookup is about to be routed."""
+
+    def on_hop(self, event: TraceEvent) -> None:
+        """One hop was taken (exactly one call per counted hop)."""
+
+    def on_lookup_end(self, lookup_id: int, record: LookupRecord) -> None:
+        """The lookup terminated; ``record`` is its final accounting."""
+
+
+class JsonlTraceSink(TraceObserver):
+    """Write one JSON line per hop to ``stream`` (the ``--trace`` format).
+
+    Every line carries the lookup id, the 1-based hop index, the node
+    hopped to, the phase label and the step's timeout count; node names
+    and ids are stringified so any overlay's identifiers serialise.
+    """
+
+    def __init__(self, stream: IO[str]) -> None:
+        self.stream = stream
+        self.events_written = 0
+
+    def on_hop(self, event: TraceEvent) -> None:
+        self.stream.write(
+            json.dumps(
+                {
+                    "lookup": event.lookup_id,
+                    "hop": event.hop,
+                    "node": str(event.node),
+                    "phase": event.phase,
+                    "timeouts": event.timeouts,
+                }
+            )
+        )
+        self.stream.write("\n")
+        self.events_written += 1
+
+
+class RecordingTracer(TraceObserver):
+    """Keep every event in memory — the test/debugging observer."""
+
+    def __init__(self) -> None:
+        self.starts: List[Tuple[int, object, object]] = []
+        self.events: List[TraceEvent] = []
+        self.records: List[Tuple[int, LookupRecord]] = []
+
+    def on_lookup_start(
+        self, lookup_id: int, source: "Node", key_id: object
+    ) -> None:
+        self.starts.append((lookup_id, source.name, key_id))
+
+    def on_hop(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def on_lookup_end(self, lookup_id: int, record: LookupRecord) -> None:
+        self.records.append((lookup_id, record))
+
+    def events_for(self, lookup_id: int) -> List[TraceEvent]:
+        return [e for e in self.events if e.lookup_id == lookup_id]
+
+
+class LookupEngine:
+    """The single driver loop shared by all overlays.
+
+    One engine instance carries reusable scratch across a batch of
+    lookups: the observer, the running lookup id, and the zeroed
+    phase-dict template (``Network.ROUTING_PHASES``) copied per lookup
+    so records keep the pre-refactor shape of every phase present even
+    at zero hops.
+    """
+
+    __slots__ = ("network", "observer", "_next_id", "_phase_template")
+
+    def __init__(
+        self, network: "Network", observer: Optional[TraceObserver] = None
+    ) -> None:
+        self.network = network
+        self.observer = observer
+        self._next_id = 0
+        self._phase_template = dict.fromkeys(network.ROUTING_PHASES, 0)
+
+    def run(self, source: "Node", key_id: object) -> LookupRecord:
+        """Route one lookup from ``source`` toward ``key_id``."""
+        network = self.network
+        observer = self.observer
+        lookup_id = self._next_id
+        self._next_id += 1
+        if not source.alive:
+            raise ValueError("lookup source must be alive")
+        owner = network.owner_of_id(key_id)
+        phases = dict(self._phase_template)
+        state = network.begin_route(source, key_id)
+        current = source
+        hops = 0
+        timeouts = 0
+        failed = False
+        path = [source.name]
+        if observer is not None:
+            observer.on_lookup_start(lookup_id, source, key_id)
+        record_visit = network._record_visit
+        limit = network.HOP_LIMIT
+
+        while hops < limit:
+            decision = network.next_hop(current, key_id, state)
+            timeouts += decision.timeouts
+            node = decision.node
+            if node is None:
+                if decision.terminal:
+                    failed = decision.failed
+                    break
+                continue  # state advanced without a message
+            current = node
+            hops += 1
+            phases[decision.phase] += 1
+            path.append(node.name)
+            record_visit(node)
+            if observer is not None:
+                observer.on_hop(
+                    TraceEvent(
+                        lookup_id,
+                        hops,
+                        node.name,
+                        decision.phase,
+                        decision.timeouts,
+                    )
+                )
+            if decision.terminal:
+                break
+
+        # A protocol may owe one final delivery hop once the walk stops
+        # (Cycloid hands the request to the closest live node the
+        # message observed, §3.1); this runs even when the loop exhausted
+        # HOP_LIMIT, exactly as the pre-engine implementations did.
+        final = network.finish_route(current, key_id, state)
+        if final is not None and final.node is not None:
+            timeouts += final.timeouts
+            current = final.node
+            hops += 1
+            phases[final.phase] += 1
+            path.append(current.name)
+            record_visit(current)
+            if observer is not None:
+                observer.on_hop(
+                    TraceEvent(
+                        lookup_id,
+                        hops,
+                        current.name,
+                        final.phase,
+                        final.timeouts,
+                    )
+                )
+
+        assert sum(phases.values()) == hops, (
+            f"{network.protocol_name}: phase hops {phases} do not sum to "
+            f"{hops} total hops"
+        )
+        record = LookupRecord(
+            hops=hops,
+            success=(not failed) and current is owner,
+            timeouts=timeouts,
+            phase_hops=phases,
+            source=source.name,
+            key=key_id,
+            owner=current.name,
+            path=path,
+        )
+        if observer is not None:
+            observer.on_lookup_end(lookup_id, record)
+        return record
+
+    def run_batch(
+        self, pairs: Iterable[Tuple["Node", object]]
+    ) -> List[LookupRecord]:
+        """Route ``(source, key_id)`` pairs, reusing this engine's state."""
+        run = self.run
+        return [run(source, key_id) for source, key_id in pairs]
+
+
+def execute_lookup(
+    network: "Network",
+    source: "Node",
+    key_id: object,
+    observer: Optional[TraceObserver] = None,
+) -> LookupRecord:
+    """Convenience wrapper: route a single lookup through a fresh engine."""
+    return LookupEngine(network, observer).run(source, key_id)

@@ -9,9 +9,10 @@ Koorde split as the ID space grows sparse.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.dht.identifiers import cycloid_space_size
+from repro.dht.routing import TraceObserver
 from repro.experiments.common import run_lookups
 from repro.experiments.registry import build_complete_network, build_sized_network
 from repro.koorde import KoordeNetwork
@@ -45,13 +46,16 @@ def run_phase_breakdown_experiment(
     protocols: Sequence[str] = BREAKDOWN_PROTOCOLS,
     lookups: int = 5000,
     seed: int = 42,
+    observer: Optional[TraceObserver] = None,
 ) -> List[BreakdownPoint]:
     """Fig. 7(a)-(c): phase breakdown on complete networks."""
     points: List[BreakdownPoint] = []
     for dimension in dimensions:
         for protocol in protocols:
             network = build_complete_network(protocol, dimension, seed=seed)
-            stats = run_lookups(network, lookups, seed=seed + dimension)
+            stats = run_lookups(
+                network, lookups, seed=seed + dimension, observer=observer
+            )
             breakdown = stats.phase_breakdown()
             points.append(
                 BreakdownPoint(
@@ -73,6 +77,7 @@ def run_koorde_sparsity_breakdown(
     id_space: int = 2048,
     lookups: int = 5000,
     seed: int = 42,
+    observer: Optional[TraceObserver] = None,
 ) -> List[BreakdownPoint]:
     """Fig. 14: Koorde's de Bruijn vs successor hop split vs sparsity.
 
@@ -90,7 +95,9 @@ def run_koorde_sparsity_breakdown(
             "koorde", count, seed=seed, id_space_bits=bits
         )
         assert isinstance(network, KoordeNetwork)
-        stats = run_lookups(network, lookups, seed=seed + count)
+        stats = run_lookups(
+            network, lookups, seed=seed + count, observer=observer
+        )
         breakdown = stats.phase_breakdown()
         points.append(
             BreakdownPoint(

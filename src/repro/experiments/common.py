@@ -7,6 +7,7 @@ from typing import Optional, Sequence
 
 from repro.dht.base import Network
 from repro.dht.metrics import LookupStats
+from repro.dht.routing import TraceObserver
 from repro.sim.workload import lookup_workload
 from repro.util.rng import make_rng
 
@@ -18,6 +19,7 @@ def run_lookups(
     count: int,
     seed: int = 0,
     keys: Sequence[object] = (),
+    observer: Optional[TraceObserver] = None,
 ) -> LookupStats:
     """Execute ``count`` random lookups and gather their records.
 
@@ -25,11 +27,19 @@ def run_lookups(
     d = 8); the mean path length is an expectation over uniform random
     (source, key) pairs, so a seeded sample estimates it — pass a larger
     ``count`` to tighten the estimate (see DESIGN.md §4).
+
+    The whole workload goes through one batched
+    :meth:`~repro.dht.base.Network.lookup_many` call; ``observer``
+    (e.g. a :class:`~repro.dht.routing.JsonlTraceSink`) receives every
+    per-hop trace event.
     """
     rng = make_rng(seed)
     stats = LookupStats()
-    for source, key in lookup_workload(network, count, rng, keys):
-        stats.add(network.lookup(source, key))
+    stats.extend(
+        network.lookup_many(
+            lookup_workload(network, count, rng, keys), observer=observer
+        )
+    )
     return stats
 
 

@@ -11,8 +11,9 @@ failed to reach the key's correct storing node.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
+from repro.dht.routing import TraceObserver
 from repro.experiments.common import fail_nodes, run_lookups
 from repro.experiments.registry import PROTOCOLS, build_complete_network
 from repro.util.rng import make_rng
@@ -46,6 +47,7 @@ def run_mass_departure_experiment(
     dimension: int = 8,
     lookups: int = 10_000,
     seed: int = 42,
+    observer: Optional[TraceObserver] = None,
 ) -> List[FailurePoint]:
     """Fig. 11 (mean path length vs p) and Table 4 (timeouts vs p).
 
@@ -57,7 +59,9 @@ def run_mass_departure_experiment(
         for probability in probabilities:
             network = build_complete_network(protocol, dimension, seed=seed)
             fail_nodes(network, probability, make_rng(seed + int(probability * 100)))
-            stats = run_lookups(network, lookups, seed=seed + 1)
+            stats = run_lookups(
+                network, lookups, seed=seed + 1, observer=observer
+            )
             completed = [r.hops for r in stats.records if r.success]
             mean_path = (
                 sum(completed) / len(completed) if completed else 0.0

@@ -7,9 +7,10 @@ same lookup workload; the figure series are the mean hop counts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.dht.identifiers import cycloid_space_size
+from repro.dht.routing import TraceObserver
 from repro.experiments.common import run_lookups
 from repro.experiments.registry import PROTOCOLS, build_complete_network
 from repro.util.stats import DistributionSummary
@@ -36,18 +37,22 @@ def run_path_length_experiment(
     protocols: Sequence[str] = PROTOCOLS,
     lookups: int = 5000,
     seed: int = 42,
+    observer: Optional[TraceObserver] = None,
 ) -> List[PathLengthPoint]:
     """Measure mean lookup path length for every protocol and dimension.
 
     Fig. 5 plots the result against network size, Fig. 6 against the
-    dimension; both read off the same points.
+    dimension; both read off the same points.  ``observer`` receives the
+    per-hop trace of every lookup across the whole sweep.
     """
     points: List[PathLengthPoint] = []
     for dimension in dimensions:
         size = cycloid_space_size(dimension)
         for protocol in protocols:
             network = build_complete_network(protocol, dimension, seed=seed)
-            stats = run_lookups(network, lookups, seed=seed + dimension)
+            stats = run_lookups(
+                network, lookups, seed=seed + dimension, observer=observer
+            )
             points.append(
                 PathLengthPoint(
                     protocol=protocol,

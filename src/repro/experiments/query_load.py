@@ -10,8 +10,9 @@ Koorde on even identifiers).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
+from repro.dht.routing import TraceObserver
 from repro.experiments.common import run_lookups
 from repro.experiments.registry import build_complete_network
 from repro.util.stats import DistributionSummary, summarize
@@ -46,6 +47,7 @@ def run_query_load_experiment(
     protocols: Sequence[str] = DEFAULT_PROTOCOLS,
     lookups_per_node: int = 4,
     seed: int = 42,
+    observer: Optional[TraceObserver] = None,
 ) -> List[QueryLoadPoint]:
     """Measure the query-load spread for each protocol and size."""
     points: List[QueryLoadPoint] = []
@@ -54,7 +56,12 @@ def run_query_load_experiment(
             network = build_complete_network(protocol, dimension, seed=seed)
             network.reset_query_counts()
             total_lookups = lookups_per_node * network.size
-            run_lookups(network, total_lookups, seed=seed + dimension)
+            run_lookups(
+                network,
+                total_lookups,
+                seed=seed + dimension,
+                observer=observer,
+            )
             summary = summarize([float(c) for c in network.query_counts()])
             points.append(
                 QueryLoadPoint(

@@ -10,8 +10,9 @@ larger gaps force more successor hops.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
+from repro.dht.routing import TraceObserver
 from repro.experiments.common import run_lookups
 from repro.experiments.registry import build_sized_network
 from repro.util.stats import DistributionSummary
@@ -40,6 +41,7 @@ def run_sparsity_experiment(
     id_space: int = 2048,
     lookups: int = 10_000,
     seed: int = 42,
+    observer: Optional[TraceObserver] = None,
 ) -> List[SparsityPoint]:
     """Fig. 13: mean path length vs degree of network sparsity."""
     bits = (id_space - 1).bit_length()
@@ -59,7 +61,9 @@ def run_sparsity_experiment(
                 id_space_bits=bits,
                 cycloid_dimension=cycloid_dimension,
             )
-            stats = run_lookups(network, lookups, seed=seed + population)
+            stats = run_lookups(
+                network, lookups, seed=seed + population, observer=observer
+            )
             points.append(
                 SparsityPoint(
                     protocol=protocol,

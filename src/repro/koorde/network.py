@@ -16,8 +16,8 @@ from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.dht.base import Network
 from repro.dht.hashing import hash_to_ring
-from repro.dht.metrics import LookupRecord
 from repro.dht.ring import SortedRing, in_interval
+from repro.dht.routing import RoutingDecision
 from repro.koorde.node import KoordeNode
 from repro.util.rng import make_rng
 
@@ -31,10 +31,22 @@ SUCCESSOR_LIST_SIZE = 3
 DEBRUIJN_BACKUPS = 3
 
 
+class _ImaginaryWalk:
+    """Per-lookup state of Kaashoek & Karger's imaginary-node walk."""
+
+    __slots__ = ("imaginary", "kshift", "bits_left")
+
+    def __init__(self, imaginary: int, kshift: int, bits_left: int) -> None:
+        self.imaginary = imaginary
+        self.kshift = kshift
+        self.bits_left = bits_left
+
+
 class KoordeNetwork(Network):
     """A Koorde ring over the ``2^bits`` identifier space."""
 
     protocol_name = "koorde"
+    ROUTING_PHASES = (PHASE_DEBRUIJN, PHASE_SUCCESSOR)
 
     def __init__(self, bits: int, seed: Optional[int] = None) -> None:
         super().__init__()
@@ -77,6 +89,10 @@ class KoordeNetwork(Network):
     def live_nodes(self) -> Sequence[KoordeNode]:
         return self.ring.nodes()
 
+    @property
+    def size(self) -> int:
+        return len(self.ring)
+
     def key_id(self, key: object) -> int:
         return hash_to_ring(key, self.bits)
 
@@ -88,109 +104,68 @@ class KoordeNetwork(Network):
     # routing
     # ------------------------------------------------------------------
 
-    def route(self, source: KoordeNode, key_id: int) -> LookupRecord:
-        if not source.alive:
-            raise ValueError("lookup source must be alive")
-        modulus = self.ring.modulus
-        current = source
-        hops = 0
-        timeouts = 0
-        phases = {PHASE_DEBRUIJN: 0, PHASE_SUCCESSOR: 0}
-        owner = self.owner_of_id(key_id)
-        path = [source.name]
-
+    def begin_route(
+        self, source: KoordeNode, key_id: int
+    ) -> _ImaginaryWalk:
         # Imaginary de Bruijn node: starts at the source itself, so the
         # host invariant i in [current, successor) holds immediately; all
         # `bits` bits of the key are then shifted in, after which
         # i == key_id.
-        imaginary = current.id
-        kshift = key_id
-        bits_left = self.bits
+        return _ImaginaryWalk(source.id, key_id, self.bits)
 
-        failed = False
-        while hops < self.HOP_LIMIT:
-            if current.id == key_id:
-                break
-            if not current.successors:
-                break  # singleton: current owns everything
-            predecessor = current.predecessor
-            if predecessor is not None and in_interval(
-                key_id, predecessor.id, current.id, modulus
-            ):
-                break  # current's local state says it stores the key
-            believed = current.successors[0]
+    def next_hop(
+        self, current: KoordeNode, key_id: int, walk: _ImaginaryWalk
+    ) -> RoutingDecision:
+        modulus = self.ring.modulus
+        if current.id == key_id:
+            return RoutingDecision.terminate()
+        if not current.successors:
+            return RoutingDecision.terminate()  # singleton owns everything
+        predecessor = current.predecessor
+        if predecessor is not None and in_interval(
+            key_id, predecessor.id, current.id, modulus
+        ):
+            # current's local state says it stores the key
+            return RoutingDecision.terminate()
+        believed = current.successors[0]
 
-            if in_interval(key_id, current.id, believed.id, modulus):
-                # Delivery step: forward to the believed successor,
-                # walking the backup list on timeouts.
-                next_hop, step_timeouts = self._first_live(
-                    current.successors
-                )
-                timeouts += step_timeouts
-                if next_hop is None:
-                    failed = True
-                    break
-                current = next_hop
-                hops += 1
-                phases[PHASE_SUCCESSOR] += 1
-                path.append(current.name)
-                self._record_visit(current)
-                break
+        if in_interval(key_id, current.id, believed.id, modulus):
+            # Delivery step: forward to the believed successor,
+            # walking the backup list on timeouts.
+            node, timeouts = self._first_live(current.successors)
+            if node is None:
+                return RoutingDecision.dead_end(timeouts)
+            return RoutingDecision.deliver(node, PHASE_SUCCESSOR, timeouts)
 
-            # Host invariant: imaginary in [current, successor).
-            hosts_imaginary = (
-                (imaginary - current.id) % modulus
-                < (believed.id - current.id) % modulus
-            )
-            if bits_left > 0 and hosts_imaginary:
-                # Invariant holds: de Bruijn hop, shift in the next bit.
-                next_hop, step_timeouts = self._first_live(
-                    current.debruijn_chain()
-                )
-                timeouts += step_timeouts
-                if next_hop is None:
-                    # De Bruijn pointer and every backup dead: the lookup
-                    # fails (paper §4.3).
-                    failed = True
-                    break
-                top_bit = (kshift >> (self.bits - 1)) & 1
-                imaginary = ((imaginary << 1) | top_bit) % modulus
-                kshift = (kshift << 1) % modulus
-                bits_left -= 1
-                if next_hop is not current:
-                    # A de Bruijn pointer can be the node itself (e.g.
-                    # node 0 in a dense ring); shifting then costs no
-                    # message.
-                    current = next_hop
-                    hops += 1
-                    phases[PHASE_DEBRUIJN] += 1
-                    path.append(current.name)
-                    self._record_visit(current)
-                continue
-
-            # Correction step: walk successors toward pred(imaginary)
-            # (or toward the key once all bits are consumed).
-            next_hop, step_timeouts = self._first_live(current.successors)
-            timeouts += step_timeouts
-            if next_hop is None:
-                failed = True
-                break
-            current = next_hop
-            hops += 1
-            phases[PHASE_SUCCESSOR] += 1
-            path.append(current.name)
-            self._record_visit(current)
-
-        return LookupRecord(
-            hops=hops,
-            success=(not failed) and current is owner,
-            timeouts=timeouts,
-            phase_hops=dict(phases),
-            source=source.name,
-            key=key_id,
-            owner=current.name,
-            path=path,
+        # Host invariant: imaginary in [current, successor).
+        hosts_imaginary = (
+            (walk.imaginary - current.id) % modulus
+            < (believed.id - current.id) % modulus
         )
+        if walk.bits_left > 0 and hosts_imaginary:
+            # Invariant holds: de Bruijn hop, shift in the next bit.
+            node, timeouts = self._first_live(current.debruijn_chain())
+            if node is None:
+                # De Bruijn pointer and every backup dead: the lookup
+                # fails (paper §4.3).
+                return RoutingDecision.dead_end(timeouts)
+            top_bit = (walk.kshift >> (self.bits - 1)) & 1
+            walk.imaginary = ((walk.imaginary << 1) | top_bit) % modulus
+            walk.kshift = (walk.kshift << 1) % modulus
+            walk.bits_left -= 1
+            if node is current:
+                # A de Bruijn pointer can be the node itself (e.g.
+                # node 0 in a dense ring); shifting then costs no
+                # message.
+                return RoutingDecision.advance(timeouts)
+            return RoutingDecision.forward(node, PHASE_DEBRUIJN, timeouts)
+
+        # Correction step: walk successors toward pred(imaginary)
+        # (or toward the key once all bits are consumed).
+        node, timeouts = self._first_live(current.successors)
+        if node is None:
+            return RoutingDecision.dead_end(timeouts)
+        return RoutingDecision.forward(node, PHASE_SUCCESSOR, timeouts)
 
     @staticmethod
     def _first_live(

@@ -18,8 +18,8 @@ from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.dht.base import Network
 from repro.dht.hashing import hash_to_ring
-from repro.dht.metrics import LookupRecord
 from repro.dht.ring import SortedRing, in_interval
+from repro.dht.routing import RoutingDecision
 from repro.pastry.node import PastryNode
 from repro.util.bitops import circular_distance, clockwise_distance
 from repro.util.rng import make_rng
@@ -39,6 +39,7 @@ class PastryNetwork(Network):
     digit strings."""
 
     protocol_name = "pastry"
+    ROUTING_PHASES = (PHASE_PREFIX, PHASE_LEAF)
 
     def __init__(
         self,
@@ -104,6 +105,10 @@ class PastryNetwork(Network):
     def live_nodes(self) -> Sequence[PastryNode]:
         return self.ring.nodes()
 
+    @property
+    def size(self) -> int:
+        return len(self.ring)
+
     def key_id(self, key: object) -> int:
         return hash_to_ring(key, self.bits)
 
@@ -147,45 +152,22 @@ class PastryNetwork(Network):
     # routing
     # ------------------------------------------------------------------
 
-    def route(self, source: PastryNode, key_id: int) -> LookupRecord:
-        if not source.alive:
-            raise ValueError("lookup source must be alive")
-        current = source
-        hops = 0
-        timeouts = 0
-        phases = {PHASE_PREFIX: 0, PHASE_LEAF: 0}
-        owner = self.owner_of_id(key_id)
-        path = [source.name]
-        visited: Set[int] = set()
+    def begin_route(self, source: PastryNode, key_id: int) -> Set[int]:
+        return set()  # ids the message has passed through
 
-        while hops < self.HOP_LIMIT:
-            if current.id == key_id:
-                break
-            visited.add(current.id)
-            next_hop, phase, step_timeouts = self._next_hop(
-                current, key_id, visited
-            )
-            timeouts += step_timeouts
-            if next_hop is None:
-                break  # current believes it is numerically closest
-            current = next_hop
-            hops += 1
-            phases[phase] += 1
-            path.append(current.name)
-            self._record_visit(current)
+    def next_hop(
+        self, current: PastryNode, key_id: int, visited: Set[int]
+    ) -> RoutingDecision:
+        if current.id == key_id:
+            return RoutingDecision.terminate()
+        visited.add(current.id)
+        node, phase, timeouts = self._choose_next(current, key_id, visited)
+        if node is None:
+            # current believes it is numerically closest
+            return RoutingDecision.terminate(timeouts)
+        return RoutingDecision.forward(node, phase, timeouts)
 
-        return LookupRecord(
-            hops=hops,
-            success=current is owner,
-            timeouts=timeouts,
-            phase_hops=dict(phases),
-            source=source.name,
-            key=key_id,
-            owner=current.name,
-            path=path,
-        )
-
-    def _next_hop(
+    def _choose_next(
         self, current: PastryNode, key_id: int, visited: Set[int]
     ) -> Tuple[Optional[PastryNode], str, int]:
         timeouts = 0

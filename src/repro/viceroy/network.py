@@ -26,8 +26,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.dht.base import Network
 from repro.dht.hashing import consistent_hash
-from repro.dht.metrics import LookupRecord
 from repro.dht.ring import SortedRing, in_interval
+from repro.dht.routing import RoutingDecision
 from repro.util.bitops import clockwise_distance
 from repro.util.rng import make_rng
 from repro.viceroy.node import ID_BITS, ID_SCALE, ViceroyNode
@@ -38,11 +38,26 @@ PHASE_ASCENDING = "ascending"
 PHASE_DESCENDING = "descending"
 PHASE_TRAVERSE = "traverse"
 
+#: Lookup stages, advanced monotonically by the step function.
+_STAGE_ASCEND = 0
+_STAGE_DESCEND = 1
+_STAGE_TRAVERSE = 2
+
+
+class _ButterflyWalk:
+    """Per-lookup stage cursor: ascend, then descend, then traverse."""
+
+    __slots__ = ("stage",)
+
+    def __init__(self) -> None:
+        self.stage = _STAGE_ASCEND
+
 
 class ViceroyNetwork(Network):
     """A Viceroy butterfly over the discretised [0, 1) identifier ring."""
 
     protocol_name = "viceroy"
+    ROUTING_PHASES = (PHASE_ASCENDING, PHASE_DESCENDING, PHASE_TRAVERSE)
 
     def __init__(self, seed: Optional[int] = None) -> None:
         super().__init__()
@@ -94,6 +109,10 @@ class ViceroyNetwork(Network):
 
     def live_nodes(self) -> Sequence[ViceroyNode]:
         return self.ring.nodes()
+
+    @property
+    def size(self) -> int:
+        return len(self.ring)
 
     def key_id(self, key: object) -> int:
         return consistent_hash(key) % ID_SCALE
@@ -163,112 +182,92 @@ class ViceroyNetwork(Network):
     # routing
     # ------------------------------------------------------------------
 
-    def route(self, source: ViceroyNode, key_id: int) -> LookupRecord:
-        if not source.alive:
-            raise ValueError("lookup source must be alive")
-        current = source
-        hops = 0
-        phases = {PHASE_ASCENDING: 0, PHASE_DESCENDING: 0, PHASE_TRAVERSE: 0}
-        owner = self.owner_of_id(key_id)
-        path = [source.name]
+    def begin_route(
+        self, source: ViceroyNode, key_id: int
+    ) -> _ButterflyWalk:
+        return _ButterflyWalk()
 
-        def hop(target: ViceroyNode, phase: str) -> None:
-            nonlocal current, hops
-            current = target
-            hops += 1
-            phases[phase] += 1
-            path.append(current.name)
-            self._record_visit(current)
+    def _believes_responsible(self, node: ViceroyNode, key_id: int) -> bool:
+        predecessor, _ = self.general_ring(node)
+        if predecessor is None:
+            return True  # singleton
+        return in_interval(key_id, predecessor.id, node.id, ID_SCALE)
 
-        def is_owner(node: ViceroyNode) -> bool:
-            predecessor, _ = self.general_ring(node)
-            if predecessor is None:
-                return True  # singleton
-            return in_interval(key_id, predecessor.id, node.id, ID_SCALE)
+    def next_hop(
+        self, current: ViceroyNode, key_id: int, walk: _ButterflyWalk
+    ) -> RoutingDecision:
+        # Timeouts are identically zero: joins/leaves repair every
+        # incoming link (§4.3), so no hop ever contacts a dead node.
+        if self._believes_responsible(current, key_id):
+            return RoutingDecision.terminate()
 
         # Phase 1: ascend to a level-1 node.
-        while (
-            hops < self.HOP_LIMIT
-            and not is_owner(current)
-            and current.level > 1
-        ):
-            up = self.up_link(current)
-            if up is None or up is current:
-                break
-            hop(up, PHASE_ASCENDING)
+        if walk.stage == _STAGE_ASCEND:
+            if current.level > 1:
+                up = self.up_link(current)
+                if up is not None and up is not current:
+                    return RoutingDecision.forward(up, PHASE_ASCENDING)
+            walk.stage = _STAGE_DESCEND
 
         # Phase 2: descend the butterfly until no down link exists.
-        while hops < self.HOP_LIMIT and not is_owner(current):
+        if walk.stage == _STAGE_DESCEND:
             left, right = self.down_links(current)
             distance = clockwise_distance(current.id, key_id, ID_SCALE)
             threshold = ID_SCALE >> min(current.level, ID_BITS)
             target = left if distance < threshold else right
-            if target is None or target is current:
-                break
-            hop(target, PHASE_DESCENDING)
+            if target is not None and target is not current:
+                return RoutingDecision.forward(target, PHASE_DESCENDING)
+            walk.stage = _STAGE_TRAVERSE
 
         # Phase 3: traverse via level-ring and general-ring links,
         # moving whichever direction around the ring is shorter and
         # never stepping past the key (the leaf-set-style wrap guard).
-        while hops < self.HOP_LIMIT and not is_owner(current):
-            predecessor, successor = self.general_ring(current)
-            if successor is None:
-                break
-            if in_interval(key_id, current.id, successor.id, ID_SCALE):
-                hop(successor, PHASE_TRAVERSE)
-                continue
-            level_prev, level_next = self.level_ring(current)
-            cw = clockwise_distance(current.id, key_id, ID_SCALE)
-            best: Optional[ViceroyNode] = None
-            best_progress = -1
-            if cw <= ID_SCALE - cw:
-                # Clockwise: candidates strictly between current and key.
-                for candidate in (successor, level_next):
-                    if candidate is None or candidate is current:
-                        continue
-                    if not in_interval(
-                        candidate.id, current.id, key_id, ID_SCALE
-                    ):
-                        continue
-                    progress = clockwise_distance(
-                        current.id, candidate.id, ID_SCALE
-                    )
-                    if progress > best_progress:
-                        best, best_progress = candidate, progress
-            else:
-                # Counter-clockwise (a down link overshot the key):
-                # candidates in [key, current) — no node sits strictly
-                # between the key and its successor, so this cannot skip
-                # the owner.
-                for candidate in (predecessor, level_prev):
-                    if candidate is None or candidate is current:
-                        continue
-                    if not in_interval(
-                        candidate.id,
-                        (key_id - 1) % ID_SCALE,
-                        (current.id - 1) % ID_SCALE,
-                        ID_SCALE,
-                    ):
-                        continue
-                    progress = clockwise_distance(
-                        candidate.id, current.id, ID_SCALE
-                    )
-                    if progress > best_progress:
-                        best, best_progress = candidate, progress
-            if best is None:
-                break  # no link makes progress; deliver here
-            hop(best, PHASE_TRAVERSE)
-
-        return LookupRecord(
-            hops=hops,
-            success=current is owner,
-            timeouts=0,  # joins/leaves repair every incoming link (§4.3)
-            phase_hops=dict(phases),
-            source=source.name,
-            key=key_id,
-            owner=current.name,
-            path=path,
-        )
+        predecessor, successor = self.general_ring(current)
+        if successor is None:
+            return RoutingDecision.terminate()
+        if in_interval(key_id, current.id, successor.id, ID_SCALE):
+            return RoutingDecision.forward(successor, PHASE_TRAVERSE)
+        level_prev, level_next = self.level_ring(current)
+        cw = clockwise_distance(current.id, key_id, ID_SCALE)
+        best: Optional[ViceroyNode] = None
+        best_progress = -1
+        if cw <= ID_SCALE - cw:
+            # Clockwise: candidates strictly between current and key.
+            for candidate in (successor, level_next):
+                if candidate is None or candidate is current:
+                    continue
+                if not in_interval(
+                    candidate.id, current.id, key_id, ID_SCALE
+                ):
+                    continue
+                progress = clockwise_distance(
+                    current.id, candidate.id, ID_SCALE
+                )
+                if progress > best_progress:
+                    best, best_progress = candidate, progress
+        else:
+            # Counter-clockwise (a down link overshot the key):
+            # candidates in [key, current) — no node sits strictly
+            # between the key and its successor, so this cannot skip
+            # the owner.
+            for candidate in (predecessor, level_prev):
+                if candidate is None or candidate is current:
+                    continue
+                if not in_interval(
+                    candidate.id,
+                    (key_id - 1) % ID_SCALE,
+                    (current.id - 1) % ID_SCALE,
+                    ID_SCALE,
+                ):
+                    continue
+                progress = clockwise_distance(
+                    candidate.id, current.id, ID_SCALE
+                )
+                if progress > best_progress:
+                    best, best_progress = candidate, progress
+        if best is None:
+            return RoutingDecision.terminate()  # no progress; deliver here
+        return RoutingDecision.forward(best, PHASE_TRAVERSE)
 
     # ------------------------------------------------------------------
     # membership changes

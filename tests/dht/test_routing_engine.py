@@ -1,0 +1,205 @@
+"""Unit tests for the shared lookup engine and its trace plumbing."""
+
+import io
+import json
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.can import CanNetwork
+from repro.chord import ChordNetwork
+from repro.core import CycloidNetwork
+from repro.dht.routing import (
+    JsonlTraceSink,
+    LookupEngine,
+    RecordingTracer,
+    RoutingDecision,
+    execute_lookup,
+)
+from repro.koorde import KoordeNetwork
+from repro.pastry import PastryNetwork
+from repro.sim.workload import lookup_workload
+from repro.util.rng import make_rng
+from repro.viceroy import ViceroyNetwork
+
+# Small module-level networks, shared across hypothesis examples.
+# Lookups only touch the query-load counters, never the topology.
+NETWORKS = {
+    "cycloid": CycloidNetwork.complete(3),
+    "chord": ChordNetwork.with_random_ids(48, 8, seed=11),
+    "koorde": KoordeNetwork.with_random_ids(48, 8, seed=11),
+    "viceroy": ViceroyNetwork.with_random_ids(48, seed=11),
+    "pastry": PastryNetwork.with_random_ids(48, seed=11),
+    "can": CanNetwork.with_random_zones(24, seed=11),
+}
+
+
+# ----------------------------------------------------------------------
+# RoutingDecision factories
+# ----------------------------------------------------------------------
+
+
+class _Stub:
+    def __init__(self, name):
+        self.name = name
+        self.alive = True
+
+    def __str__(self):
+        return str(self.name)
+
+
+def test_forward_is_non_terminal_hop():
+    node = _Stub("n")
+    decision = RoutingDecision.forward(node, "phase", timeouts=2)
+    assert decision.node is node
+    assert decision.phase == "phase"
+    assert decision.timeouts == 2
+    assert not decision.terminal
+    assert not decision.failed
+
+
+def test_deliver_is_terminal_hop():
+    node = _Stub("n")
+    decision = RoutingDecision.deliver(node, "phase")
+    assert decision.node is node
+    assert decision.terminal
+    assert not decision.failed
+
+
+def test_terminate_stops_without_hopping():
+    decision = RoutingDecision.terminate(timeouts=3)
+    assert decision.node is None
+    assert decision.terminal
+    assert not decision.failed
+    assert decision.timeouts == 3
+
+
+def test_dead_end_marks_failure():
+    decision = RoutingDecision.dead_end()
+    assert decision.node is None
+    assert decision.terminal
+    assert decision.failed
+
+
+def test_advance_neither_hops_nor_stops():
+    decision = RoutingDecision.advance(timeouts=1)
+    assert decision.node is None
+    assert not decision.terminal
+    assert not decision.failed
+    assert decision.timeouts == 1
+
+
+# ----------------------------------------------------------------------
+# engine basics
+# ----------------------------------------------------------------------
+
+
+def test_engine_rejects_dead_source():
+    network = NETWORKS["chord"]
+    source = network.live_nodes()[0]
+    source.alive = False
+    try:
+        with pytest.raises(ValueError):
+            execute_lookup(network, source, source.id)
+    finally:
+        source.alive = True
+
+
+def test_records_carry_every_declared_phase():
+    """Zero-hop phases still appear in ``phase_hops`` (pre-refactor shape)."""
+    for network in NETWORKS.values():
+        source = network.live_nodes()[0]
+        record = network.lookup(source, "a-key")
+        assert set(record.phase_hops) == set(network.ROUTING_PHASES)
+        assert sum(record.phase_hops.values()) == record.hops
+
+
+def test_lookup_many_matches_individual_lookups():
+    for network in NETWORKS.values():
+        pairs = list(lookup_workload(network, 25, make_rng(3)))
+        batch = network.lookup_many(pairs)
+        singles = [network.lookup(source, key) for source, key in pairs]
+        assert [
+            (r.hops, r.timeouts, r.success, r.phase_hops, r.path)
+            for r in batch
+        ] == [
+            (r.hops, r.timeouts, r.success, r.phase_hops, r.path)
+            for r in singles
+        ]
+
+
+def test_batch_lookup_ids_are_sequential():
+    network = NETWORKS["cycloid"]
+    tracer = RecordingTracer()
+    pairs = list(lookup_workload(network, 10, make_rng(5)))
+    network.lookup_many(pairs, observer=tracer)
+    assert [lookup_id for lookup_id, _, _ in tracer.starts] == list(range(10))
+    assert [lookup_id for lookup_id, _ in tracer.records] == list(range(10))
+
+
+# ----------------------------------------------------------------------
+# JSONL sink
+# ----------------------------------------------------------------------
+
+
+def test_jsonl_sink_writes_one_valid_line_per_hop():
+    network = NETWORKS["chord"]
+    stream = io.StringIO()
+    sink = JsonlTraceSink(stream)
+    records = network.lookup_many(
+        lookup_workload(network, 20, make_rng(9)), observer=sink
+    )
+    lines = stream.getvalue().splitlines()
+    assert len(lines) == sum(r.hops for r in records)
+    assert sink.events_written == len(lines)
+    events = [json.loads(line) for line in lines]
+    for event in events:
+        assert set(event) == {"lookup", "hop", "node", "phase", "timeouts"}
+        assert isinstance(event["node"], str)
+        assert event["phase"] in network.ROUTING_PHASES
+        assert event["hop"] >= 1
+        assert event["timeouts"] >= 0
+    # hop indices restart from 1 at each lookup and increase by 1
+    by_lookup = Counter()
+    for event in events:
+        by_lookup[event["lookup"]] += 1
+        assert event["hop"] == by_lookup[event["lookup"]]
+
+
+# ----------------------------------------------------------------------
+# trace/record consistency (property)
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    protocol=st.sampled_from(sorted(NETWORKS)),
+    source_pick=st.integers(min_value=0, max_value=10_000),
+    key=st.integers(min_value=0, max_value=10_000),
+)
+def test_trace_is_consistent_with_its_record(protocol, source_pick, key):
+    network = NETWORKS[protocol]
+    nodes = network.live_nodes()
+    source = nodes[source_pick % len(nodes)]
+    tracer = RecordingTracer()
+    engine = LookupEngine(network, tracer)
+    record = engine.run(source, network.key_id(f"key-{key}"))
+
+    (lookup_id, record_back), = tracer.records
+    assert record_back is record
+    events = tracer.events_for(lookup_id)
+
+    # one event per counted hop, indices 1..hops in order
+    assert len(events) == record.hops
+    assert [e.hop for e in events] == list(range(1, record.hops + 1))
+    # the hopped-to nodes are exactly the path after the source
+    assert [e.node for e in events] == record.path[1:]
+    # phase labels tally with the record's non-zero phase_hops
+    assert Counter(e.phase for e in events) == Counter(
+        {p: n for p, n in record.phase_hops.items() if n}
+    )
+    # per-step timeouts never exceed the record total (terminal steps
+    # may add timeouts without producing a hop event)
+    assert sum(e.timeouts for e in events) <= record.timeouts

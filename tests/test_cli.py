@@ -1,5 +1,7 @@
 """Tests for the command-line experiment runner."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -89,3 +91,29 @@ class TestCommands:
         out = self.run(["table1"], capsys)
         assert "7-entry Cycloid" in out
         assert "CCC" in out
+
+
+class TestTrace:
+    def test_trace_writes_jsonl(self, capsys, tmp_path):
+        trace = tmp_path / "hops.jsonl"
+        assert main(
+            [
+                "--trace", str(trace),
+                "fig5", "--lookups", "50", "--dimensions", "3",
+            ]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "Fig. 5" in captured.out
+        assert "hop events" in captured.err
+        lines = trace.read_text().splitlines()
+        assert lines
+        for line in lines:
+            event = json.loads(line)
+            assert set(event) == {
+                "lookup", "hop", "node", "phase", "timeouts"
+            }
+
+    def test_trace_rejected_for_untraceable_command(self, capsys, tmp_path):
+        trace = tmp_path / "hops.jsonl"
+        assert main(["--trace", str(trace), "table1"]) == 2
+        assert "--trace is not supported" in capsys.readouterr().err
