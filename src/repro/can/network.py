@@ -143,6 +143,17 @@ class CanNetwork(Network):
             ),
             key=lambda n: self._node_distance(n, key_id),
         )
+        if self.fault_detection:
+            # Unfiltered greedy ranking; the engine probes for liveness.
+            if not ranked:
+                return RoutingDecision.terminate()
+            return RoutingDecision.forward(
+                ranked[0],
+                PHASE_GREEDY,
+                alternates=tuple(
+                    (candidate, PHASE_GREEDY) for candidate in ranked[1:5]
+                ),
+            )
         timeouts = 0
         for candidate in ranked:
             if not candidate.alive:
@@ -222,6 +233,19 @@ class CanNetwork(Network):
             taker.zones.append(zone)
             self._coalesce(taker)
         # No neighbour refresh: that is stabilisation's job now.
+
+    def on_dead_entry(self, observer: CanNode, dead: CanNode) -> int:
+        """Lazy repair after a timeout on ``dead``: drop it from the
+        neighbour list (the zone takeover already moved its space to a
+        live owner; stabilisation re-wires the new abutment)."""
+        if any(neighbor is dead for neighbor in observer.neighbors):
+            observer.neighbors = [
+                neighbor
+                for neighbor in observer.neighbors
+                if neighbor is not dead
+            ]
+            return 1
+        return 0
 
     def _taker_for(self, zone: Zone, leaver: CanNode) -> CanNode:
         """The buddy owner if the union forms a box, else the

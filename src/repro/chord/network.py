@@ -130,7 +130,9 @@ class ChordNetwork(Network):
             current, key_id
         ):
             return RoutingDecision.terminate()
-        node, phase, timeouts, final = self._choose_next(current, key_id)
+        node, phase, timeouts, final, alternates = self._choose_next(
+            current, key_id
+        )
         if node is None:
             # No live pointer toward the key: the lookup dies here.
             return RoutingDecision.dead_end(timeouts)
@@ -138,8 +140,8 @@ class ChordNetwork(Network):
             return RoutingDecision.terminate(timeouts)
         if final:
             # Delivered to the key's believed successor.
-            return RoutingDecision.deliver(node, phase, timeouts)
-        return RoutingDecision.forward(node, phase, timeouts)
+            return RoutingDecision.deliver(node, phase, timeouts, alternates)
+        return RoutingDecision.forward(node, phase, timeouts, alternates)
 
     def _believes_responsible(self, node: ChordNode, key_id: int) -> bool:
         """True when the node's local state says it stores the key
@@ -152,33 +154,44 @@ class ChordNetwork(Network):
     def _choose_next(self, current: ChordNode, key_id: int):
         """One Chord routing decision at ``current``.
 
-        Returns ``(next_node_or_None, phase, timeouts, final)``.  Dead
-        entries the node attempts to contact each cost one timeout
-        (§4.3).  ``final`` is set on the delivery step — the key fell in
-        ``(current, successor]`` so the successor is responsible.
+        Returns ``(next_node_or_None, phase, timeouts, final,
+        alternates)``.  Dead entries the node attempts to contact each
+        cost one timeout (§4.3).  ``final`` is set on the delivery step
+        — the key fell in ``(current, successor]`` so the successor is
+        responsible.
+
+        In fault mode the preference order comes back unfiltered: the
+        believed successor (backup list as alternates) on the delivery
+        step, otherwise the best preceding pointer with the lower-ranked
+        pointers and then the successor list as alternates, leaving
+        dead-node detection to the engine's probe loop.
         """
         timeouts = 0
         dead_seen: Set[int] = set()
+        fault_mode = self.fault_detection
 
         if not current.successors:
             # Singleton ring: current believes it owns the whole space.
-            return current, PHASE_SUCCESSOR, 0, True
+            return current, PHASE_SUCCESSOR, 0, True, ()
 
         # Final-step rule: the node believes successors[0] is its
         # successor; if the key falls in (current, successors[0]] it
         # forwards there, walking the backup list on timeouts.
         believed = current.successors[0]
         if in_interval(key_id, current.id, believed.id, self.ring.modulus):
+            if fault_mode:
+                alternates = tuple(
+                    (backup, PHASE_SUCCESSOR)
+                    for backup in current.successors[1:5]
+                )
+                return believed, PHASE_SUCCESSOR, 0, True, alternates
             for candidate in current.successors:
                 if candidate.alive:
-                    return candidate, PHASE_SUCCESSOR, timeouts, True
+                    return candidate, PHASE_SUCCESSOR, timeouts, True, ()
                 if candidate.id not in dead_seen:
                     dead_seen.add(candidate.id)
                     timeouts += 1
-            return None, PHASE_SUCCESSOR, timeouts, False
-        live_successor = next(
-            (s for s in current.successors if s.alive), None
-        )
+            return None, PHASE_SUCCESSOR, timeouts, False, ()
 
         # Otherwise try the closest preceding pointers best-first; only
         # pointers actually contacted can incur a timeout.
@@ -193,18 +206,35 @@ class ChordNetwork(Network):
             distance = (candidate.id - current.id) % self.ring.modulus
             candidates.append((distance, candidate, phase))
         candidates.sort(key=lambda item: item[0], reverse=True)
+        if fault_mode:
+            ordered = [(c, phase) for _, c, phase in candidates]
+            offered = {c.id for c, _ in ordered}
+            # The successor list is the last resort (the fault-free
+            # cascade's live-successor delivery): append any entries the
+            # preceding-pointer ranking did not already offer.
+            for backup in current.successors:
+                if backup.id != current.id and backup.id not in offered:
+                    offered.add(backup.id)
+                    ordered.append((backup, PHASE_SUCCESSOR))
+            if not ordered:
+                return None, PHASE_SUCCESSOR, 0, False, ()
+            primary, phase = ordered[0]
+            return primary, phase, 0, False, tuple(ordered[1:5])
         for _, candidate, phase in candidates:
             if candidate.alive:
-                return candidate, phase, timeouts, False
+                return candidate, phase, timeouts, False, ()
             if candidate.id not in dead_seen:
                 dead_seen.add(candidate.id)
                 timeouts += 1
         # Every pointer strictly preceding the key is dead.  The first
         # live successor must then cover the key (all list entries before
         # it were tried above), so this is a delivery step.
+        live_successor = next(
+            (s for s in current.successors if s.alive), None
+        )
         if live_successor is None:
-            return None, PHASE_SUCCESSOR, timeouts, False
-        return live_successor, PHASE_SUCCESSOR, timeouts, True
+            return None, PHASE_SUCCESSOR, timeouts, False, ()
+        return live_successor, PHASE_SUCCESSOR, timeouts, True, ()
 
     @staticmethod
     def _pointer_candidates(node: ChordNode):
@@ -288,6 +318,29 @@ class ChordNetwork(Network):
             raise ValueError(f"{node!r} already departed")
         node.alive = False
         self.ring.remove(node.id)
+
+    def on_dead_entry(self, observer: ChordNode, dead: ChordNode) -> int:
+        """Lazy repair after a timeout on ``dead``: splice it out of the
+        successor list, clear a stale predecessor pointer, and re-point
+        any finger at it to its interval's current live successor — the
+        walk-down repair Chord performs when a finger probe fails."""
+        repaired = 0
+        if any(s is dead for s in observer.successors):
+            observer.successors = [
+                s for s in observer.successors if s is not dead
+            ]
+            repaired += 1
+        if observer.predecessor is dead:
+            observer.predecessor = None
+            repaired += 1
+        space = 1 << self.bits
+        for index, finger in enumerate(observer.fingers):
+            if finger is dead:
+                observer.fingers[index] = self.ring.successor(
+                    (observer.id + (1 << index)) % space
+                )
+                repaired += 1
+        return repaired
 
     def stabilize(self) -> None:
         """Restore every live node's pointers from the live membership."""

@@ -10,14 +10,17 @@ Usage::
     python -m repro.cli fig12 [--rates 0.05 0.4] [--duration SECONDS]
     python -m repro.cli fig13
     python -m repro.cli fig14
+    python -m repro.cli fig-crash [--crash-prob 0.1 0.3] [--msg-loss P]
+    python -m repro.cli maint [--lookups N]
     python -m repro.cli table1
 
 Each command prints the reproduced table; the heavier sweeps accept
 size knobs so a laptop run can be scaled down.
 
 ``--trace PATH`` (on the lookup-driven commands: fig5/6/7, fig10,
-fig11, fig13, fig14) streams every routing hop as one JSON line to
-``PATH`` — see :class:`repro.dht.routing.JsonlTraceSink`.
+fig11, fig12, fig13, fig14, fig-crash, maint) streams every routing
+hop as one JSON line to ``PATH`` — see
+:class:`repro.dht.routing.JsonlTraceSink`.
 """
 
 from __future__ import annotations
@@ -31,8 +34,10 @@ from repro.dht.routing import JsonlTraceSink, TraceObserver
 from repro.experiments import (
     architecture_table,
     run_churn_experiment,
+    run_crash_experiment,
     run_key_distribution_experiment,
     run_koorde_sparsity_breakdown,
+    run_maintenance_experiment,
     run_mass_departure_experiment,
     run_path_length_experiment,
     run_phase_breakdown_experiment,
@@ -106,6 +111,25 @@ def build_parser() -> argparse.ArgumentParser:
     fig14 = sub.add_parser("fig14", help="Koorde sparsity breakdown")
     fig14.add_argument("--lookups", type=int, default=5000)
 
+    crash = sub.add_parser(
+        "fig-crash",
+        help="graceful departures vs ungraceful crashes, with retries",
+    )
+    crash.add_argument("--lookups", type=int, default=2000)
+    crash.add_argument(
+        "--crash-prob", type=float, nargs="+", default=[0.1, 0.3, 0.5]
+    )
+    crash.add_argument("--msg-loss", type=float, default=0.05)
+    crash.add_argument("--retry-budget", type=int, default=8)
+    crash.add_argument("--dimension", type=int, default=8)
+
+    maint = sub.add_parser(
+        "maint", help="maintenance fan-out + post-departure lookup probe"
+    )
+    maint.add_argument("--population", type=int, default=1024)
+    maint.add_argument("--events", type=int, default=200)
+    maint.add_argument("--lookups", type=int, default=1000)
+
     sub.add_parser("table1", help="architecture comparison")
     return parser
 
@@ -116,9 +140,20 @@ def _print(text: str) -> None:
 
 
 #: Commands whose lookups can stream to ``--trace`` (everything that
-#: runs through the routing engine; fig8/9/12 and table1 do not issue
-#: a plain lookup workload).
-TRACEABLE_COMMANDS = ("fig5", "fig6", "fig7", "fig10", "fig11", "fig13", "fig14")
+#: runs through the routing engine; fig8/9 and table1 do not issue
+#: lookups at all).
+TRACEABLE_COMMANDS = (
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig-crash",
+    "maint",
+)
 
 
 def _run_fig5_or_6(
@@ -288,6 +323,7 @@ def _dispatch(
             population=args.population,
             duration=args.duration,
             seed=args.seed,
+            observer=sink,
         )
         rows = [
             [
@@ -343,6 +379,78 @@ def _dispatch(
                 ["sparsity", "nodes", "successor share"],
                 rows,
                 "Fig. 14 — Koorde breakdown vs sparsity",
+            )
+        )
+    elif args.command == "fig-crash":
+        points = run_crash_experiment(
+            probabilities=tuple(args.crash_prob),
+            lookups=args.lookups,
+            seed=args.seed,
+            message_loss=args.msg_loss,
+            retry_budget=args.retry_budget,
+            dimension=args.dimension,
+            observer=sink,
+        )
+        rows = [
+            [
+                p.protocol,
+                f"{p.probability:.1f}",
+                p.mode,
+                f"{p.success_rate * 100:.1f}%",
+                f"{p.mean_path_length:.2f}",
+                p.timeout_row(),
+                f"{p.mean_retries:.2f}",
+                p.route_repairs,
+            ]
+            for p in points
+        ]
+        _print(
+            format_table(
+                [
+                    "protocol",
+                    "p",
+                    "mode",
+                    "success",
+                    "mean path",
+                    "timeouts",
+                    "retries",
+                    "repairs",
+                ],
+                rows,
+                "Crash resilience — graceful vs ungraceful failures",
+            )
+        )
+    elif args.command == "maint":
+        points = run_maintenance_experiment(
+            population=args.population,
+            events=args.events,
+            seed=args.seed,
+            lookups=args.lookups,
+            observer=sink,
+        )
+        rows = [
+            [
+                p.protocol,
+                f"{p.updates_per_join:.1f}",
+                f"{p.updates_per_leave:.1f}",
+                f"{p.updates_per_departure:.1f}",
+                f"{p.probe_mean_path:.2f}",
+                p.probe_failures,
+            ]
+            for p in points
+        ]
+        _print(
+            format_table(
+                [
+                    "protocol",
+                    "per join",
+                    "per leave",
+                    "per departure",
+                    "probe path",
+                    "probe failures",
+                ],
+                rows,
+                "Maintenance fan-out + post-departure probe",
             )
         )
     elif args.command == "table1":

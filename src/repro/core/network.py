@@ -221,11 +221,13 @@ class CycloidNetwork(Network):
         if current.id == key_id:
             return RoutingDecision.terminate()
         state.visited.add(current.id)
-        node, phase, timeouts = self._choose_next(current, key_id, state)
+        node, phase, timeouts, alternates = self._choose_next(
+            current, key_id, state
+        )
         if node is None:
             # No live entry improves on what has been seen.
             return RoutingDecision.terminate(timeouts)
-        return RoutingDecision.forward(node, phase, timeouts)
+        return RoutingDecision.forward(node, phase, timeouts, alternates)
 
     def finish_route(
         self, current: CycloidNode, key_id: CycloidId, state: "_RouteState"
@@ -244,8 +246,25 @@ class CycloidNetwork(Network):
         current: CycloidNode,
         key_id: CycloidId,
         state: "_RouteState",
-    ) -> Tuple[Optional[CycloidNode], str, int]:
-        """One Cycloid routing decision (Fig. 3 + the §3.2 fallback)."""
+    ) -> Tuple[
+        Optional[CycloidNode],
+        str,
+        int,
+        Tuple[Tuple[CycloidNode, str], ...],
+    ]:
+        """One Cycloid routing decision (Fig. 3 + the §3.2 fallback).
+
+        Returns ``(node, phase, timeouts, alternates)``.  In fault mode
+        (``self.fault_detection``) the decision cascade keeps collecting
+        instead of returning at the first live candidate: the whole
+        preference order — ascending/descending choice first, then the
+        traverse-cycle leaf fallback — comes back unfiltered as primary
+        plus ranked alternates, and the engine's probe loop does the
+        dead-node detection that ``try_candidates`` does here otherwise.
+        """
+        fault_mode = self.fault_detection
+        collected: List[Tuple[CycloidNode, str]] = []
+        offered: Set[CycloidId] = set()
         timeouts = 0
         dead_tried: Set[CycloidId] = set()
         modulus = 1 << self.dimension
@@ -263,6 +282,20 @@ class CycloidNetwork(Network):
             allow_visited: bool = False,
         ) -> Optional[Tuple[CycloidNode, str]]:
             nonlocal timeouts
+            if fault_mode:
+                # Collect unfiltered (the engine probes for liveness);
+                # returning None keeps the cascade going so later
+                # branches contribute the lower-ranked fallbacks.
+                for candidate in candidates:
+                    if candidate.alive:
+                        state.observe(candidate)
+                    if candidate.id in state.visited and not allow_visited:
+                        continue
+                    if candidate.id in offered:
+                        continue
+                    offered.add(candidate.id)
+                    collected.append((candidate, phase))
+                return None
             for candidate in candidates:
                 if not candidate.alive:
                     if candidate.id not in dead_tried:
@@ -317,7 +350,7 @@ class CycloidNetwork(Network):
                 )
                 found = try_candidates(candidates, PHASE_ASCENDING)
                 if found is not None:
-                    return found[0], found[1], timeouts
+                    return found[0], found[1], timeouts, ()
             elif current.cyclic == bit:
                 # Descending: the cubical neighbour corrects bit `k`.
                 # Convergence criterion from §3.2: the next node either
@@ -329,7 +362,7 @@ class CycloidNetwork(Network):
                 ) < (bit, current_cube):
                     found = try_candidates([neighbor], PHASE_DESCENDING)
                     if found is not None:
-                        return found[0], found[1], timeouts
+                        return found[0], found[1], timeouts, ()
             else:
                 # Descending: cyclic neighbours / inside leaves lower the
                 # cyclic index toward the MSDB without losing prefix or
@@ -371,7 +404,7 @@ class CycloidNetwork(Network):
                     [item[2] for item in ranked], PHASE_DESCENDING
                 )
                 if found is not None:
-                    return found[0], found[1], timeouts
+                    return found[0], found[1], timeouts, ()
 
         # Traverse-cycle / fallback: the numerically closest leaf entry
         # that makes strict progress toward the key.
@@ -383,7 +416,7 @@ class CycloidNetwork(Network):
         closer.sort(key=lambda n: key_id.distance_to(n.id))
         found = try_candidates(closer, PHASE_TRAVERSE)
         if found is not None:
-            return found[0], found[1], timeouts
+            return found[0], found[1], timeouts, ()
 
         # Last-mile resolution.  The owner lives in one of the cycles
         # with minimal cubical distance to the key; when greedy progress
@@ -408,7 +441,7 @@ class CycloidNetwork(Network):
             inside_unvisited.sort(key=lambda n: key_id.distance_to(n.id))
             found = try_candidates(inside_unvisited, PHASE_TRAVERSE)
             if found is not None:
-                return found[0], found[1], timeouts
+                return found[0], found[1], timeouts, ()
             tied_cycles = [
                 leaf
                 for leaf in live_outside
@@ -425,9 +458,12 @@ class CycloidNetwork(Network):
                 tied_cycles, PHASE_TRAVERSE, allow_visited=True
             )
             if found is not None:
-                return found[0], found[1], timeouts
+                return found[0], found[1], timeouts, ()
 
-        return None, PHASE_TRAVERSE, timeouts
+        if collected:
+            primary, phase = collected[0]
+            return primary, phase, timeouts, tuple(collected[1:5])
+        return None, PHASE_TRAVERSE, timeouts, ()
 
     def _phi(
         self, node: CycloidNode, key_id: CycloidId
@@ -489,6 +525,27 @@ class CycloidNetwork(Network):
             raise ValueError(f"{node!r} already departed")
         node.alive = False
         self.topology.remove(node.id)
+
+    def on_dead_entry(self, observer: CycloidNode, dead: CycloidNode) -> int:
+        """Lazy repair after a timeout on ``dead``: null the stale
+        cubical/cyclic neighbour pointers (stabilisation's job to
+        replace, as with Chord fingers) and re-derive the leaf sets
+        from the live membership when a leaf entry was the casualty —
+        the §3.2 leaf-set successor fallback made durable."""
+        repaired = 0
+        if observer.cubical_neighbor is dead:
+            observer.cubical_neighbor = None
+            repaired += 1
+        if observer.cyclic_larger is dead:
+            observer.cyclic_larger = None
+            repaired += 1
+        if observer.cyclic_smaller is dead:
+            observer.cyclic_smaller = None
+            repaired += 1
+        if any(leaf is dead for leaf in observer.leaf_entries()):
+            if self._wire_leaves(observer):
+                repaired += 1
+        return repaired
 
     def _free_id_for(self, name: object) -> CycloidId:
         node_id = hash_to_cycloid(name, self.dimension)

@@ -17,10 +17,21 @@ from __future__ import annotations
 import abc
 import enum
 from collections import Counter
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.dht.metrics import LookupRecord
 from repro.dht.routing import LookupEngine, RoutingDecision, TraceObserver
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
+    from repro.sim.faults import FaultInjector
 
 __all__ = ["LookupOutcome", "Node", "Network"]
 
@@ -90,6 +101,16 @@ class Network(abc.ABC):
         #: graceful leave updated — the connectivity-maintenance cost
         #: the paper's conclusion weighs across designs.
         self.maintenance_updates: int = 0
+        #: set by the lookup engine on every run: ``True`` while an
+        #: active fault injector drives the probe loop, in which case
+        #: :meth:`next_hop` must return its first-preference candidate
+        #: *unfiltered* (plus ranked alternates) and leave dead-node
+        #: detection to the engine.  ``False`` restores the classic
+        #: filter-inside-the-step behaviour.
+        self.fault_detection: bool = False
+        #: running count of stale routing entries lazily evicted or
+        #: replaced via :meth:`on_dead_entry` (fault mode only).
+        self.route_repairs: int = 0
 
     # ------------------------------------------------------------------
     # population
@@ -189,6 +210,17 @@ class Network(abc.ABC):
         call.  Default: stateless protocols return ``None``."""
         return None
 
+    def on_dead_entry(self, observer: Node, dead: Node) -> int:
+        """Lazy route repair: ``observer`` just timed out contacting
+        ``dead`` (engine fault mode), so evict or replace the stale
+        pointer(s) in ``observer``'s routing state — the leaf-set
+        successor fallback for Cycloid, the finger walk-down for Chord,
+        and so on per overlay.  Returns the number of entries repaired
+        (the engine accumulates it in :attr:`route_repairs`).  Default:
+        overlays without repairable per-node state do nothing.
+        """
+        return 0
+
     def finish_route(
         self, current: Node, key_id: object, state: object
     ) -> Optional[RoutingDecision]:
@@ -209,15 +241,19 @@ class Network(abc.ABC):
         self,
         pairs: Iterable[Tuple[Node, object]],
         observer: Optional[TraceObserver] = None,
+        injector: Optional["FaultInjector"] = None,
+        retry_budget: int = 0,
     ) -> List[LookupRecord]:
         """Route a batch of ``(source, application key)`` lookups.
 
         One engine (and its scratch state) is reused across the whole
         batch, and ``observer`` — e.g. a
         :class:`~repro.dht.routing.JsonlTraceSink` — receives every
-        per-hop trace event with lookup ids numbered from 0.
+        per-hop trace event with lookup ids numbered from 0.  An active
+        ``injector`` arms the engine's fault mode with the given
+        per-lookup ``retry_budget``.
         """
-        engine = LookupEngine(self, observer)
+        engine = LookupEngine(self, observer, injector, retry_budget)
         key_id = self.key_id
         return [engine.run(source, key_id(key)) for source, key in pairs]
 
@@ -225,10 +261,14 @@ class Network(abc.ABC):
         self,
         pairs: Iterable[Tuple[Node, object]],
         observer: Optional[TraceObserver] = None,
+        injector: Optional["FaultInjector"] = None,
+        retry_budget: int = 0,
     ) -> List[LookupRecord]:
         """Route a batch of ``(source, key id)`` lookups (pre-hashed
         variant of :meth:`lookup_many`)."""
-        return LookupEngine(self, observer).run_batch(pairs)
+        return LookupEngine(self, observer, injector, retry_budget).run_batch(
+            pairs
+        )
 
     def assign_keys(self, keys: Iterable[object]) -> Dict[Node, int]:
         """Distribute a key corpus; returns keys-per-node counts (Figs 8-9).

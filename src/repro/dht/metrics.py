@@ -29,6 +29,10 @@ class LookupRecord:
     by :class:`repro.dht.routing.LookupEngine` always carry the full
     phase dict (every phase of the protocol, zero-filled), so the
     empty-dict escape below only applies to hand-built records.
+
+    ``retries`` counts the engine's fault-mode probe continuations
+    (re-sends after lost messages plus fallbacks past dead targets); it
+    is always 0 on the fault-free path.
     """
 
     hops: int
@@ -39,12 +43,15 @@ class LookupRecord:
     key: Optional[object] = None
     owner: Optional[object] = None
     path: List[object] = field(default_factory=list)
+    retries: int = 0
 
     def __post_init__(self) -> None:
         if self.hops < 0:
             raise ValueError("hops must be non-negative")
         if self.timeouts < 0:
             raise ValueError("timeouts must be non-negative")
+        if self.retries < 0:
+            raise ValueError("retries must be non-negative")
         phase_total = sum(self.phase_hops.values())
         if self.phase_hops and phase_total != self.hops:
             raise ValueError(
@@ -93,6 +100,15 @@ class LookupStats:
     def timeout_summary(self) -> DistributionSummary:
         """Mean and 1st/99th percentile timeouts (Tables 4 and 5)."""
         return summarize([r.timeouts for r in self.records])
+
+    @property
+    def total_retries(self) -> int:
+        """Fault-mode probe continuations summed over all lookups."""
+        return sum(r.retries for r in self.records)
+
+    def retry_summary(self) -> DistributionSummary:
+        """Distribution of per-lookup retry counts (crash experiment)."""
+        return summarize([r.retries for r in self.records])
 
     def phase_breakdown(self) -> PhaseBreakdown:
         """Per-phase hop shares across all lookups (Figs 7 and 14)."""

@@ -24,6 +24,23 @@ The engine is deliberately tolerant of protocols that consume routing
 state without sending a message (Koorde's de Bruijn self-shift):
 a decision with neither a node nor a terminal flag re-enters the loop
 without counting a hop.
+
+**Fault mode.**  When the engine is built with an *active*
+:class:`~repro.sim.faults.FaultInjector`, it flips
+``network.fault_detection`` on for the duration of each lookup.  Step
+functions then return their first-preference candidate *without*
+filtering dead entries (plus a ranked ``alternates`` list), and the
+engine takes over failure detection: every prospective hop is probed
+through the injector, a dead target costs one timeout and triggers the
+overlay's :meth:`~repro.dht.base.Network.on_dead_entry` lazy repair
+before falling through to the next alternate, a dropped message costs
+one timeout and re-probes the same target, and each continuation after
+a failed probe consumes one unit of the per-lookup ``retry_budget``.
+Failed probes appear on the trace stream as :class:`TraceEvent`\\ s
+with ``kind`` ``"timeout"`` (dead target) or ``"retry"`` (message
+lost).  Without an injector — or with an inactive plan — none of this
+runs and routing is bit-exact with the pre-fault engine (pinned by the
+golden parity tests).
 """
 
 from __future__ import annotations
@@ -43,6 +60,7 @@ from repro.dht.metrics import LookupRecord
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
     from repro.dht.base import Network, Node
+    from repro.sim.faults import FaultInjector
 
 __all__ = [
     "RoutingDecision",
@@ -71,9 +89,15 @@ class RoutingDecision:
     ``timeouts`` counts dead nodes contacted while making the decision
     (paper §4.3); the engine accumulates it in every case, including
     terminal ones.
+
+    ``alternates`` is a ranked tuple of ``(node, phase)`` fallback
+    candidates, populated only when the network is in fault-detection
+    mode (``network.fault_detection``): if the engine's probe of the
+    primary target fails, it falls through these in order.  In the
+    fault-free path it is always empty and never consulted.
     """
 
-    __slots__ = ("node", "phase", "timeouts", "terminal", "failed")
+    __slots__ = ("node", "phase", "timeouts", "terminal", "failed", "alternates")
 
     def __init__(
         self,
@@ -82,26 +106,34 @@ class RoutingDecision:
         timeouts: int,
         terminal: bool,
         failed: bool,
+        alternates: Tuple[Tuple["Node", str], ...] = (),
     ) -> None:
         self.node = node
         self.phase = phase
         self.timeouts = timeouts
         self.terminal = terminal
         self.failed = failed
+        self.alternates = alternates
 
     @staticmethod
     def forward(
-        node: "Node", phase: str, timeouts: int = 0
+        node: "Node",
+        phase: str,
+        timeouts: int = 0,
+        alternates: Tuple[Tuple["Node", str], ...] = (),
     ) -> "RoutingDecision":
         """Hop to ``node`` (one message) and keep routing."""
-        return RoutingDecision(node, phase, timeouts, False, False)
+        return RoutingDecision(node, phase, timeouts, False, False, alternates)
 
     @staticmethod
     def deliver(
-        node: "Node", phase: str, timeouts: int = 0
+        node: "Node",
+        phase: str,
+        timeouts: int = 0,
+        alternates: Tuple[Tuple["Node", str], ...] = (),
     ) -> "RoutingDecision":
         """Hop to ``node`` and terminate — the delivery step."""
-        return RoutingDecision(node, phase, timeouts, True, False)
+        return RoutingDecision(node, phase, timeouts, True, False, alternates)
 
     @staticmethod
     def terminate(timeouts: int = 0) -> "RoutingDecision":
@@ -136,6 +168,14 @@ class TraceEvent:
 
     ``hop`` is 1-based; ``timeouts`` counts the dead nodes contacted
     while deciding this hop (not a running total).
+
+    ``kind`` is ``"hop"`` for every counted hop.  In fault mode the
+    engine additionally reports failed probes on the same stream:
+    ``"timeout"`` (probe hit a dead node; ``node`` is the dead target,
+    ``hop`` the prospective hop index that was being attempted) and
+    ``"retry"`` (the message to a live target was lost; the engine
+    re-probes it while retry budget remains).  Failed-probe events
+    never count as hops.
     """
 
     lookup_id: int
@@ -143,6 +183,7 @@ class TraceEvent:
     node: object
     phase: str
     timeouts: int
+    kind: str = "hop"
 
 
 class TraceObserver:
@@ -168,6 +209,9 @@ class JsonlTraceSink(TraceObserver):
     Every line carries the lookup id, the 1-based hop index, the node
     hopped to, the phase label and the step's timeout count; node names
     and ids are stringified so any overlay's identifiers serialise.
+    Failed-probe events (fault mode only) additionally carry a ``kind``
+    key (``"timeout"`` or ``"retry"``); plain hops omit it, keeping the
+    fault-free line format unchanged.
     """
 
     def __init__(self, stream: IO[str]) -> None:
@@ -175,17 +219,16 @@ class JsonlTraceSink(TraceObserver):
         self.events_written = 0
 
     def on_hop(self, event: TraceEvent) -> None:
-        self.stream.write(
-            json.dumps(
-                {
-                    "lookup": event.lookup_id,
-                    "hop": event.hop,
-                    "node": str(event.node),
-                    "phase": event.phase,
-                    "timeouts": event.timeouts,
-                }
-            )
-        )
+        line = {
+            "lookup": event.lookup_id,
+            "hop": event.hop,
+            "node": str(event.node),
+            "phase": event.phase,
+            "timeouts": event.timeouts,
+        }
+        if event.kind != "hop":
+            line["kind"] = event.kind
+        self.stream.write(json.dumps(line))
         self.stream.write("\n")
         self.events_written += 1
 
@@ -221,22 +264,100 @@ class LookupEngine:
     phase-dict template (``Network.ROUTING_PHASES``) copied per lookup
     so records keep the pre-refactor shape of every phase present even
     at zero hops.
+
+    ``injector`` + ``retry_budget`` arm fault mode (see the module
+    docstring); with the default ``injector=None`` the engine is the
+    bit-exact fault-free driver.
     """
 
-    __slots__ = ("network", "observer", "_next_id", "_phase_template")
+    __slots__ = (
+        "network",
+        "observer",
+        "injector",
+        "retry_budget",
+        "_fault_mode",
+        "_next_id",
+        "_phase_template",
+    )
 
     def __init__(
-        self, network: "Network", observer: Optional[TraceObserver] = None
+        self,
+        network: "Network",
+        observer: Optional[TraceObserver] = None,
+        injector: Optional["FaultInjector"] = None,
+        retry_budget: int = 0,
     ) -> None:
+        if retry_budget < 0:
+            raise ValueError("retry_budget must be >= 0")
         self.network = network
         self.observer = observer
+        self.injector = injector
+        self.retry_budget = retry_budget
+        self._fault_mode = injector is not None and injector.active
         self._next_id = 0
         self._phase_template = dict.fromkeys(network.ROUTING_PHASES, 0)
+
+    def _probe(
+        self,
+        lookup_id: int,
+        hop_index: int,
+        current: "Node",
+        decision: RoutingDecision,
+        budget: int,
+    ) -> Tuple[Optional["Node"], str, int, int, int]:
+        """Resolve a decision's target under fault injection.
+
+        Walks the primary candidate then the ranked alternates: a lost
+        message re-probes the same target, a dead target triggers the
+        overlay's :meth:`~repro.dht.base.Network.on_dead_entry` lazy
+        repair and falls through to the next candidate.  Every failed
+        probe costs one timeout and is traced; every continuation after
+        a failed probe spends one unit of the per-lookup retry budget.
+
+        Returns ``(node, phase, timeouts, retries, budget_left)``;
+        ``node`` is ``None`` when the budget or candidates ran out.
+        """
+        network = self.network
+        injector = self.injector
+        observer = self.observer
+        candidates = [(decision.node, decision.phase)]
+        candidates.extend(decision.alternates)
+        timeouts = 0
+        retries = 0
+        index = 0
+        while index < len(candidates):
+            node, phase = candidates[index]
+            if node.alive and injector.delivered(current, node):
+                return node, phase, timeouts, retries, budget
+            timeouts += 1
+            if node.alive:
+                kind = "retry"  # message lost; same target again
+            else:
+                kind = "timeout"
+                network.route_repairs += network.on_dead_entry(current, node)
+                index += 1
+            if observer is not None:
+                observer.on_hop(
+                    TraceEvent(lookup_id, hop_index, node.name, phase, 1, kind)
+                )
+            if budget <= 0:
+                break
+            budget -= 1
+            retries += 1
+        return None, "", timeouts, retries, budget
 
     def run(self, source: "Node", key_id: object) -> LookupRecord:
         """Route one lookup from ``source`` toward ``key_id``."""
         network = self.network
         observer = self.observer
+        fault_mode = self._fault_mode
+        # Step functions consult this flag to decide whether to filter
+        # dead entries themselves (fault-free) or hand the engine an
+        # unfiltered primary plus alternates (fault mode).  Set on every
+        # run so a fault engine never leaks the flag into later
+        # fault-free engines on the same network.
+        network.fault_detection = fault_mode
+        budget = self.retry_budget
         lookup_id = self._next_id
         self._next_id += 1
         if not source.alive:
@@ -247,6 +368,7 @@ class LookupEngine:
         current = source
         hops = 0
         timeouts = 0
+        retries = 0
         failed = False
         path = [source.name]
         if observer is not None:
@@ -258,14 +380,26 @@ class LookupEngine:
             decision = network.next_hop(current, key_id, state)
             timeouts += decision.timeouts
             node = decision.node
+            phase = decision.phase
             if node is None:
                 if decision.terminal:
                     failed = decision.failed
                     break
                 continue  # state advanced without a message
+            if fault_mode:
+                node, phase, probe_timeouts, probe_retries, budget = (
+                    self._probe(lookup_id, hops + 1, current, decision, budget)
+                )
+                timeouts += probe_timeouts
+                retries += probe_retries
+                if node is None:
+                    # Could not reach any candidate: the message is
+                    # stuck at ``current`` and the lookup fails.
+                    failed = True
+                    break
             current = node
             hops += 1
-            phases[decision.phase] += 1
+            phases[phase] += 1
             path.append(node.name)
             record_visit(node)
             if observer is not None:
@@ -274,7 +408,7 @@ class LookupEngine:
                         lookup_id,
                         hops,
                         node.name,
-                        decision.phase,
+                        phase,
                         decision.timeouts,
                     )
                 )
@@ -288,21 +422,30 @@ class LookupEngine:
         final = network.finish_route(current, key_id, state)
         if final is not None and final.node is not None:
             timeouts += final.timeouts
-            current = final.node
-            hops += 1
-            phases[final.phase] += 1
-            path.append(current.name)
-            record_visit(current)
-            if observer is not None:
-                observer.on_hop(
-                    TraceEvent(
-                        lookup_id,
-                        hops,
-                        current.name,
-                        final.phase,
-                        final.timeouts,
-                    )
+            node = final.node
+            phase = final.phase
+            if fault_mode:
+                node, phase, probe_timeouts, probe_retries, budget = (
+                    self._probe(lookup_id, hops + 1, current, final, budget)
                 )
+                timeouts += probe_timeouts
+                retries += probe_retries
+            if node is not None:
+                current = node
+                hops += 1
+                phases[phase] += 1
+                path.append(current.name)
+                record_visit(current)
+                if observer is not None:
+                    observer.on_hop(
+                        TraceEvent(
+                            lookup_id,
+                            hops,
+                            current.name,
+                            phase,
+                            final.timeouts,
+                        )
+                    )
 
         assert sum(phases.values()) == hops, (
             f"{network.protocol_name}: phase hops {phases} do not sum to "
@@ -317,6 +460,7 @@ class LookupEngine:
             key=key_id,
             owner=current.name,
             path=path,
+            retries=retries,
         )
         if observer is not None:
             observer.on_lookup_end(lookup_id, record)
@@ -335,6 +479,10 @@ def execute_lookup(
     source: "Node",
     key_id: object,
     observer: Optional[TraceObserver] = None,
+    injector: Optional["FaultInjector"] = None,
+    retry_budget: int = 0,
 ) -> LookupRecord:
     """Convenience wrapper: route a single lookup through a fresh engine."""
-    return LookupEngine(network, observer).run(source, key_id)
+    return LookupEngine(network, observer, injector, retry_budget).run(
+        source, key_id
+    )

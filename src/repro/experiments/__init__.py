@@ -35,6 +35,7 @@ from repro.experiments.failures import (
     run_mass_departure_experiment,
 )
 from repro.experiments.churn import ChurnPoint, run_churn_experiment
+from repro.experiments.crash import CrashPoint, run_crash_experiment
 from repro.experiments.sparsity import (
     SparsityPoint,
     run_sparsity_experiment,
@@ -68,6 +69,8 @@ __all__ = [
     "run_mass_departure_experiment",
     "ChurnPoint",
     "run_churn_experiment",
+    "CrashPoint",
+    "run_crash_experiment",
     "SparsityPoint",
     "run_sparsity_experiment",
     "ArchitectureRow",

@@ -10,9 +10,10 @@ once per 30 s at a uniformly distributed phase.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.dht.identifiers import cycloid_space_size
+from repro.dht.routing import TraceObserver
 from repro.experiments.registry import PROTOCOLS, build_sized_network
 from repro.sim.churn import ChurnConfig, run_churn_simulation
 from repro.util.stats import DistributionSummary
@@ -56,6 +57,7 @@ def run_churn_experiment(
     population: int = 2048,
     duration: float = 1000.0,
     seed: int = 42,
+    observer: Optional[TraceObserver] = None,
 ) -> List[ChurnPoint]:
     """Fig. 12 (path length vs R) and Table 5 (timeouts vs R).
 
@@ -85,7 +87,7 @@ def run_churn_experiment(
                 duration=duration,
                 seed=seed + int(rate * 1000),
             )
-            result = run_churn_simulation(network, config)
+            result = run_churn_simulation(network, config, observer=observer)
             completed = [r.hops for r in result.stats.records if r.success]
             mean_path = (
                 sum(completed) / len(completed) if completed else 0.0

@@ -8,6 +8,7 @@ from typing import Optional, Sequence
 from repro.dht.base import Network
 from repro.dht.metrics import LookupStats
 from repro.dht.routing import TraceObserver
+from repro.sim.faults import FaultInjector
 from repro.sim.workload import lookup_workload
 from repro.util.rng import make_rng
 
@@ -20,6 +21,8 @@ def run_lookups(
     seed: int = 0,
     keys: Sequence[object] = (),
     observer: Optional[TraceObserver] = None,
+    injector: Optional[FaultInjector] = None,
+    retry_budget: int = 0,
 ) -> LookupStats:
     """Execute ``count`` random lookups and gather their records.
 
@@ -31,30 +34,40 @@ def run_lookups(
     The whole workload goes through one batched
     :meth:`~repro.dht.base.Network.lookup_many` call; ``observer``
     (e.g. a :class:`~repro.dht.routing.JsonlTraceSink`) receives every
-    per-hop trace event.
+    per-hop trace event.  ``injector``/``retry_budget`` switch the
+    engine into fault mode (see :mod:`repro.sim.faults`).
     """
     rng = make_rng(seed)
     stats = LookupStats()
     stats.extend(
         network.lookup_many(
-            lookup_workload(network, count, rng, keys), observer=observer
+            lookup_workload(network, count, rng, keys),
+            observer=observer,
+            injector=injector,
+            retry_budget=retry_budget,
         )
     )
     return stats
 
 
 def fail_nodes(
-    network: Network, probability: float, rng: Optional[random.Random] = None
+    network: Network, probability: float, rng: random.Random
 ) -> int:
     """Gracefully depart each node independently with ``probability``.
 
     The §4.3 massive-failure injection: departures are graceful (each
     leaver notifies its relatives) and no stabilisation runs afterwards.
     At least one node is always left alive.  Returns the departure count.
+
+    ``rng`` is mandatory — seed it via :func:`repro.util.rng.make_rng`
+    so every failure experiment is reproducible by construction.
     """
     if not 0.0 <= probability <= 1.0:
         raise ValueError("probability must be within [0, 1]")
-    rng = rng or make_rng(None)
+    if rng is None:
+        raise TypeError(
+            "fail_nodes requires an explicit rng; pass make_rng(seed)"
+        )
     victims = [node for node in network.live_nodes() if rng.random() < probability]
     departed = 0
     for node in victims:

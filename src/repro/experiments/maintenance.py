@@ -16,10 +16,11 @@ timeouts, which E7/E8 measure.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.dht.identifiers import cycloid_space_size
-from repro.experiments.common import fail_nodes
+from repro.dht.routing import TraceObserver
+from repro.experiments.common import fail_nodes, run_lookups
 from repro.experiments.registry import (
     PROTOCOLS,
     build_complete_network,
@@ -40,6 +41,11 @@ class MaintenancePoint:
     updates_per_leave: float
     mass_departure_updates: int
     mass_departure_events: int
+    #: post-departure lookup probe (0 lookups when disabled): how well
+    #: the un-stabilised survivor topology still routes.
+    probe_lookups: int = 0
+    probe_failures: int = 0
+    probe_mean_path: float = 0.0
 
     @property
     def updates_per_departure(self) -> float:
@@ -55,8 +61,16 @@ def run_maintenance_experiment(
     departure_probability: float = 0.5,
     dimension: int = 8,
     seed: int = 42,
+    lookups: int = 0,
+    observer: Optional[TraceObserver] = None,
 ) -> List[MaintenancePoint]:
-    """Measure update fan-out per join/leave and under mass departure."""
+    """Measure update fan-out per join/leave and under mass departure.
+
+    With ``lookups`` > 0 the mass-departure network additionally serves
+    a seeded lookup probe *before any stabilisation*, tying the
+    maintenance bill to the routability it actually bought; ``observer``
+    streams those probe hops (the ``maint --trace`` path).
+    """
     cycloid_dimension = 1
     while cycloid_space_size(cycloid_dimension) < population:
         cycloid_dimension += 1
@@ -90,6 +104,17 @@ def run_maintenance_experiment(
         departed = fail_nodes(
             mass, departure_probability, make_rng(seed + 2)
         )
+        probe_failures = 0
+        probe_mean_path = 0.0
+        if lookups > 0:
+            stats = run_lookups(
+                mass, lookups, seed=seed + 3, observer=observer
+            )
+            probe_failures = stats.failures
+            completed = [r.hops for r in stats.records if r.success]
+            probe_mean_path = (
+                sum(completed) / len(completed) if completed else 0.0
+            )
         points.append(
             MaintenancePoint(
                 protocol=protocol,
@@ -98,6 +123,9 @@ def run_maintenance_experiment(
                 updates_per_leave=per_leave,
                 mass_departure_updates=mass.maintenance_updates,
                 mass_departure_events=departed,
+                probe_lookups=lookups,
+                probe_failures=probe_failures,
+                probe_mean_path=probe_mean_path,
             )
         )
     return points

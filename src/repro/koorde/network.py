@@ -128,10 +128,19 @@ class KoordeNetwork(Network):
             # current's local state says it stores the key
             return RoutingDecision.terminate()
         believed = current.successors[0]
+        fault_mode = self.fault_detection
 
         if in_interval(key_id, current.id, believed.id, modulus):
             # Delivery step: forward to the believed successor,
             # walking the backup list on timeouts.
+            if fault_mode:
+                return RoutingDecision.deliver(
+                    believed,
+                    PHASE_SUCCESSOR,
+                    alternates=self._backup_alternates(
+                        current.successors[1:], current, PHASE_SUCCESSOR
+                    ),
+                )
             node, timeouts = self._first_live(current.successors)
             if node is None:
                 return RoutingDecision.dead_end(timeouts)
@@ -144,11 +153,19 @@ class KoordeNetwork(Network):
         )
         if walk.bits_left > 0 and hosts_imaginary:
             # Invariant holds: de Bruijn hop, shift in the next bit.
-            node, timeouts = self._first_live(current.debruijn_chain())
-            if node is None:
-                # De Bruijn pointer and every backup dead: the lookup
-                # fails (paper §4.3).
-                return RoutingDecision.dead_end(timeouts)
+            # The walk state is consumed *before* the message leaves, so
+            # in fault mode the engine must resolve this decision's
+            # candidates without re-asking (it never re-asks; probe
+            # exhaustion fails the lookup).
+            chain = current.debruijn_chain()
+            if fault_mode:
+                node, timeouts = chain[0], 0
+            else:
+                node, timeouts = self._first_live(chain)
+                if node is None:
+                    # De Bruijn pointer and every backup dead: the lookup
+                    # fails (paper §4.3).
+                    return RoutingDecision.dead_end(timeouts)
             top_bit = (walk.kshift >> (self.bits - 1)) & 1
             walk.imaginary = ((walk.imaginary << 1) | top_bit) % modulus
             walk.kshift = (walk.kshift << 1) % modulus
@@ -158,14 +175,40 @@ class KoordeNetwork(Network):
                 # node 0 in a dense ring); shifting then costs no
                 # message.
                 return RoutingDecision.advance(timeouts)
+            if fault_mode:
+                return RoutingDecision.forward(
+                    node,
+                    PHASE_DEBRUIJN,
+                    alternates=self._backup_alternates(
+                        chain[1:], current, PHASE_DEBRUIJN
+                    ),
+                )
             return RoutingDecision.forward(node, PHASE_DEBRUIJN, timeouts)
 
         # Correction step: walk successors toward pred(imaginary)
         # (or toward the key once all bits are consumed).
+        if fault_mode:
+            return RoutingDecision.forward(
+                believed,
+                PHASE_SUCCESSOR,
+                alternates=self._backup_alternates(
+                    current.successors[1:], current, PHASE_SUCCESSOR
+                ),
+            )
         node, timeouts = self._first_live(current.successors)
         if node is None:
             return RoutingDecision.dead_end(timeouts)
         return RoutingDecision.forward(node, PHASE_SUCCESSOR, timeouts)
+
+    @staticmethod
+    def _backup_alternates(
+        backups: List[KoordeNode], current: KoordeNode, phase: str
+    ) -> Tuple[Tuple[KoordeNode, str], ...]:
+        """Fault-mode alternates: the backup chain, unfiltered, minus
+        the current node (hopping to oneself is never a fallback)."""
+        return tuple(
+            (backup, phase) for backup in backups[:4] if backup is not current
+        )
 
     @staticmethod
     def _first_live(
@@ -252,6 +295,28 @@ class KoordeNetwork(Network):
         node.alive = False
         self.ring.remove(node.id)
 
+    def on_dead_entry(self, observer: KoordeNode, dead: KoordeNode) -> int:
+        """Lazy repair after a timeout on ``dead``: splice it out of the
+        successor list, clear a stale predecessor, and re-derive the de
+        Bruijn pointer with its backups when the chain held the corpse
+        (the targeted version of what :meth:`stabilize_node` does on its
+        30 s timer)."""
+        repaired = 0
+        if any(s is dead for s in observer.successors):
+            observer.successors = [
+                s for s in observer.successors if s is not dead
+            ]
+            repaired += 1
+        if observer.predecessor is dead:
+            observer.predecessor = None
+            repaired += 1
+        if observer.debruijn is dead or any(
+            backup is dead for backup in observer.debruijn_backups
+        ):
+            self._wire_debruijn(observer)
+            repaired += 1
+        return repaired
+
     def stabilize(self) -> None:
         """Restore all pointers — successor lists, de Bruijn chain — from
         the live membership (§4.4: stabilisation updates the first de
@@ -270,6 +335,9 @@ class KoordeNetwork(Network):
         node.predecessor = (
             self.ring.predecessor(node.id) if len(self.ring) > 1 else None
         )
+        self._wire_debruijn(node)
+
+    def _wire_debruijn(self, node: KoordeNode) -> None:
         if len(self.ring) > 1:
             # "The first de Bruijn node of a node with ID m is the node
             # that immediately precedes 2m" — at-or-before, so that in a

@@ -161,23 +161,46 @@ class PastryNetwork(Network):
         if current.id == key_id:
             return RoutingDecision.terminate()
         visited.add(current.id)
-        node, phase, timeouts = self._choose_next(current, key_id, visited)
+        node, phase, timeouts, alternates = self._choose_next(
+            current, key_id, visited
+        )
         if node is None:
             # current believes it is numerically closest
             return RoutingDecision.terminate(timeouts)
-        return RoutingDecision.forward(node, phase, timeouts)
+        return RoutingDecision.forward(node, phase, timeouts, alternates)
 
     def _choose_next(
         self, current: PastryNode, key_id: int, visited: Set[int]
-    ) -> Tuple[Optional[PastryNode], str, int]:
+    ) -> Tuple[
+        Optional[PastryNode], str, int, Tuple[Tuple[PastryNode, str], ...]
+    ]:
+        """One Pastry decision: ``(node, phase, timeouts, alternates)``.
+
+        In fault mode (``self.fault_detection``) the cascade collects
+        its whole preference order unfiltered — leaf/prefix choice
+        first, the rare-case fallbacks after — and the engine's probe
+        loop performs the dead-node detection ``try_chain`` does here
+        otherwise.
+        """
+        fault_mode = self.fault_detection
+        collected: List[Tuple[PastryNode, str]] = []
+        offered: Set[int] = set()
         timeouts = 0
         dead_tried: Set[int] = set()
-        modulus = self.ring.modulus
 
         def try_chain(
             candidates: Iterable[PastryNode], phase: str
         ) -> Optional[Tuple[PastryNode, str]]:
             nonlocal timeouts
+            if fault_mode:
+                for candidate in candidates:
+                    if candidate is current or candidate.id in visited:
+                        continue
+                    if candidate.id in offered:
+                        continue
+                    offered.add(candidate.id)
+                    collected.append((candidate, phase))
+                return None
             for candidate in candidates:
                 if candidate is current or candidate.id in visited:
                     continue
@@ -188,6 +211,14 @@ class PastryNetwork(Network):
                     continue
                 return candidate, phase
             return None
+
+        def resolved() -> Tuple[
+            Optional[PastryNode], str, int, Tuple[Tuple[PastryNode, str], ...]
+        ]:
+            if collected:
+                primary, phase = collected[0]
+                return primary, phase, timeouts, tuple(collected[1:5])
+            return None, PHASE_LEAF, timeouts, ()
 
         current_distance = self._distance(key_id, current.id)
         leaves = current.leaf_entries()
@@ -203,8 +234,8 @@ class PastryNetwork(Network):
             closer.sort(key=lambda n: self._distance(key_id, n.id))
             found = try_chain(closer, PHASE_LEAF)
             if found is not None:
-                return found[0], found[1], timeouts
-            return None, PHASE_LEAF, timeouts
+                return found[0], found[1], timeouts, ()
+            return resolved()
 
         # Prefix routing: fix the next digit.
         shared = self.shared_prefix_digits(current.id, key_id)
@@ -214,7 +245,7 @@ class PastryNetwork(Network):
             if entry is not None:
                 found = try_chain([entry], PHASE_PREFIX)
                 if found is not None:
-                    return found[0], found[1], timeouts
+                    return found[0], found[1], timeouts, ()
 
         # Rare case: any known node with at least as long a prefix and
         # numerically closer to the key.
@@ -235,9 +266,8 @@ class PastryNetwork(Network):
         fallback.sort(key=lambda n: self._distance(key_id, n.id))
         found = try_chain(fallback, PHASE_LEAF)
         if found is not None:
-            return found[0], found[1], timeouts
-        del modulus
-        return None, PHASE_LEAF, timeouts
+            return found[0], found[1], timeouts, ()
+        return resolved()
 
     def _within_leaf_range(self, node: PastryNode, key_id: int) -> bool:
         if len(self.ring) <= self.leaf_set_size:
@@ -280,6 +310,22 @@ class PastryNetwork(Network):
             raise ValueError(f"{node!r} already departed")
         node.alive = False
         self.ring.remove(node.id)
+
+    def on_dead_entry(self, observer: PastryNode, dead: PastryNode) -> int:
+        """Lazy repair after a timeout on ``dead``: re-derive the leaf
+        sets when it was a leaf (Pastry's contact-the-farthest-leaf
+        repair, idealised) and null any routing-table cell holding it
+        (refilled by stabilisation, as in the Pastry paper)."""
+        repaired = 0
+        if any(leaf is dead for leaf in observer.leaf_entries()):
+            if self._wire_leaves(observer):
+                repaired += 1
+        for row in observer.routing_rows:
+            for column, entry in enumerate(row):
+                if entry is dead:
+                    row[column] = None
+                    repaired += 1
+        return repaired
 
     def _free_id_for(self, name: object) -> int:
         node_id = hash_to_ring(name, self.bits)

@@ -8,6 +8,7 @@ distributed phases.
 
 from repro.sim.engine import Event, EventQueue, Simulator
 from repro.sim.churn import ChurnConfig, ChurnResult, run_churn_simulation
+from repro.sim.faults import FaultInjector, FaultPlan
 from repro.sim.workload import (
     lookup_workload,
     random_keys,
@@ -21,6 +22,8 @@ __all__ = [
     "ChurnConfig",
     "ChurnResult",
     "run_churn_simulation",
+    "FaultPlan",
+    "FaultInjector",
     "lookup_workload",
     "random_keys",
     "uniform_key_corpus",

@@ -16,6 +16,7 @@ from typing import Optional
 
 from repro.dht.base import Network, Node
 from repro.dht.metrics import LookupStats
+from repro.dht.routing import LookupEngine, TraceObserver
 from repro.sim.engine import Simulator
 from repro.util.rng import derive_rng, make_rng
 
@@ -59,13 +60,18 @@ class ChurnResult:
 
 
 def run_churn_simulation(
-    network: Network, config: ChurnConfig
+    network: Network,
+    config: ChurnConfig,
+    observer: Optional[TraceObserver] = None,
 ) -> ChurnResult:
     """Run joins, leaves, lookups and stabilisation against ``network``.
 
     The network is mutated in place and should arrive freshly built and
     stabilised (the paper starts each run from a stable 2048-node
-    system).
+    system).  All lookups run through one shared
+    :class:`~repro.dht.routing.LookupEngine`, so ``observer`` (e.g. a
+    :class:`~repro.dht.routing.JsonlTraceSink`) sees every hop with
+    lookup ids numbered from 0.
     """
     root = make_rng(config.seed)
     lookup_timing = derive_rng(root, 1)
@@ -76,6 +82,7 @@ def run_churn_simulation(
 
     simulator = Simulator()
     result = ChurnResult()
+    engine = LookupEngine(network, observer)
     join_counter = [0]
 
     def schedule_stabilizer(node: Node, first_delay: float) -> None:
@@ -92,7 +99,7 @@ def run_churn_simulation(
         if nodes:
             source = nodes[selection.randrange(len(nodes))]
             key = f"churn-key-{selection.getrandbits(64):016x}"
-            record = network.lookup(source, key)
+            record = engine.run(source, network.key_id(key))
             if simulator.now >= config.warmup:
                 result.stats.add(record)
         simulator.schedule(

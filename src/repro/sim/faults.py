@@ -1,0 +1,189 @@
+"""Deterministic fault injection: crashes, message loss, flaky nodes.
+
+The paper scopes ungraceful failures out of the routing design ("nodes
+must notify others before leaving", §3.4) and lists handling them as
+future work (§5).  This module injects exactly that scenario in a
+reproducible way:
+
+* **ungraceful crashes** — a node vanishes via :meth:`Network.fail`
+  without notifying anyone, so every pointer to it anywhere goes stale
+  (unlike :func:`repro.experiments.common.fail_nodes`, whose departures
+  are graceful and keep leaf sets / successor lists fresh);
+* **message loss** — any routed message is dropped with a seeded
+  probability, indistinguishable to the sender from a dead target;
+* **flaky nodes** — a seeded subset of nodes drops inbound messages at
+  a (much higher) per-node rate, modelling overloaded or half-dead
+  peers.
+
+A :class:`FaultPlan` is pure configuration; a :class:`FaultInjector`
+carries the seeded random streams and the drop/crash decisions.  Every
+stream is derived from the plan's single mandatory ``seed``, so a fault
+schedule is a pure function of the plan — two injectors built from the
+same plan crash the same nodes and drop the same messages.
+
+When the plan is *disabled* (all probabilities zero) the injector is
+inert: :class:`repro.dht.routing.LookupEngine` then routes exactly as
+it does with no injector at all, which the golden parity tests pin
+bit-exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Set
+
+from repro.util.rng import derive_rng, make_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
+    from repro.dht.base import Network, Node
+
+__all__ = ["FaultPlan", "FaultInjector"]
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be within [0, 1], got {value!r}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Configuration of one fault schedule.
+
+    ``seed`` is mandatory by construction: every failure experiment
+    must be reproducible, so there is no unseeded fallback anywhere in
+    the fault path.
+    """
+
+    seed: int
+    #: per-node probability of an ungraceful crash (no notifications).
+    crash_probability: float = 0.0
+    #: per-message drop probability on every link.
+    message_loss: float = 0.0
+    #: fraction of nodes marked flaky by :meth:`FaultInjector.mark_flaky`.
+    flaky_fraction: float = 0.0
+    #: inbound drop probability at a flaky node (replaces, not stacks
+    #: with, ``message_loss`` for messages to that node).
+    flaky_loss: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.seed, int):
+            raise TypeError("FaultPlan.seed must be an int")
+        _check_probability("crash_probability", self.crash_probability)
+        _check_probability("message_loss", self.message_loss)
+        _check_probability("flaky_fraction", self.flaky_fraction)
+        _check_probability("flaky_loss", self.flaky_loss)
+
+    @property
+    def active(self) -> bool:
+        """Whether this plan injects any fault at all.  An inactive plan
+        makes the lookup engine behave exactly as if no injector were
+        attached (the bit-exact fault-free path)."""
+        return (
+            self.crash_probability > 0.0
+            or self.message_loss > 0.0
+            or self.flaky_fraction > 0.0
+        )
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` with independent seeded streams.
+
+    Crash selection, message loss and flaky-node selection each draw
+    from their own derived stream, so e.g. raising the lookup count
+    never changes which nodes crash.
+    """
+
+    __slots__ = (
+        "plan",
+        "_crash_rng",
+        "_loss_rng",
+        "_flaky_rng",
+        "flaky_nodes",
+        "crashed",
+        "dropped",
+    )
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        root = make_rng(plan.seed)
+        self._crash_rng = derive_rng(root, 1)
+        self._loss_rng = derive_rng(root, 2)
+        self._flaky_rng = derive_rng(root, 3)
+        #: names of nodes marked flaky by :meth:`mark_flaky`.
+        self.flaky_nodes: Set[object] = set()
+        #: nodes crashed so far (for experiment reporting).
+        self.crashed = 0
+        #: messages dropped so far (loss + flaky).
+        self.dropped = 0
+
+    @property
+    def active(self) -> bool:
+        return self.plan.active
+
+    # ------------------------------------------------------------------
+    # topology-level faults (applied before or between lookups)
+    # ------------------------------------------------------------------
+
+    def crash_nodes(self, network: "Network") -> int:
+        """Ungracefully crash each live node with the plan's probability.
+
+        Crashes go through :meth:`Network.fail` — no relatives are
+        notified, so routing state all over the overlay goes stale.  At
+        least one node is always left alive.  Returns the crash count.
+        """
+        probability = self.plan.crash_probability
+        rng = self._crash_rng
+        victims = [
+            node for node in network.live_nodes() if rng.random() < probability
+        ]
+        crashed = 0
+        for node in victims:
+            if network.size <= 1:
+                break
+            network.fail(node)
+            crashed += 1
+        self.crashed += crashed
+        return crashed
+
+    def mark_flaky(self, network: "Network") -> int:
+        """Mark a seeded ``flaky_fraction`` of live nodes flaky.
+
+        Flaky nodes stay in the overlay but drop inbound messages with
+        ``flaky_loss`` probability.  Returns how many were marked.
+        """
+        fraction = self.plan.flaky_fraction
+        rng = self._flaky_rng
+        marked = 0
+        for node in network.live_nodes():
+            if rng.random() < fraction:
+                self.flaky_nodes.add(node.name)
+                marked += 1
+        return marked
+
+    # ------------------------------------------------------------------
+    # message-level faults (probed per attempted hop by the engine)
+    # ------------------------------------------------------------------
+
+    def delivered(self, sender: "Node", receiver: "Node") -> bool:
+        """Whether one message from ``sender`` reaches ``receiver``.
+
+        Draws from the loss stream only when a drop is possible, so an
+        all-zero plan consumes no randomness.
+        """
+        probability = self.plan.message_loss
+        if receiver.name in self.flaky_nodes:
+            probability = self.plan.flaky_loss
+        if probability <= 0.0:
+            return True
+        if self._loss_rng.random() < probability:
+            self.dropped += 1
+            return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FaultInjector seed={self.plan.seed} "
+            f"crash={self.plan.crash_probability} "
+            f"loss={self.plan.message_loss} crashed={self.crashed} "
+            f"dropped={self.dropped}>"
+        )

@@ -229,22 +229,26 @@ class ViceroyNetwork(Network):
             return RoutingDecision.forward(successor, PHASE_TRAVERSE)
         level_prev, level_next = self.level_ring(current)
         cw = clockwise_distance(current.id, key_id, ID_SCALE)
-        best: Optional[ViceroyNode] = None
-        best_progress = -1
+        ranked: List[Tuple[int, ViceroyNode]] = []
+        offered = set()
         if cw <= ID_SCALE - cw:
             # Clockwise: candidates strictly between current and key.
             for candidate in (successor, level_next):
                 if candidate is None or candidate is current:
                     continue
+                if candidate.id in offered:
+                    continue
                 if not in_interval(
                     candidate.id, current.id, key_id, ID_SCALE
                 ):
                     continue
-                progress = clockwise_distance(
-                    current.id, candidate.id, ID_SCALE
+                offered.add(candidate.id)
+                ranked.append(
+                    (
+                        clockwise_distance(current.id, candidate.id, ID_SCALE),
+                        candidate,
+                    )
                 )
-                if progress > best_progress:
-                    best, best_progress = candidate, progress
         else:
             # Counter-clockwise (a down link overshot the key):
             # candidates in [key, current) — no node sits strictly
@@ -253,6 +257,8 @@ class ViceroyNetwork(Network):
             for candidate in (predecessor, level_prev):
                 if candidate is None or candidate is current:
                     continue
+                if candidate.id in offered:
+                    continue
                 if not in_interval(
                     candidate.id,
                     (key_id - 1) % ID_SCALE,
@@ -260,13 +266,29 @@ class ViceroyNetwork(Network):
                     ID_SCALE,
                 ):
                     continue
-                progress = clockwise_distance(
-                    candidate.id, current.id, ID_SCALE
+                offered.add(candidate.id)
+                ranked.append(
+                    (
+                        clockwise_distance(candidate.id, current.id, ID_SCALE),
+                        candidate,
+                    )
                 )
-                if progress > best_progress:
-                    best, best_progress = candidate, progress
-        if best is None:
+        if not ranked:
             return RoutingDecision.terminate()  # no progress; deliver here
+        # Stable reverse sort: on equal progress the first-consulted
+        # link keeps priority, matching the pre-fault tie-break.
+        ranked.sort(key=lambda item: item[0], reverse=True)
+        best = ranked[0][1]
+        if self.fault_detection and len(ranked) > 1:
+            # Links are always live here, but under message loss the
+            # lower-progress link is still a useful ranked fallback.
+            return RoutingDecision.forward(
+                best,
+                PHASE_TRAVERSE,
+                alternates=tuple(
+                    (candidate, PHASE_TRAVERSE) for _, candidate in ranked[1:]
+                ),
+            )
         return RoutingDecision.forward(best, PHASE_TRAVERSE)
 
     # ------------------------------------------------------------------
@@ -358,6 +380,14 @@ class ViceroyNetwork(Network):
         node.alive = False
         self._evict(node)
         self._readjust_levels()
+
+    def on_dead_entry(self, observer: ViceroyNode, dead: ViceroyNode) -> int:
+        """Nothing to repair: Viceroy links are derived from the live
+        membership on every consultation, so no per-node routing state
+        can hold ``dead`` — a failed node is evicted from the rings by
+        :meth:`fail` before any lookup can probe it.  Only message-loss
+        retries, never dead-entry timeouts, occur under fault injection."""
+        return 0
 
     def stabilize(self) -> None:
         """No-op: Viceroy repairs eagerly on join/leave, it does not run

@@ -1,0 +1,195 @@
+"""Engine fault mode: probes, retries, fallbacks and lazy repair.
+
+A tiny scripted overlay pins the probe-loop semantics hop by hop; a
+real Chord network then checks the end-to-end property the machinery
+exists for — retries strictly improve lookup survival under ungraceful
+crashes.
+"""
+
+from repro.chord import ChordNetwork
+from repro.dht.base import Network, Node
+from repro.dht.routing import (
+    RecordingTracer,
+    RoutingDecision,
+    execute_lookup,
+)
+from repro.sim.faults import FaultInjector, FaultPlan
+from repro.sim.workload import lookup_workload
+from repro.util.rng import make_rng
+
+
+class _StubNode(Node):
+    @property
+    def node_id(self):
+        return self.name
+
+    @property
+    def degree(self):
+        return 0
+
+
+class _ForkNetwork(Network):
+    """One routing step: ``src`` forwards to ``risky`` with ``safe`` as
+    the ranked alternate.  Whoever is alive owns every key."""
+
+    protocol_name = "fork"
+    ROUTING_PHASES = ("step",)
+
+    def __init__(self):
+        super().__init__()
+        self.src = _StubNode("src")
+        self.risky = _StubNode("risky")
+        self.safe = _StubNode("safe")
+        self.repairs = []
+
+    def live_nodes(self):
+        return [n for n in (self.src, self.risky, self.safe) if n.alive]
+
+    def join(self, name):
+        raise NotImplementedError
+
+    def leave(self, node):
+        node.alive = False
+
+    def stabilize(self):
+        pass
+
+    def key_id(self, key):
+        return key
+
+    def owner_of_id(self, key_id):
+        return self.risky if self.risky.alive else self.safe
+
+    def next_hop(self, current, key_id, state):
+        if current is self.src:
+            return RoutingDecision.forward(
+                self.risky, "step", alternates=((self.safe, "step"),)
+            )
+        return RoutingDecision.terminate()
+
+    def on_dead_entry(self, observer, dead):
+        self.repairs.append((observer.name, dead.name))
+        return 1
+
+
+class _ScriptedInjector(FaultInjector):
+    """Active injector whose delivery outcomes follow a fixed script
+    (then all-delivered), bypassing the seeded loss stream."""
+
+    def __init__(self, script=()):
+        super().__init__(FaultPlan(seed=0, message_loss=0.5))
+        self.script = list(script)
+
+    def delivered(self, sender, receiver):
+        ok = self.script.pop(0) if self.script else True
+        if not ok:
+            self.dropped += 1
+        return ok
+
+
+def _run(network, injector, budget, observer=None):
+    return execute_lookup(
+        network,
+        network.src,
+        "key",
+        observer=observer,
+        injector=injector,
+        retry_budget=budget,
+    )
+
+
+# ----------------------------------------------------------------------
+# probe-loop semantics (scripted overlay)
+# ----------------------------------------------------------------------
+
+
+def test_dead_primary_falls_through_to_alternate_and_repairs():
+    network = _ForkNetwork()
+    network.risky.alive = False
+    tracer = RecordingTracer()
+    record = _run(network, _ScriptedInjector(), budget=1, observer=tracer)
+    assert record.success
+    assert record.path == ["src", "safe"]
+    assert (record.hops, record.timeouts, record.retries) == (1, 1, 1)
+    assert network.repairs == [("src", "risky")]
+    assert network.route_repairs == 1
+    # the failed probe is traced (kind "timeout") but never counted as
+    # a hop; the successful fallback is a plain hop event
+    kinds = [(e.kind, e.node, e.hop) for e in tracer.events]
+    assert kinds == [("timeout", "risky", 1), ("hop", "safe", 1)]
+
+
+def test_budget_zero_cannot_route_past_a_dead_primary():
+    network = _ForkNetwork()
+    network.risky.alive = False
+    record = _run(network, _ScriptedInjector(), budget=0)
+    assert not record.success
+    assert record.path == ["src"]
+    assert (record.hops, record.timeouts, record.retries) == (0, 1, 0)
+    # detection still repairs the stale entry even when it cannot retry
+    assert network.repairs == [("src", "risky")]
+
+
+def test_lost_message_reprobes_the_same_target():
+    network = _ForkNetwork()
+    tracer = RecordingTracer()
+    injector = _ScriptedInjector(script=[False, True])
+    record = _run(network, injector, budget=3, observer=tracer)
+    assert record.success
+    assert record.path == ["src", "risky"]
+    assert (record.hops, record.timeouts, record.retries) == (1, 1, 1)
+    assert network.repairs == []  # target was alive: nothing to repair
+    assert injector.dropped == 1
+    kinds = [(e.kind, e.node) for e in tracer.events]
+    assert kinds == [("retry", "risky"), ("hop", "risky")]
+
+
+def test_exhausting_all_candidates_fails_the_lookup():
+    network = _ForkNetwork()
+    network.risky.alive = False
+    network.safe.alive = False
+    record = _run(network, _ScriptedInjector(), budget=5)
+    assert not record.success
+    assert record.path == ["src"]
+    assert (record.hops, record.timeouts, record.retries) == (0, 2, 2)
+    assert network.route_repairs == 2
+
+
+# ----------------------------------------------------------------------
+# real overlay, end to end
+# ----------------------------------------------------------------------
+
+
+def test_retries_strictly_improve_survival_under_crashes():
+    plan = FaultPlan(seed=17, crash_probability=0.3, message_loss=0.05)
+    by_budget = {}
+    for budget in (0, 6):
+        network = ChordNetwork.with_random_ids(128, 9, seed=3)
+        injector = FaultInjector(plan)  # same plan: same crash set
+        injector.crash_nodes(network)
+        by_budget[budget] = network.lookup_many(
+            lookup_workload(network, 150, make_rng(21)),
+            injector=injector,
+            retry_budget=budget,
+        )
+    survived = {
+        budget: sum(1 for r in records if r.success)
+        for budget, records in by_budget.items()
+    }
+    assert survived[6] > survived[0]
+    assert sum(r.retries for r in by_budget[6]) > 0
+    assert all(r.retries == 0 for r in by_budget[0])
+
+
+def test_fault_flag_does_not_leak_into_fault_free_engines():
+    network = ChordNetwork.with_random_ids(64, 8, seed=5)
+    source = network.live_nodes()[0]
+    injector = FaultInjector(FaultPlan(seed=1, message_loss=0.2))
+    execute_lookup(
+        network, source, network.key_id("k"), injector=injector, retry_budget=2
+    )
+    assert network.fault_detection  # armed during the fault-mode run
+    record = network.lookup(source, "k")
+    assert not network.fault_detection  # reset by the fault-free engine
+    assert record.retries == 0
+    assert record.success

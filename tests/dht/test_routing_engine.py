@@ -11,6 +11,7 @@ from hypothesis import strategies as st
 from repro.can import CanNetwork
 from repro.chord import ChordNetwork
 from repro.core import CycloidNetwork
+from repro.dht.base import Network, Node
 from repro.dht.routing import (
     JsonlTraceSink,
     LookupEngine,
@@ -203,3 +204,123 @@ def test_trace_is_consistent_with_its_record(protocol, source_pick, key):
     # per-step timeouts never exceed the record total (terminal steps
     # may add timeouts without producing a hop event)
     assert sum(e.timeouts for e in events) <= record.timeouts
+
+
+# ----------------------------------------------------------------------
+# HOP_LIMIT exhaustion x finish_route
+# ----------------------------------------------------------------------
+
+
+class _WalkNode(Node):
+    @property
+    def node_id(self):
+        return self.name
+
+    @property
+    def degree(self):
+        return 1
+
+
+class _ScriptedWalk(Network):
+    """A walk that never terminates on its own (it circles ``ring``)
+    unless ``step`` overrides it, plus an optional ``finish_route``
+    delivery — the smallest overlay that can pin how HOP_LIMIT
+    exhaustion composes with the final delivery hop."""
+
+    protocol_name = "scripted-walk"
+    HOP_LIMIT = 4
+    ROUTING_PHASES = ("walk", "handoff")
+
+    def __init__(self, step=None, finish=None):
+        super().__init__()
+        self.ring = [_WalkNode(f"n{i}") for i in range(3)]
+        self.target = _WalkNode("target")
+        self._step = step
+        self._finish = finish
+
+    def live_nodes(self):
+        return [*self.ring, self.target]
+
+    def join(self, name):
+        raise NotImplementedError
+
+    def leave(self, node):
+        node.alive = False
+
+    def stabilize(self):
+        pass
+
+    def key_id(self, key):
+        return key
+
+    def owner_of_id(self, key_id):
+        return self.target
+
+    def next_hop(self, current, key_id, state):
+        if self._step is not None:
+            return self._step(self, current)
+        index = self.ring.index(current) if current in self.ring else -1
+        return RoutingDecision.forward(
+            self.ring[(index + 1) % len(self.ring)], "walk"
+        )
+
+    def finish_route(self, current, key_id, state):
+        return self._finish(self, current) if self._finish else None
+
+
+def _deliver_target(net, current):
+    return RoutingDecision.deliver(net.target, "handoff")
+
+
+def test_exhausted_walk_still_takes_the_delivery_hop():
+    """HOP_LIMIT bounds only the walk: the finish_route delivery runs
+    afterwards, so the record may carry HOP_LIMIT + 1 hops."""
+    network = _ScriptedWalk(finish=_deliver_target)
+    tracer = RecordingTracer()
+    engine = LookupEngine(network, tracer)
+    record = engine.run(network.ring[0], "key")
+    assert record.hops == network.HOP_LIMIT + 1
+    assert record.success  # the handoff landed on the owner
+    assert record.phase_hops == {"walk": network.HOP_LIMIT, "handoff": 1}
+    assert record.path[-1] == "target"
+    assert [e.hop for e in tracer.events] == list(
+        range(1, network.HOP_LIMIT + 2)
+    )
+
+
+def test_exhausted_walk_without_finish_stops_at_the_limit():
+    network = _ScriptedWalk()
+    record = execute_lookup(network, network.ring[0], "key")
+    assert record.hops == network.HOP_LIMIT
+    assert not record.success  # still circling the ring, never delivered
+    assert record.phase_hops == {"walk": network.HOP_LIMIT, "handoff": 0}
+    assert len(record.path) == network.HOP_LIMIT + 1
+
+
+def test_failed_terminal_keeps_failure_despite_delivery_hop():
+    """A dead_end decision marks the lookup failed; a finish_route
+    delivery that then lands on the true owner must not flip it back
+    to success (the walk itself gave up)."""
+    network = _ScriptedWalk(
+        step=lambda net, current: RoutingDecision.dead_end(timeouts=2),
+        finish=_deliver_target,
+    )
+    record = execute_lookup(network, network.ring[0], "key")
+    assert not record.success
+    assert record.hops == 1  # only the delivery hop was taken
+    assert record.timeouts == 2
+    assert record.path == ["n0", "target"]
+
+
+def test_clean_terminal_accepts_the_delivery_hop():
+    """Same shape with a non-failed terminate(): the delivery hop makes
+    the lookup succeed — pinning that the previous test's failure comes
+    from the dead_end flag, not from the hop accounting."""
+    network = _ScriptedWalk(
+        step=lambda net, current: RoutingDecision.terminate(),
+        finish=_deliver_target,
+    )
+    record = execute_lookup(network, network.ring[0], "key")
+    assert record.success
+    assert record.hops == 1
+    assert record.path == ["n0", "target"]

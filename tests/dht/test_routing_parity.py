@@ -20,6 +20,7 @@ from repro.core import CycloidNetwork
 from repro.dht.base import Network
 from repro.koorde import KoordeNetwork
 from repro.pastry import PastryNetwork
+from repro.sim.faults import FaultInjector, FaultPlan
 from repro.sim.workload import lookup_workload
 from repro.util.rng import make_rng
 from repro.viceroy import ViceroyNetwork
@@ -136,15 +137,17 @@ GOLDEN = {
 }
 
 
-def routing_digest(network):
+def _run_records(network, injector=None, retry_budget=0):
     rng = make_rng(WORKLOAD_SEED)
-    records = [
-        network.lookup(source, key)
-        for source, key in lookup_workload(network, LOOKUPS, rng)
-    ]
-    phases = Counter()
-    for record in records:
-        phases.update(record.phase_hops)
+    pairs = lookup_workload(network, LOOKUPS, rng)
+    if injector is None and retry_budget == 0:
+        return [network.lookup(source, key) for source, key in pairs]
+    return network.lookup_many(
+        pairs, injector=injector, retry_budget=retry_budget
+    )
+
+
+def _record_sha256(records):
     blob = repr(
         [
             (
@@ -157,18 +160,52 @@ def routing_digest(network):
             for record in records
         ]
     ).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def routing_digest(network, injector=None, retry_budget=0):
+    records = _run_records(network, injector, retry_budget)
+    phases = Counter()
+    for record in records:
+        phases.update(record.phase_hops)
     return {
         "hops": sum(r.hops for r in records),
         "timeouts": sum(r.timeouts for r in records),
         "successes": sum(1 for r in records if r.success),
         "phases": dict(sorted(phases.items())),
-        "sha256": hashlib.sha256(blob).hexdigest(),
+        "sha256": _record_sha256(records),
     }
 
 
 @pytest.mark.parametrize("name", sorted(CONFIGS))
 def test_engine_matches_pre_refactor_goldens(name):
     assert routing_digest(CONFIGS[name]()) == GOLDEN[name]
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_disabled_fault_plan_is_bit_exact(name):
+    """The resilient engine's fault-free path must not drift: with an
+    inactive :class:`FaultPlan` (all probabilities zero) the probe loop
+    never arms, no retry budget is consumed, and every pre-refactor
+    digest still matches bit for bit."""
+    network = CONFIGS[name]()
+    injector = FaultInjector(FaultPlan(seed=123))
+    assert not injector.active
+    records = _run_records(network, injector=injector, retry_budget=5)
+    phases = Counter()
+    for record in records:
+        phases.update(record.phase_hops)
+    digest = {
+        "hops": sum(r.hops for r in records),
+        "timeouts": sum(r.timeouts for r in records),
+        "successes": sum(1 for r in records if r.success),
+        "phases": dict(sorted(phases.items())),
+        "sha256": _record_sha256(records),
+    }
+    assert digest == GOLDEN[name]
+    assert sum(r.retries for r in records) == 0
+    assert injector.dropped == 0
+    assert network.route_repairs == 0
 
 
 @pytest.mark.parametrize(

@@ -1,0 +1,99 @@
+"""Tests for the crash-resilience experiment (E13) at reduced scale.
+
+The paper-scale sweep (d = 8, the acceptance configuration) lives in
+``benchmarks/test_fig_crash_resilience.py``; these tests pin the
+harness semantics — mode grid, shared crash sets, retry accounting and
+the determinism guarantees of the fault path.
+"""
+
+import pytest
+
+from repro.experiments.common import fail_nodes
+from repro.experiments.crash import (
+    MODE_CRASH,
+    MODE_CRASH_RETRY,
+    MODE_GRACEFUL,
+    MODES,
+    run_crash_experiment,
+)
+from repro.experiments.registry import build_complete_network
+
+
+class TestCrashExperiment:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_crash_experiment(
+            probabilities=(0.3,),
+            protocols=("cycloid", "chord"),
+            dimension=4,
+            lookups=120,
+            seed=1,
+            retry_budget=6,
+        )
+
+    def by_mode(self, points, protocol):
+        return {
+            p.mode: p for p in points if p.protocol == protocol
+        }
+
+    def test_grid_complete(self, points):
+        assert len(points) == 2 * 1 * len(MODES)
+        assert {p.mode for p in points} == set(MODES)
+
+    def test_crash_modes_share_the_crash_set(self, points):
+        for protocol in ("cycloid", "chord"):
+            modes = self.by_mode(points, protocol)
+            crash = modes[MODE_CRASH]
+            retry = modes[MODE_CRASH_RETRY]
+            assert crash.departed == retry.departed > 0
+            assert crash.survivors == retry.survivors
+
+    def test_retries_recover_lookups(self, points):
+        for protocol in ("cycloid", "chord"):
+            modes = self.by_mode(points, protocol)
+            assert (
+                modes[MODE_CRASH_RETRY].success_rate
+                > modes[MODE_CRASH].success_rate
+            )
+
+    def test_retry_accounting(self, points):
+        for point in points:
+            if point.mode == MODE_CRASH_RETRY:
+                assert point.retries > 0
+                assert point.mean_retries == point.retries / point.lookups
+            else:
+                assert point.retries == 0
+        # lazy repair only runs in fault mode
+        for protocol in ("cycloid", "chord"):
+            modes = self.by_mode(points, protocol)
+            assert modes[MODE_GRACEFUL].route_repairs == 0
+            assert modes[MODE_CRASH].route_repairs > 0
+
+    def test_graceful_mode_is_the_polite_baseline(self, points):
+        for point in points:
+            if point.mode == MODE_GRACEFUL:
+                # graceful departures keep successor/leaf state fresh:
+                # lookups survive without any retry machinery
+                assert point.success_rate > point.probability
+
+    def test_deterministic(self):
+        kwargs = dict(
+            probabilities=(0.3,),
+            protocols=("chord",),
+            dimension=4,
+            lookups=60,
+            seed=9,
+        )
+        assert run_crash_experiment(**kwargs) == run_crash_experiment(**kwargs)
+
+    def test_rejects_useless_retry_budget(self):
+        with pytest.raises(ValueError):
+            run_crash_experiment(retry_budget=0)
+
+
+def test_fail_nodes_requires_an_explicit_rng():
+    network = build_complete_network("chord", 3, seed=0)
+    with pytest.raises(TypeError):
+        fail_nodes(network, 0.2, None)
+    with pytest.raises(TypeError):
+        fail_nodes(network, 0.2)

@@ -1,0 +1,123 @@
+"""Unit tests for the deterministic fault-injection layer."""
+
+import pytest
+
+from repro.chord import ChordNetwork
+from repro.sim.faults import FaultInjector, FaultPlan
+
+
+def _network(count=48, seed=11):
+    return ChordNetwork.with_random_ids(count, 8, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# FaultPlan validation
+# ----------------------------------------------------------------------
+
+
+def test_plan_seed_is_mandatory():
+    with pytest.raises(TypeError):
+        FaultPlan()  # no unseeded fallback anywhere in the fault path
+
+
+def test_plan_seed_must_be_int():
+    with pytest.raises(TypeError):
+        FaultPlan(seed=1.5)
+
+
+@pytest.mark.parametrize(
+    "field", ["crash_probability", "message_loss", "flaky_fraction", "flaky_loss"]
+)
+@pytest.mark.parametrize("value", [-0.1, 1.1])
+def test_plan_rejects_out_of_range_probabilities(field, value):
+    with pytest.raises(ValueError):
+        FaultPlan(seed=0, **{field: value})
+
+
+def test_plan_active_iff_any_fault_enabled():
+    assert not FaultPlan(seed=0).active
+    # flaky_loss alone is inert: it only applies to nodes that
+    # mark_flaky selected, and flaky_fraction 0 selects none.
+    assert not FaultPlan(seed=0, flaky_loss=0.9).active
+    assert FaultPlan(seed=0, crash_probability=0.1).active
+    assert FaultPlan(seed=0, message_loss=0.1).active
+    assert FaultPlan(seed=0, flaky_fraction=0.1).active
+
+
+# ----------------------------------------------------------------------
+# crashes
+# ----------------------------------------------------------------------
+
+
+def test_crash_nodes_is_ungraceful_and_deterministic():
+    plan = FaultPlan(seed=7, crash_probability=0.3)
+    first, second = _network(), _network()
+    crashed_first = FaultInjector(plan).crash_nodes(first)
+    crashed_second = FaultInjector(plan).crash_nodes(second)
+    assert crashed_first == crashed_second > 0
+    assert {n.name for n in first.live_nodes()} == {
+        n.name for n in second.live_nodes()
+    }
+    # Ungraceful: survivors still hold stale pointers at the victims.
+    stale = sum(
+        1
+        for node in first.live_nodes()
+        for finger in node.fingers
+        if finger is not None and not finger.alive
+    )
+    assert stale > 0
+
+
+def test_crash_nodes_keeps_at_least_one_node():
+    network = _network(count=8)
+    injector = FaultInjector(FaultPlan(seed=3, crash_probability=1.0))
+    crashed = injector.crash_nodes(network)
+    assert network.size == 1
+    assert crashed == 7
+    assert injector.crashed == 7
+
+
+# ----------------------------------------------------------------------
+# message loss and flaky nodes
+# ----------------------------------------------------------------------
+
+
+def test_delivered_draws_nothing_when_loss_disabled():
+    network = _network()
+    a, b = network.live_nodes()[:2]
+    injector = FaultInjector(FaultPlan(seed=5))
+    state = injector._loss_rng.getstate()
+    assert all(injector.delivered(a, b) for _ in range(50))
+    assert injector._loss_rng.getstate() == state
+    assert injector.dropped == 0
+
+
+def test_delivered_drops_with_seeded_loss():
+    network = _network()
+    a, b = network.live_nodes()[:2]
+    plan = FaultPlan(seed=5, message_loss=0.5)
+    first = FaultInjector(plan)
+    outcomes = [first.delivered(a, b) for _ in range(200)]
+    assert 40 < outcomes.count(False) < 160  # ~100 expected
+    assert first.dropped == outcomes.count(False)
+    replay = FaultInjector(plan)
+    assert [replay.delivered(a, b) for _ in range(200)] == outcomes
+
+
+def test_flaky_nodes_use_their_own_loss_rate():
+    network = _network()
+    plan = FaultPlan(seed=9, flaky_fraction=0.25, flaky_loss=1.0)
+    injector = FaultInjector(plan)
+    marked = injector.mark_flaky(network)
+    assert 0 < marked < network.size
+    assert len(injector.flaky_nodes) == marked
+    flaky = next(
+        n for n in network.live_nodes() if n.name in injector.flaky_nodes
+    )
+    steady = next(
+        n for n in network.live_nodes() if n.name not in injector.flaky_nodes
+    )
+    # flaky_loss=1.0 drops everything inbound to a flaky node, while
+    # message_loss=0 keeps every other link perfect.
+    assert not injector.delivered(steady, flaky)
+    assert injector.delivered(flaky, steady)

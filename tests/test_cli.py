@@ -26,6 +26,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig99"])
 
+    def test_fig_crash_defaults(self):
+        args = build_parser().parse_args(["fig-crash"])
+        assert args.command == "fig-crash"
+        assert args.lookups == 2000
+        assert args.crash_prob == [0.1, 0.3, 0.5]
+        assert args.msg_loss == 0.05
+        assert args.retry_budget == 8
+        assert args.dimension == 8
+
+    def test_maint_defaults(self):
+        args = build_parser().parse_args(["maint"])
+        assert args.population == 1024
+        assert args.events == 200
+        assert args.lookups == 1000
+
 
 class TestCommands:
     def run(self, argv, capsys):
@@ -92,6 +107,33 @@ class TestCommands:
         assert "7-entry Cycloid" in out
         assert "CCC" in out
 
+    def test_fig_crash_small(self, capsys):
+        out = self.run(
+            [
+                "fig-crash",
+                "--dimension", "3",
+                "--lookups", "40",
+                "--crash-prob", "0.3",
+            ],
+            capsys,
+        )
+        assert "Crash resilience" in out
+        assert "graceful" in out and "crash+retry" in out
+        assert "pastry" in out and "can" in out
+
+    def test_maint_small(self, capsys):
+        out = self.run(
+            [
+                "maint",
+                "--population", "64",
+                "--events", "8",
+                "--lookups", "30",
+            ],
+            capsys,
+        )
+        assert "Maintenance fan-out" in out
+        assert "probe" in out
+
 
 class TestTrace:
     def test_trace_writes_jsonl(self, capsys, tmp_path):
@@ -117,3 +159,40 @@ class TestTrace:
         trace = tmp_path / "hops.jsonl"
         assert main(["--trace", str(trace), "table1"]) == 2
         assert "--trace is not supported" in capsys.readouterr().err
+
+    def test_trace_accepted_for_churn(self, capsys, tmp_path):
+        trace = tmp_path / "churn.jsonl"
+        assert main(
+            [
+                "--trace", str(trace),
+                "fig12",
+                "--rates", "0.1",
+                "--duration", "30",
+                "--population", "64",
+            ]
+        ) == 0
+        assert "hop events" in capsys.readouterr().err
+        assert trace.read_text().splitlines()
+
+    def test_trace_tags_fault_probes(self, capsys, tmp_path):
+        trace = tmp_path / "crash.jsonl"
+        assert main(
+            [
+                "--trace", str(trace),
+                "fig-crash",
+                "--dimension", "3",
+                "--lookups", "40",
+                "--crash-prob", "0.3",
+            ]
+        ) == 0
+        events = [
+            json.loads(line) for line in trace.read_text().splitlines()
+        ]
+        assert events
+        base = {"lookup", "hop", "node", "phase", "timeouts"}
+        for event in events:
+            assert set(event) in (base, base | {"kind"})
+        # failed probes are tagged; plain hops keep the untagged format
+        kinds = {e["kind"] for e in events if "kind" in e}
+        assert "timeout" in kinds
+        assert kinds <= {"timeout", "retry"}
