@@ -2,8 +2,14 @@
 
 from repro.analysis.report import (
     ascii_series,
+    format_bench_table,
     format_table,
     series_by_protocol,
 )
 
-__all__ = ["format_table", "ascii_series", "series_by_protocol"]
+__all__ = [
+    "format_table",
+    "ascii_series",
+    "series_by_protocol",
+    "format_bench_table",
+]

@@ -10,7 +10,12 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Mapping, Sequence, Tuple, TypeVar
 
-__all__ = ["format_table", "ascii_series", "series_by_protocol"]
+__all__ = [
+    "format_table",
+    "ascii_series",
+    "series_by_protocol",
+    "format_bench_table",
+]
 
 T = TypeVar("T")
 
@@ -38,6 +43,32 @@ def format_table(
         if index == 0:
             lines.append("  ".join("-" * w for w in widths))
     return "\n".join(lines)
+
+
+def format_bench_table(
+    cells: Sequence[Mapping[str, object]], workers: int
+) -> str:
+    """Render ``bench`` cell timings as an aligned table.
+
+    Each cell mapping carries ``protocol``, ``serial_seconds``,
+    ``parallel_seconds``, ``speedup`` and ``digest_match`` — the same
+    records the bench writes to ``BENCH_parallel.json``.
+    """
+    rows = [
+        [
+            cell["protocol"],
+            f"{cell['serial_seconds']:.2f}s",
+            f"{cell['parallel_seconds']:.2f}s",
+            f"{cell['speedup']:.2f}x",
+            "yes" if cell["digest_match"] else "NO",
+        ]
+        for cell in cells
+    ]
+    return format_table(
+        ["protocol", "serial", f"{workers} workers", "speedup", "bit-exact"],
+        rows,
+        f"Parallel lookup bench (workers={workers})",
+    )
 
 
 def series_by_protocol(

@@ -13,14 +13,21 @@ Usage::
     python -m repro.cli fig-crash [--crash-prob 0.1 0.3] [--msg-loss P]
     python -m repro.cli maint [--lookups N]
     python -m repro.cli table1
+    python -m repro.cli bench [--workers N] [--output BENCH_parallel.json]
 
 Each command prints the reproduced table; the heavier sweeps accept
 size knobs so a laptop run can be scaled down.
 
+Every figure command accepts ``--workers N`` to fan its experiment out
+over N processes through :mod:`repro.sim.parallel`; the output is
+bit-identical at any worker count (``bench`` measures and checks
+exactly that).
+
 ``--trace PATH`` (on the lookup-driven commands: fig5/6/7, fig10,
 fig11, fig12, fig13, fig14, fig-crash, maint) streams every routing
 hop as one JSON line to ``PATH`` — see
-:class:`repro.dht.routing.JsonlTraceSink`.
+:class:`repro.dht.routing.JsonlTraceSink`.  Tracing forces in-process
+execution (the sink holds a file handle), overriding ``--workers``.
 """
 
 from __future__ import annotations
@@ -29,23 +36,39 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.analysis import format_table
+from repro.analysis import format_bench_table, format_table
 from repro.dht.routing import JsonlTraceSink, TraceObserver
 from repro.experiments import (
     architecture_table,
+    bench_report,
     run_churn_experiment,
     run_crash_experiment,
     run_key_distribution_experiment,
     run_koorde_sparsity_breakdown,
     run_maintenance_experiment,
     run_mass_departure_experiment,
+    run_parallel_bench,
     run_path_length_experiment,
     run_phase_breakdown_experiment,
     run_query_load_experiment,
     run_sparsity_experiment,
+    write_bench_report,
 )
+from repro.experiments.bench import DEFAULT_BENCH_PROTOCOLS
+from repro.sim.parallel import DEFAULT_SHARD_SIZE
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_workers(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan the experiment out over N processes; the output is "
+        "bit-identical at any worker count (default: 1)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -59,7 +82,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="write a JSONL per-hop trace of every lookup to PATH "
-        "(lookup-driven commands only)",
+        "(lookup-driven commands only; forces in-process execution)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -87,6 +110,7 @@ def build_parser() -> argparse.ArgumentParser:
             "--keys", type=int, nargs="+",
             default=[10_000, 50_000, 100_000],
         )
+        _add_workers(p)
 
     fig10 = sub.add_parser("fig10", help="query load balance")
     fig10.add_argument("--lookups-per-node", type=int, default=8)
@@ -130,6 +154,34 @@ def build_parser() -> argparse.ArgumentParser:
     maint.add_argument("--events", type=int, default=200)
     maint.add_argument("--lookups", type=int, default=1000)
 
+    for figure in (
+        fig5, fig6, fig7, fig10, fig11, fig12, fig13, fig14, crash, maint
+    ):
+        _add_workers(figure)
+
+    bench = sub.add_parser(
+        "bench",
+        help="time serial vs parallel execution and verify bit-exactness",
+    )
+    bench.add_argument("--dimension", type=int, default=8)
+    bench.add_argument("--lookups", type=int, default=2000)
+    bench.add_argument("--workers", type=int, default=4, metavar="N")
+    bench.add_argument(
+        "--shard-size", type=int, default=DEFAULT_SHARD_SIZE
+    )
+    bench.add_argument(
+        "--protocols",
+        nargs="+",
+        default=list(DEFAULT_BENCH_PROTOCOLS),
+    )
+    bench.add_argument(
+        "--output",
+        metavar="PATH",
+        default="BENCH_parallel.json",
+        help="where to write the JSON bench report "
+        "(default: BENCH_parallel.json)",
+    )
+
     sub.add_parser("table1", help="architecture comparison")
     return parser
 
@@ -166,6 +218,7 @@ def _run_fig5_or_6(
         lookups=args.lookups,
         seed=args.seed,
         observer=observer,
+        workers=args.workers,
     )
     x_header = "d" if by_dimension else "n"
     rows = [
@@ -228,6 +281,7 @@ def _dispatch(
             lookups=args.lookups,
             seed=args.seed,
             observer=sink,
+            workers=args.workers,
         )
         rows = [
             [
@@ -252,6 +306,7 @@ def _dispatch(
             node_count=args.nodes,
             key_counts=tuple(args.keys),
             seed=args.seed,
+            workers=args.workers,
         )
         rows = [
             [
@@ -275,6 +330,7 @@ def _dispatch(
             lookups_per_node=args.lookups_per_node,
             seed=args.seed,
             observer=sink,
+            workers=args.workers,
         )
         rows = [
             [
@@ -299,6 +355,7 @@ def _dispatch(
             lookups=args.lookups,
             seed=args.seed,
             observer=sink,
+            workers=args.workers,
         )
         rows = [
             [
@@ -324,6 +381,7 @@ def _dispatch(
             duration=args.duration,
             seed=args.seed,
             observer=sink,
+            workers=args.workers,
         )
         rows = [
             [
@@ -344,7 +402,10 @@ def _dispatch(
         )
     elif args.command == "fig13":
         points = run_sparsity_experiment(
-            lookups=args.lookups, seed=args.seed, observer=sink
+            lookups=args.lookups,
+            seed=args.seed,
+            observer=sink,
+            workers=args.workers,
         )
         rows = [
             [
@@ -364,7 +425,10 @@ def _dispatch(
         )
     elif args.command == "fig14":
         points = run_koorde_sparsity_breakdown(
-            lookups=args.lookups, seed=args.seed, observer=sink
+            lookups=args.lookups,
+            seed=args.seed,
+            observer=sink,
+            workers=args.workers,
         )
         rows = [
             [
@@ -390,6 +454,7 @@ def _dispatch(
             retry_budget=args.retry_budget,
             dimension=args.dimension,
             observer=sink,
+            workers=args.workers,
         )
         rows = [
             [
@@ -427,6 +492,7 @@ def _dispatch(
             seed=args.seed,
             lookups=args.lookups,
             observer=sink,
+            workers=args.workers,
         )
         rows = [
             [
@@ -453,6 +519,33 @@ def _dispatch(
                 "Maintenance fan-out + post-departure probe",
             )
         )
+    elif args.command == "bench":
+        cells = run_parallel_bench(
+            protocols=tuple(args.protocols),
+            dimension=args.dimension,
+            lookups=args.lookups,
+            workers=args.workers,
+            shard_size=args.shard_size,
+            seed=args.seed,
+        )
+        report = bench_report(
+            cells,
+            dimension=args.dimension,
+            lookups=args.lookups,
+            workers=args.workers,
+            shard_size=args.shard_size,
+            seed=args.seed,
+        )
+        write_bench_report(args.output, report)
+        _print(format_bench_table(report["cells"], args.workers))
+        print(f"bench report -> {args.output}", file=sys.stderr)
+        if not report["all_match"]:
+            print(
+                "error: parallel digest mismatch — serial and parallel "
+                "runs disagree",
+                file=sys.stderr,
+            )
+            return 1
     elif args.command == "table1":
         rows = [
             [

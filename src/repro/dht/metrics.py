@@ -10,6 +10,7 @@ records into the paper's reporting quantities.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional
 
@@ -75,6 +76,53 @@ class LookupStats:
 
     def extend(self, records: Iterable[LookupRecord]) -> None:
         self.records.extend(records)
+
+    def merge(self, other: "LookupStats") -> "LookupStats":
+        """Fold ``other``'s records into this aggregate (in place).
+
+        Merging is associative, and every derived quantity except the
+        record *order* (means, percentiles, failure and phase totals) is
+        invariant under permutation of the merged parts — the property
+        the sharded runner (:mod:`repro.sim.parallel`) relies on and the
+        hypothesis suite pins.  Returns ``self`` for chaining.
+        """
+        self.records.extend(other.records)
+        return self
+
+    @classmethod
+    def merged(cls, parts: Iterable["LookupStats"]) -> "LookupStats":
+        """One aggregate over many partial aggregates."""
+        total = cls()
+        for part in parts:
+            total.records.extend(part.records)
+        return total
+
+    def digest(self) -> str:
+        """sha256 over every record's full canonical content.
+
+        The digest covers ``(hops, timeouts, success, retries,
+        phase_hops, source, key, owner, path)`` of every record *in
+        order*, so two runs agree iff they produced bit-identical
+        records in the same sequence — the equality the parallel-parity
+        tests and the ``bench`` command assert between worker counts.
+        """
+        blob = repr(
+            [
+                (
+                    r.hops,
+                    r.timeouts,
+                    r.success,
+                    r.retries,
+                    sorted(r.phase_hops.items()),
+                    str(r.source),
+                    str(r.key),
+                    str(r.owner),
+                    [str(node) for node in r.path],
+                )
+                for r in self.records
+            ]
+        ).encode()
+        return hashlib.sha256(blob).hexdigest()
 
     def __len__(self) -> int:
         return len(self.records)

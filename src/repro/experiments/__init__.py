@@ -48,6 +48,12 @@ from repro.experiments.maintenance import (
     MaintenancePoint,
     run_maintenance_experiment,
 )
+from repro.experiments.bench import (
+    BenchCell,
+    bench_report,
+    run_parallel_bench,
+    write_bench_report,
+)
 
 __all__ = [
     "PROTOCOLS",
@@ -77,4 +83,8 @@ __all__ = [
     "architecture_table",
     "MaintenancePoint",
     "run_maintenance_experiment",
+    "BenchCell",
+    "run_parallel_bench",
+    "bench_report",
+    "write_bench_report",
 ]

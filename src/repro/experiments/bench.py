@@ -1,0 +1,145 @@
+"""Parallel-engine benchmark: serial vs sharded fan-out, bit-checked.
+
+The ``bench`` CLI subcommand times one paper-scale lookup cell per
+overlay twice — ``workers=1`` (the serial fallback) and ``workers=N``
+(the process pool) — over the *identical* shard plan, then compares the
+:meth:`~repro.dht.metrics.LookupStats.digest` of both runs.  A speedup
+without a digest match would mean the parallel path changed the
+science, so the match is the headline column, the speedup only the
+payoff.
+
+Results land in ``BENCH_parallel.json`` so CI can archive them; the
+reported ``cpus`` field (`available_workers`) qualifies the speedup —
+on a single-CPU box the pool pays fork overhead for no gain, and the
+digests still match.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from functools import partial
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.registry import build_complete_network
+from repro.sim.parallel import (
+    DEFAULT_SHARD_SIZE,
+    available_workers,
+    plain_setup,
+    run_sharded_lookups,
+)
+
+__all__ = [
+    "BenchCell",
+    "run_parallel_bench",
+    "bench_report",
+    "write_bench_report",
+    "DEFAULT_BENCH_PROTOCOLS",
+]
+
+DEFAULT_BENCH_PROTOCOLS: Tuple[str, ...] = (
+    "cycloid",
+    "chord",
+    "koorde",
+    "viceroy",
+)
+
+
+@dataclass(frozen=True)
+class BenchCell:
+    """Serial-vs-parallel timing of one overlay's lookup cell."""
+
+    protocol: str
+    serial_seconds: float
+    parallel_seconds: float
+    digest: str
+    digest_match: bool
+
+    @property
+    def speedup(self) -> float:
+        if self.parallel_seconds == 0:
+            return 0.0
+        return self.serial_seconds / self.parallel_seconds
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "protocol": self.protocol,
+            "serial_seconds": self.serial_seconds,
+            "parallel_seconds": self.parallel_seconds,
+            "speedup": self.speedup,
+            "digest": self.digest,
+            "digest_match": self.digest_match,
+        }
+
+
+def run_parallel_bench(
+    protocols: Sequence[str] = DEFAULT_BENCH_PROTOCOLS,
+    dimension: int = 8,
+    lookups: int = 2000,
+    workers: int = 4,
+    shard_size: int = DEFAULT_SHARD_SIZE,
+    seed: int = 42,
+) -> List[BenchCell]:
+    """Time ``workers=1`` vs ``workers=N`` on identical shard plans."""
+    if workers < 2:
+        raise ValueError("bench needs workers >= 2 to compare against serial")
+    cells: List[BenchCell] = []
+    for protocol in protocols:
+        setup = partial(
+            plain_setup, build_complete_network, protocol, dimension, seed=seed
+        )
+        start = time.perf_counter()
+        serial = run_sharded_lookups(
+            setup, lookups, seed + dimension, workers=1, shard_size=shard_size
+        )
+        serial_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        parallel = run_sharded_lookups(
+            setup,
+            lookups,
+            seed + dimension,
+            workers=workers,
+            shard_size=shard_size,
+        )
+        parallel_seconds = time.perf_counter() - start
+        digest = serial.stats.digest()
+        cells.append(
+            BenchCell(
+                protocol=protocol,
+                serial_seconds=serial_seconds,
+                parallel_seconds=parallel_seconds,
+                digest=digest,
+                digest_match=digest == parallel.stats.digest(),
+            )
+        )
+    return cells
+
+
+def bench_report(
+    cells: Sequence[BenchCell],
+    dimension: int,
+    lookups: int,
+    workers: int,
+    shard_size: int,
+    seed: int,
+) -> Dict[str, object]:
+    """The JSON document ``bench`` writes to ``BENCH_parallel.json``."""
+    return {
+        "config": {
+            "dimension": dimension,
+            "lookups": lookups,
+            "workers": workers,
+            "shard_size": shard_size,
+            "seed": seed,
+            "cpus": available_workers(),
+        },
+        "cells": [cell.as_dict() for cell in cells],
+        "all_match": all(cell.digest_match for cell in cells),
+    }
+
+
+def write_bench_report(path: str, report: Dict[str, object]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")

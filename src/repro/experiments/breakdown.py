@@ -9,13 +9,13 @@ Koorde split as the ID space grows sparse.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.dht.identifiers import cycloid_space_size
 from repro.dht.routing import TraceObserver
-from repro.experiments.common import run_lookups
 from repro.experiments.registry import build_complete_network, build_sized_network
-from repro.koorde import KoordeNetwork
+from repro.sim.parallel import plain_setup, run_sharded_lookups
 
 __all__ = [
     "BreakdownPoint",
@@ -47,15 +47,25 @@ def run_phase_breakdown_experiment(
     lookups: int = 5000,
     seed: int = 42,
     observer: Optional[TraceObserver] = None,
+    workers: int = 1,
 ) -> List[BreakdownPoint]:
     """Fig. 7(a)-(c): phase breakdown on complete networks."""
     points: List[BreakdownPoint] = []
     for dimension in dimensions:
         for protocol in protocols:
-            network = build_complete_network(protocol, dimension, seed=seed)
-            stats = run_lookups(
-                network, lookups, seed=seed + dimension, observer=observer
-            )
+            stats = run_sharded_lookups(
+                partial(
+                    plain_setup,
+                    build_complete_network,
+                    protocol,
+                    dimension,
+                    seed=seed,
+                ),
+                lookups,
+                seed + dimension,
+                workers=workers,
+                observer=observer,
+            ).stats
             breakdown = stats.phase_breakdown()
             points.append(
                 BreakdownPoint(
@@ -78,6 +88,7 @@ def run_koorde_sparsity_breakdown(
     lookups: int = 5000,
     seed: int = 42,
     observer: Optional[TraceObserver] = None,
+    workers: int = 1,
 ) -> List[BreakdownPoint]:
     """Fig. 14: Koorde's de Bruijn vs successor hop split vs sparsity.
 
@@ -91,13 +102,20 @@ def run_koorde_sparsity_breakdown(
         if not 0.0 <= sparsity < 1.0:
             raise ValueError("sparsity must be in [0, 1)")
         count = max(2, round(id_space * (1.0 - sparsity)))
-        network = build_sized_network(
-            "koorde", count, seed=seed, id_space_bits=bits
-        )
-        assert isinstance(network, KoordeNetwork)
-        stats = run_lookups(
-            network, lookups, seed=seed + count, observer=observer
-        )
+        stats = run_sharded_lookups(
+            partial(
+                plain_setup,
+                build_sized_network,
+                "koorde",
+                count,
+                seed=seed,
+                id_space_bits=bits,
+            ),
+            lookups,
+            seed + count,
+            workers=workers,
+            observer=observer,
+        ).stats
         breakdown = stats.phase_breakdown()
         points.append(
             BreakdownPoint(

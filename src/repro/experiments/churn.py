@@ -10,12 +10,14 @@ once per 30 s at a uniformly distributed phase.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import List, Optional, Sequence, Tuple
 
 from repro.dht.identifiers import cycloid_space_size
 from repro.dht.routing import TraceObserver
 from repro.experiments.registry import PROTOCOLS, build_sized_network
 from repro.sim.churn import ChurnConfig, run_churn_simulation
+from repro.sim.parallel import run_cells
 from repro.util.stats import DistributionSummary
 
 __all__ = ["ChurnPoint", "run_churn_experiment", "DEFAULT_RATES"]
@@ -51,6 +53,51 @@ class ChurnPoint:
         return self.timeout_summary.as_row()
 
 
+def _churn_cell(
+    protocol: str,
+    rate: float,
+    population: int,
+    duration: float,
+    seed: int,
+    ring_bits: int,
+    cycloid_dimension: int,
+    observer: Optional[TraceObserver] = None,
+) -> ChurnPoint:
+    """One (protocol, rate) churn simulation, fully self-seeding.
+
+    A churn run is a single event-driven timeline — joins, leaves and
+    lookups interleave on one mutating network — so the cell, not the
+    lookup, is the unit of parallelism.  Module-level so cell tasks
+    pickle into worker processes.
+    """
+    network = build_sized_network(
+        protocol,
+        population,
+        seed=seed,
+        id_space_bits=ring_bits,
+        cycloid_dimension=cycloid_dimension,
+    )
+    config = ChurnConfig(
+        join_leave_rate=rate,
+        duration=duration,
+        seed=seed + int(rate * 1000),
+    )
+    result = run_churn_simulation(network, config, observer=observer)
+    completed = [r.hops for r in result.stats.records if r.success]
+    mean_path = sum(completed) / len(completed) if completed else 0.0
+    return ChurnPoint(
+        protocol=protocol,
+        rate=rate,
+        mean_path_length=mean_path,
+        timeout_summary=result.stats.timeout_summary(),
+        lookup_failures=result.stats.failures,
+        lookups=len(result.stats),
+        joins=result.joins,
+        leaves=result.leaves,
+        final_size=result.final_size,
+    )
+
+
 def run_churn_experiment(
     rates: Sequence[float] = DEFAULT_RATES,
     protocols: Sequence[str] = PROTOCOLS,
@@ -58,12 +105,16 @@ def run_churn_experiment(
     duration: float = 1000.0,
     seed: int = 42,
     observer: Optional[TraceObserver] = None,
+    workers: int = 1,
 ) -> List[ChurnPoint]:
     """Fig. 12 (path length vs R) and Table 5 (timeouts vs R).
 
     The network starts with ``population`` stable nodes placed in an ID
     space with head-room for arrivals (joins must find free
     identifiers), then churns for ``duration`` simulated seconds.
+    (protocol, rate) cells are independent and self-seeding, so they
+    fan out over ``workers`` processes with bit-identical output; a
+    trace ``observer`` holds a file handle and forces in-process runs.
     """
     # One dimension (and ring width) up from the smallest space that
     # fits the starting population, leaving room for joins.
@@ -72,37 +123,19 @@ def run_churn_experiment(
         cycloid_dimension += 1
     cycloid_dimension += 1
     ring_bits = max(2, population.bit_length() + 1)
-    points: List[ChurnPoint] = []
-    for protocol in protocols:
-        for rate in rates:
-            network = build_sized_network(
-                protocol,
-                population,
-                seed=seed,
-                id_space_bits=ring_bits,
-                cycloid_dimension=cycloid_dimension,
-            )
-            config = ChurnConfig(
-                join_leave_rate=rate,
-                duration=duration,
-                seed=seed + int(rate * 1000),
-            )
-            result = run_churn_simulation(network, config, observer=observer)
-            completed = [r.hops for r in result.stats.records if r.success]
-            mean_path = (
-                sum(completed) / len(completed) if completed else 0.0
-            )
-            points.append(
-                ChurnPoint(
-                    protocol=protocol,
-                    rate=rate,
-                    mean_path_length=mean_path,
-                    timeout_summary=result.stats.timeout_summary(),
-                    lookup_failures=result.stats.failures,
-                    lookups=len(result.stats),
-                    joins=result.joins,
-                    leaves=result.leaves,
-                    final_size=result.final_size,
-                )
-            )
-    return points
+    tasks = [
+        partial(
+            _churn_cell,
+            protocol,
+            rate,
+            population,
+            duration,
+            seed,
+            ring_bits,
+            cycloid_dimension,
+            observer,
+        )
+        for protocol in protocols
+        for rate in rates
+    ]
+    return run_cells(tasks, workers=1 if observer is not None else workers)

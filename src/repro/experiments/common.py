@@ -3,50 +3,94 @@
 from __future__ import annotations
 
 import random
-from typing import Optional, Sequence
+import warnings
+from functools import partial
+from typing import Callable, Optional, Sequence
 
 from repro.dht.base import Network
 from repro.dht.metrics import LookupStats
 from repro.dht.routing import TraceObserver
 from repro.sim.faults import FaultInjector
+from repro.sim.parallel import DEFAULT_SHARD_SIZE, plan_shards
 from repro.sim.workload import lookup_workload
-from repro.util.rng import make_rng
+from repro.util.rng import shard_rng
 
 __all__ = ["run_lookups", "fail_nodes"]
+
+_IMPLICIT_SEED = object()  # sentinel: caller passed neither seed nor factory
 
 
 def run_lookups(
     network: Network,
     count: int,
-    seed: int = 0,
+    seed: object = _IMPLICIT_SEED,
     keys: Sequence[object] = (),
     observer: Optional[TraceObserver] = None,
     injector: Optional[FaultInjector] = None,
     retry_budget: int = 0,
+    rng_factory: Optional[Callable[[int], random.Random]] = None,
+    shard_size: int = DEFAULT_SHARD_SIZE,
 ) -> LookupStats:
-    """Execute ``count`` random lookups and gather their records.
+    """Execute ``count`` random lookups on ``network`` and gather records.
 
     The paper's Fig. 5 issues n/4 lookups from every node (~1M at
     d = 8); the mean path length is an expectation over uniform random
     (source, key) pairs, so a seeded sample estimates it — pass a larger
     ``count`` to tighten the estimate (see DESIGN.md §4).
 
-    The whole workload goes through one batched
-    :meth:`~repro.dht.base.Network.lookup_many` call; ``observer``
-    (e.g. a :class:`~repro.dht.routing.JsonlTraceSink`) receives every
-    per-hop trace event.  ``injector``/``retry_budget`` switch the
-    engine into fault mode (see :mod:`repro.sim.faults`).
+    The workload is executed in deterministic shards (DESIGN.md §S20):
+    shard ``k`` covers a contiguous slice of the global lookup indices
+    and draws from ``rng_factory(k)``.  The default factory derives
+    independent streams from ``(seed, k)`` via
+    :func:`repro.util.rng.shard_rng`, which makes the record sequence
+    identical to a :func:`repro.sim.parallel.run_sharded_lookups` run
+    of the same cell whenever routing carries no state between lookups
+    (always true without an active injector).  Pass ``rng_factory``
+    directly to control the streams; passing *neither* ``seed`` nor
+    ``rng_factory`` is deprecated — silent default seeds already bit us
+    in ``fail_nodes``, which now requires an explicit rng.
+
+    All shards run in-process against the given ``network`` instance;
+    ``observer`` (e.g. a :class:`~repro.dht.routing.JsonlTraceSink`)
+    receives every per-hop trace event.  ``injector``/``retry_budget``
+    switch the engine into fault mode (see :mod:`repro.sim.faults`);
+    each shard draws message-loss verdicts from the injector's
+    per-shard stream (:meth:`~repro.sim.faults.FaultInjector.for_shard`).
     """
-    rng = make_rng(seed)
+    if rng_factory is not None and seed is not _IMPLICIT_SEED:
+        raise TypeError("pass either seed or rng_factory, not both")
+    if rng_factory is None:
+        if seed is _IMPLICIT_SEED:
+            warnings.warn(
+                "run_lookups() without an explicit seed or rng_factory is "
+                "deprecated; pass seed=... or rng_factory=... so the "
+                "experiment is reproducible by construction",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            seed = 0
+        rng_factory = partial(shard_rng, seed)
     stats = LookupStats()
-    stats.extend(
-        network.lookup_many(
-            lookup_workload(network, count, rng, keys),
-            observer=observer,
-            injector=injector,
-            retry_budget=retry_budget,
+    for spec in plan_shards(count, shard_size):
+        shard_injector = (
+            injector.for_shard(spec.index) if injector is not None else None
         )
-    )
+        stats.extend(
+            network.lookup_many(
+                lookup_workload(
+                    network,
+                    spec.count,
+                    rng_factory(spec.index),
+                    keys,
+                    start=spec.offset,
+                ),
+                observer=observer,
+                injector=shard_injector,
+                retry_budget=retry_budget,
+            )
+        )
+        if shard_injector is not None:
+            injector.dropped += shard_injector.dropped
     return stats
 
 

@@ -28,13 +28,15 @@ Three modes per (protocol, probability) point:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import List, Optional, Sequence, Tuple
 
+from repro.dht.identifiers import cycloid_space_size
 from repro.dht.routing import TraceObserver
-from repro.experiments.common import fail_nodes, run_lookups
+from repro.experiments.failures import departed_setup
 from repro.experiments.registry import ALL_PROTOCOLS, build_complete_network
 from repro.sim.faults import FaultInjector, FaultPlan
-from repro.util.rng import make_rng
+from repro.sim.parallel import run_sharded_lookups
 from repro.util.stats import DistributionSummary
 
 __all__ = [
@@ -51,6 +53,23 @@ MODE_GRACEFUL = "graceful"
 MODE_CRASH = "crash"
 MODE_CRASH_RETRY = "crash+retry"
 MODES = (MODE_GRACEFUL, MODE_CRASH, MODE_CRASH_RETRY)
+
+
+def crashed_setup(protocol: str, dimension: int, seed: int, plan: FaultPlan):
+    """Shard setup: a complete network after the plan's ungraceful
+    crashes, plus the armed injector.
+
+    Module-level so shard tasks pickle; the crash stream is derived
+    from the plan seed alone, so every shard (in any process) kills the
+    identical node set — :func:`repro.sim.parallel.merge_shards`
+    asserts as much.  The engine's per-shard message-loss streams are
+    derived later via :meth:`~repro.sim.faults.FaultInjector.for_shard`.
+    """
+    network = build_complete_network(protocol, dimension, seed=seed)
+    injector = FaultInjector(plan)
+    injector.crash_nodes(network)
+    network.route_repairs = 0
+    return network, injector
 
 
 @dataclass(frozen=True)
@@ -89,29 +108,38 @@ def run_crash_experiment(
     message_loss: float = 0.05,
     retry_budget: int = 8,
     observer: Optional[TraceObserver] = None,
+    workers: int = 1,
 ) -> List[CrashPoint]:
     """Sweep graceful/crash/crash+retry over every overlay.
 
     Each mode rebuilds the network from the same seed; the two crash
     modes share one :class:`FaultPlan` seed so they kill the *same*
-    node set and drop messages from the same stream — the only
+    node set and drop messages from the same streams — the only
     difference between them is the retry budget.  The path-length mean
     is taken over completed lookups, matching Fig. 11's convention.
+
+    Every (protocol, probability, mode) cell runs as deterministic
+    shards; because lazy route repair mutates routing tables, each
+    shard routes on its own freshly crashed network, so the sweep is
+    bit-identical at any ``workers`` (the parallel-parity suite pins
+    this with an enabled plan).
     """
     if retry_budget < 1:
         raise ValueError("retry_budget must be >= 1 for the retry mode")
     points: List[CrashPoint] = []
+    size = cycloid_space_size(dimension)
     for protocol in protocols:
         for probability in probabilities:
             fault_seed = seed + int(probability * 100)
             for mode in MODES:
-                network = build_complete_network(
-                    protocol, dimension, seed=seed
-                )
-                injector: Optional[FaultInjector] = None
                 if mode == MODE_GRACEFUL:
-                    departed = fail_nodes(
-                        network, probability, make_rng(fault_seed)
+                    setup = partial(
+                        departed_setup,
+                        protocol,
+                        dimension,
+                        seed,
+                        probability,
+                        fault_seed,
                     )
                     budget = 0
                 else:
@@ -120,17 +148,23 @@ def run_crash_experiment(
                         crash_probability=probability,
                         message_loss=message_loss,
                     )
-                    injector = FaultInjector(plan)
-                    departed = injector.crash_nodes(network)
+                    setup = partial(
+                        crashed_setup, protocol, dimension, seed, plan
+                    )
                     budget = retry_budget if mode == MODE_CRASH_RETRY else 0
-                network.route_repairs = 0
-                stats = run_lookups(
-                    network,
+                merged = run_sharded_lookups(
+                    setup,
                     lookups,
-                    seed=seed + 1,
-                    observer=observer,
-                    injector=injector,
+                    seed + 1,
+                    workers=workers,
                     retry_budget=budget,
+                    observer=observer,
+                )
+                stats = merged.stats
+                departed = (
+                    merged.crashed
+                    if mode != MODE_GRACEFUL
+                    else size - merged.population
                 )
                 completed = [r.hops for r in stats.records if r.success]
                 mean_path = (
@@ -141,7 +175,7 @@ def run_crash_experiment(
                         protocol=protocol,
                         probability=probability,
                         mode=mode,
-                        survivors=network.size,
+                        survivors=merged.population,
                         departed=departed,
                         success_rate=(
                             (len(stats) - stats.failures) / len(stats)
@@ -151,7 +185,7 @@ def run_crash_experiment(
                         mean_path_length=mean_path,
                         timeout_summary=stats.timeout_summary(),
                         retries=stats.total_retries,
-                        route_repairs=network.route_repairs,
+                        route_repairs=merged.route_repairs,
                         lookups=len(stats),
                     )
                 )

@@ -11,17 +11,38 @@ failed to reach the key's correct storing node.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import List, Optional, Sequence, Tuple
 
 from repro.dht.routing import TraceObserver
-from repro.experiments.common import fail_nodes, run_lookups
+from repro.experiments.common import fail_nodes
 from repro.experiments.registry import PROTOCOLS, build_complete_network
+from repro.sim.parallel import run_sharded_lookups
 from repro.util.rng import make_rng
 from repro.util.stats import DistributionSummary
 
 __all__ = ["FailurePoint", "run_mass_departure_experiment"]
 
 DEFAULT_PROBABILITIES: Tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5)
+
+
+def departed_setup(
+    protocol: str,
+    dimension: int,
+    seed: int,
+    probability: float,
+    departure_seed: int,
+):
+    """Shard setup: a complete network after seeded graceful departures.
+
+    Module-level (and built with ``functools.partial``) so shard tasks
+    pickle into worker processes; every shard rebuilds the identical
+    post-departure topology because both the build and the departure
+    draw are pure functions of the seeds.
+    """
+    network = build_complete_network(protocol, dimension, seed=seed)
+    fail_nodes(network, probability, make_rng(departure_seed))
+    return network, None
 
 
 @dataclass(frozen=True)
@@ -48,6 +69,7 @@ def run_mass_departure_experiment(
     lookups: int = 10_000,
     seed: int = 42,
     observer: Optional[TraceObserver] = None,
+    workers: int = 1,
 ) -> List[FailurePoint]:
     """Fig. 11 (mean path length vs p) and Table 4 (timeouts vs p).
 
@@ -57,11 +79,21 @@ def run_mass_departure_experiment(
     points: List[FailurePoint] = []
     for protocol in protocols:
         for probability in probabilities:
-            network = build_complete_network(protocol, dimension, seed=seed)
-            fail_nodes(network, probability, make_rng(seed + int(probability * 100)))
-            stats = run_lookups(
-                network, lookups, seed=seed + 1, observer=observer
+            merged = run_sharded_lookups(
+                partial(
+                    departed_setup,
+                    protocol,
+                    dimension,
+                    seed,
+                    probability,
+                    seed + int(probability * 100),
+                ),
+                lookups,
+                seed + 1,
+                workers=workers,
+                observer=observer,
             )
+            stats = merged.stats
             completed = [r.hops for r in stats.records if r.success]
             mean_path = (
                 sum(completed) / len(completed) if completed else 0.0
@@ -70,7 +102,7 @@ def run_mass_departure_experiment(
                 FailurePoint(
                     protocol=protocol,
                     probability=probability,
-                    survivors=network.size,
+                    survivors=merged.population,
                     mean_path_length=mean_path,
                     timeout_summary=stats.timeout_summary(),
                     lookup_failures=stats.failures,

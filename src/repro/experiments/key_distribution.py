@@ -9,10 +9,12 @@ onto each DHT and the per-node key counts summarised as mean and
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import List, Sequence, Tuple
 
 from repro.dht.base import Network
 from repro.experiments.registry import build_sized_network
+from repro.sim.parallel import run_cells
 from repro.sim.workload import uniform_key_corpus
 from repro.util.stats import DistributionSummary, summarize
 
@@ -39,43 +41,75 @@ class KeyDistributionPoint:
         return self.summary.spread / self.summary.mean
 
 
+def _key_distribution_cell(
+    protocol: str,
+    node_count: int,
+    key_counts: Tuple[int, ...],
+    bits: int,
+    cycloid_dimension: int,
+    seed: int,
+) -> List[KeyDistributionPoint]:
+    """One protocol's full corpus sweep, fully self-seeding.
+
+    The cell regenerates its corpus from the seed (cheaper than
+    pickling up to 10^5 keys into a worker) and reuses one network
+    across corpus sizes, exactly like the serial sweep.  Module-level
+    so cell tasks pickle into worker processes.
+    """
+    corpus = uniform_key_corpus(max(key_counts), seed)
+    network = build_sized_network(
+        protocol,
+        node_count,
+        seed=seed,
+        id_space_bits=bits,
+        cycloid_dimension=cycloid_dimension,
+    )
+    return [
+        KeyDistributionPoint(
+            protocol=protocol,
+            nodes=node_count,
+            keys=count,
+            summary=summarize(_key_counts(network, corpus[:count])),
+        )
+        for count in key_counts
+    ]
+
+
 def run_key_distribution_experiment(
     node_count: int = 2000,
     key_counts: Sequence[int] = DEFAULT_KEY_COUNTS,
     protocols: Sequence[str] = DEFAULT_PROTOCOLS,
     id_space: int = 2048,
     seed: int = 42,
+    workers: int = 1,
 ) -> List[KeyDistributionPoint]:
     """Figs 8 (node_count=2000) and 9 (node_count=1000).
 
     The same corpus prefix is reused across corpus sizes, matching the
     paper's "varied the total number of keys ... in increments".
+    Protocol cells are independent and self-seeding, so they fan out
+    over ``workers`` processes with bit-identical, protocol-major
+    ordered output.
     """
     bits = (id_space - 1).bit_length()
     if (1 << bits) != id_space:
         raise ValueError("id_space must be a power of two")
     cycloid_dimension = _cycloid_dimension_for(id_space)
-    corpus = uniform_key_corpus(max(key_counts), seed)
-    points: List[KeyDistributionPoint] = []
-    for protocol in protocols:
-        network = build_sized_network(
+    tasks = [
+        partial(
+            _key_distribution_cell,
             protocol,
             node_count,
-            seed=seed,
-            id_space_bits=bits,
-            cycloid_dimension=cycloid_dimension,
+            tuple(key_counts),
+            bits,
+            cycloid_dimension,
+            seed,
         )
-        for count in key_counts:
-            counts = _key_counts(network, corpus[:count])
-            points.append(
-                KeyDistributionPoint(
-                    protocol=protocol,
-                    nodes=node_count,
-                    keys=count,
-                    summary=summarize(counts),
-                )
-            )
-    return points
+        for protocol in protocols
+    ]
+    return [
+        point for cell in run_cells(tasks, workers=workers) for point in cell
+    ]
 
 
 def _key_counts(network: Network, keys: Sequence[object]) -> List[float]:

@@ -16,6 +16,7 @@ timeouts, which E7/E8 measure.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import List, Optional, Sequence
 
 from repro.dht.identifiers import cycloid_space_size
@@ -26,6 +27,7 @@ from repro.experiments.registry import (
     build_complete_network,
     build_sized_network,
 )
+from repro.sim.parallel import run_cells
 from repro.util.rng import make_rng
 
 __all__ = ["MaintenancePoint", "run_maintenance_experiment"]
@@ -54,6 +56,73 @@ class MaintenancePoint:
         return self.mass_departure_updates / self.mass_departure_events
 
 
+def _maintenance_cell(
+    protocol: str,
+    population: int,
+    events: int,
+    departure_probability: float,
+    dimension: int,
+    seed: int,
+    lookups: int,
+    ring_bits: int,
+    cycloid_dimension: int,
+    observer: Optional[TraceObserver] = None,
+) -> MaintenancePoint:
+    """One protocol's full maintenance sweep, fully self-seeding.
+
+    Joins, leaves and the mass-departure probe all mutate one network
+    in sequence, so the protocol cell is the unit of parallelism.
+    Module-level so cell tasks pickle into worker processes.
+    """
+    network = build_sized_network(
+        protocol,
+        population,
+        seed=seed,
+        id_space_bits=ring_bits,
+        cycloid_dimension=cycloid_dimension,
+    )
+    rng = make_rng(seed + 1)
+
+    network.maintenance_updates = 0
+    for index in range(events):
+        network.join(f"maintenance-{index}")
+    per_join = network.maintenance_updates / events
+
+    network.maintenance_updates = 0
+    victims = rng.sample(list(network.live_nodes()), events)
+    for victim in victims:
+        network.leave(victim)
+    per_leave = network.maintenance_updates / events
+
+    mass = build_complete_network(protocol, dimension, seed=seed)
+    mass.maintenance_updates = 0
+    departed = fail_nodes(
+        mass, departure_probability, make_rng(seed + 2)
+    )
+    probe_failures = 0
+    probe_mean_path = 0.0
+    if lookups > 0:
+        stats = run_lookups(
+            mass, lookups, seed=seed + 3, observer=observer
+        )
+        probe_failures = stats.failures
+        completed = [r.hops for r in stats.records if r.success]
+        probe_mean_path = (
+            sum(completed) / len(completed) if completed else 0.0
+        )
+    return MaintenancePoint(
+        protocol=protocol,
+        population=population,
+        updates_per_join=per_join,
+        updates_per_leave=per_leave,
+        mass_departure_updates=mass.maintenance_updates,
+        mass_departure_events=departed,
+        probe_lookups=lookups,
+        probe_failures=probe_failures,
+        probe_mean_path=probe_mean_path,
+    )
+
+
 def run_maintenance_experiment(
     protocols: Sequence[str] = PROTOCOLS,
     population: int = 1024,
@@ -63,13 +132,16 @@ def run_maintenance_experiment(
     seed: int = 42,
     lookups: int = 0,
     observer: Optional[TraceObserver] = None,
+    workers: int = 1,
 ) -> List[MaintenancePoint]:
     """Measure update fan-out per join/leave and under mass departure.
 
     With ``lookups`` > 0 the mass-departure network additionally serves
     a seeded lookup probe *before any stabilisation*, tying the
     maintenance bill to the routability it actually bought; ``observer``
-    streams those probe hops (the ``maint --trace`` path).
+    streams those probe hops (the ``maint --trace`` path) and forces
+    in-process runs.  Protocol cells are independent and self-seeding,
+    so they fan out over ``workers`` with bit-identical output.
     """
     cycloid_dimension = 1
     while cycloid_space_size(cycloid_dimension) < population:
@@ -77,55 +149,20 @@ def run_maintenance_experiment(
     cycloid_dimension += 1  # head-room for joins
     ring_bits = population.bit_length() + 1
 
-    points: List[MaintenancePoint] = []
-    for protocol in protocols:
-        network = build_sized_network(
+    tasks = [
+        partial(
+            _maintenance_cell,
             protocol,
             population,
-            seed=seed,
-            id_space_bits=ring_bits,
-            cycloid_dimension=cycloid_dimension,
+            events,
+            departure_probability,
+            dimension,
+            seed,
+            lookups,
+            ring_bits,
+            cycloid_dimension,
+            observer,
         )
-        rng = make_rng(seed + 1)
-
-        network.maintenance_updates = 0
-        for index in range(events):
-            network.join(f"maintenance-{index}")
-        per_join = network.maintenance_updates / events
-
-        network.maintenance_updates = 0
-        victims = rng.sample(list(network.live_nodes()), events)
-        for victim in victims:
-            network.leave(victim)
-        per_leave = network.maintenance_updates / events
-
-        mass = build_complete_network(protocol, dimension, seed=seed)
-        mass.maintenance_updates = 0
-        departed = fail_nodes(
-            mass, departure_probability, make_rng(seed + 2)
-        )
-        probe_failures = 0
-        probe_mean_path = 0.0
-        if lookups > 0:
-            stats = run_lookups(
-                mass, lookups, seed=seed + 3, observer=observer
-            )
-            probe_failures = stats.failures
-            completed = [r.hops for r in stats.records if r.success]
-            probe_mean_path = (
-                sum(completed) / len(completed) if completed else 0.0
-            )
-        points.append(
-            MaintenancePoint(
-                protocol=protocol,
-                population=population,
-                updates_per_join=per_join,
-                updates_per_leave=per_leave,
-                mass_departure_updates=mass.maintenance_updates,
-                mass_departure_events=departed,
-                probe_lookups=lookups,
-                probe_failures=probe_failures,
-                probe_mean_path=probe_mean_path,
-            )
-        )
-    return points
+        for protocol in protocols
+    ]
+    return run_cells(tasks, workers=1 if observer is not None else workers)

@@ -7,12 +7,13 @@ same lookup workload; the figure series are the mean hop counts.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import List, Optional, Sequence, Tuple
 
 from repro.dht.identifiers import cycloid_space_size
 from repro.dht.routing import TraceObserver
-from repro.experiments.common import run_lookups
 from repro.experiments.registry import PROTOCOLS, build_complete_network
+from repro.sim.parallel import plain_setup, run_sharded_lookups
 from repro.util.stats import DistributionSummary
 
 __all__ = ["PathLengthPoint", "run_path_length_experiment"]
@@ -38,21 +39,36 @@ def run_path_length_experiment(
     lookups: int = 5000,
     seed: int = 42,
     observer: Optional[TraceObserver] = None,
+    workers: int = 1,
 ) -> List[PathLengthPoint]:
     """Measure mean lookup path length for every protocol and dimension.
 
     Fig. 5 plots the result against network size, Fig. 6 against the
-    dimension; both read off the same points.  ``observer`` receives the
-    per-hop trace of every lookup across the whole sweep.
+    dimension; both read off the same points.  Each (protocol,
+    dimension) cell runs as deterministic shards fanned out over
+    ``workers`` processes (:mod:`repro.sim.parallel`) — the points are
+    bit-identical for every worker count.  ``observer`` receives the
+    per-hop trace of every lookup across the whole sweep (and forces
+    in-process execution).
     """
     points: List[PathLengthPoint] = []
     for dimension in dimensions:
         size = cycloid_space_size(dimension)
         for protocol in protocols:
-            network = build_complete_network(protocol, dimension, seed=seed)
-            stats = run_lookups(
-                network, lookups, seed=seed + dimension, observer=observer
+            merged = run_sharded_lookups(
+                partial(
+                    plain_setup,
+                    build_complete_network,
+                    protocol,
+                    dimension,
+                    seed=seed,
+                ),
+                lookups,
+                seed + dimension,
+                workers=workers,
+                observer=observer,
             )
+            stats = merged.stats
             points.append(
                 PathLengthPoint(
                     protocol=protocol,

@@ -10,11 +10,13 @@ Koorde on even identifiers).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import List, Optional, Sequence, Tuple
 
+from repro.dht.identifiers import cycloid_space_size
 from repro.dht.routing import TraceObserver
-from repro.experiments.common import run_lookups
 from repro.experiments.registry import build_complete_network
+from repro.sim.parallel import plain_setup, run_sharded_lookups
 from repro.util.stats import DistributionSummary, summarize
 
 __all__ = ["QueryLoadPoint", "run_query_load_experiment"]
@@ -48,26 +50,40 @@ def run_query_load_experiment(
     lookups_per_node: int = 4,
     seed: int = 42,
     observer: Optional[TraceObserver] = None,
+    workers: int = 1,
 ) -> List[QueryLoadPoint]:
-    """Measure the query-load spread for each protocol and size."""
+    """Measure the query-load spread for each protocol and size.
+
+    Each shard routes on its own locally built network and reports a
+    per-node received-query counter; the merge sums counters across
+    shards, which is exact because query accounting is additive and
+    never feeds back into routing.
+    """
     points: List[QueryLoadPoint] = []
     for dimension in dimensions:
         for protocol in protocols:
-            network = build_complete_network(protocol, dimension, seed=seed)
-            network.reset_query_counts()
-            total_lookups = lookups_per_node * network.size
-            run_lookups(
-                network,
+            total_lookups = lookups_per_node * cycloid_space_size(dimension)
+            merged = run_sharded_lookups(
+                partial(
+                    plain_setup,
+                    build_complete_network,
+                    protocol,
+                    dimension,
+                    seed=seed,
+                ),
                 total_lookups,
-                seed=seed + dimension,
+                seed + dimension,
+                workers=workers,
                 observer=observer,
             )
-            summary = summarize([float(c) for c in network.query_counts()])
+            summary = summarize(
+                [float(c) for c in merged.query_counts.values()]
+            )
             points.append(
                 QueryLoadPoint(
                     protocol=protocol,
                     dimension=dimension,
-                    size=network.size,
+                    size=merged.population,
                     lookups=total_lookups,
                     summary=summary,
                 )

@@ -10,11 +10,12 @@ larger gaps force more successor hops.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import List, Optional, Sequence, Tuple
 
 from repro.dht.routing import TraceObserver
-from repro.experiments.common import run_lookups
 from repro.experiments.registry import build_sized_network
+from repro.sim.parallel import plain_setup, run_sharded_lookups
 from repro.util.stats import DistributionSummary
 
 __all__ = ["SparsityPoint", "run_sparsity_experiment"]
@@ -42,6 +43,7 @@ def run_sparsity_experiment(
     lookups: int = 10_000,
     seed: int = 42,
     observer: Optional[TraceObserver] = None,
+    workers: int = 1,
 ) -> List[SparsityPoint]:
     """Fig. 13: mean path length vs degree of network sparsity."""
     bits = (id_space - 1).bit_length()
@@ -54,16 +56,21 @@ def run_sparsity_experiment(
             if not 0.0 <= sparsity < 1.0:
                 raise ValueError("sparsity must be in [0, 1)")
             population = max(2, round(id_space * (1.0 - sparsity)))
-            network = build_sized_network(
-                protocol,
-                population,
-                seed=seed,
-                id_space_bits=bits,
-                cycloid_dimension=cycloid_dimension,
-            )
-            stats = run_lookups(
-                network, lookups, seed=seed + population, observer=observer
-            )
+            stats = run_sharded_lookups(
+                partial(
+                    plain_setup,
+                    build_sized_network,
+                    protocol,
+                    population,
+                    seed=seed,
+                    id_space_bits=bits,
+                    cycloid_dimension=cycloid_dimension,
+                ),
+                lookups,
+                seed + population,
+                workers=workers,
+                observer=observer,
+            ).stats
             points.append(
                 SparsityPoint(
                     protocol=protocol,

@@ -9,6 +9,17 @@ distributed phases.
 from repro.sim.engine import Event, EventQueue, Simulator
 from repro.sim.churn import ChurnConfig, ChurnResult, run_churn_simulation
 from repro.sim.faults import FaultInjector, FaultPlan
+from repro.sim.parallel import (
+    DEFAULT_SHARD_SIZE,
+    MergedRun,
+    ShardResult,
+    ShardSpec,
+    ShardTask,
+    merge_shards,
+    plan_shards,
+    run_cells,
+    run_sharded_lookups,
+)
 from repro.sim.workload import (
     lookup_workload,
     random_keys,
@@ -24,6 +35,15 @@ __all__ = [
     "run_churn_simulation",
     "FaultPlan",
     "FaultInjector",
+    "DEFAULT_SHARD_SIZE",
+    "ShardSpec",
+    "ShardTask",
+    "ShardResult",
+    "MergedRun",
+    "plan_shards",
+    "merge_shards",
+    "run_sharded_lookups",
+    "run_cells",
     "lookup_workload",
     "random_keys",
     "uniform_key_corpus",

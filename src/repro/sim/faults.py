@@ -120,6 +120,25 @@ class FaultInjector:
     def active(self) -> bool:
         return self.plan.active
 
+    def for_shard(self, shard: int) -> "FaultInjector":
+        """An injector for one shard of a sharded lookup workload.
+
+        The child shares this injector's *decisions* — same plan, same
+        crash/flaky streams, and a copy of the flaky set — but draws
+        message-loss verdicts from a stream derived from ``(plan.seed,
+        shard)``, so each shard's drops are a pure function of the plan
+        and the shard index, independent of how many lookups other
+        shards routed first.  Shard 0 is bit-identical to the parent,
+        so a single-shard workload matches a direct (unsharded) run.
+        """
+        if shard < 0:
+            raise ValueError("shard index must be non-negative")
+        child = FaultInjector(self.plan)
+        if shard:
+            child._loss_rng = derive_rng(child._loss_rng, shard)
+        child.flaky_nodes = set(self.flaky_nodes)
+        return child
+
     # ------------------------------------------------------------------
     # topology-level faults (applied before or between lookups)
     # ------------------------------------------------------------------

@@ -1,0 +1,362 @@
+"""Deterministic shard-based parallel experiment execution.
+
+Every figure in the paper is a Monte-Carlo sweep: thousands of seeded
+lookups per (overlay, n, d, p) cell.  The runners used to thread one
+RNG through the whole sweep, which made the workload inherently serial.
+This module restructures a cell's workload into **shards**:
+
+* :func:`plan_shards` splits ``count`` lookups into contiguous,
+  non-overlapping index ranges.  The shard plan is a pure function of
+  ``(count, shard_size)`` — never of the worker count — so the same
+  cell always produces the same shards no matter how it is executed.
+* Each shard draws its workload from its own RNG stream, derived from
+  ``(seed, shard_index)`` via :func:`repro.util.rng.shard_rng`, builds
+  its network locally from a picklable zero-argument ``setup``
+  callable, and returns a picklable :class:`ShardResult` (records plus
+  query-load / repair / fault aggregates).
+* :func:`merge_shards` folds shard results **by shard index**, so the
+  merged run is invariant under any completion order, and cross-checks
+  the invariants that make the merge meaningful (every shard saw the
+  same population and crash set).
+
+:func:`run_sharded_lookups` is the cell driver: it executes the shard
+plan either in-process (``workers=1`` — the serial fallback, which
+runs the *exact same* per-shard computation and merge path) or fanned
+out over a :class:`concurrent.futures.ProcessPoolExecutor`.  Because a
+shard's result is a pure function of ``(setup, seed, spec)``, the two
+paths are bit-identical — the property `tests/sim/test_parallel_parity`
+pins for every overlay, with and without an enabled
+:class:`~repro.sim.faults.FaultPlan`.
+
+Determinism model (DESIGN.md §S20)
+----------------------------------
+A shard **rebuilds its network from the setup callable** even when run
+serially.  That is what makes fault-mode runs order-independent: lazy
+route repair (``Network.on_dead_entry``) mutates routing tables, so two
+shards sharing one network instance would leak state from whichever ran
+first.  Fresh per-shard networks cost one extra build per shard and buy
+bit-exactness at any worker count.
+
+Trace observers hold open file handles and are not picklable, so an
+``observer`` forces in-process execution; the shard plan (and therefore
+the output) is unchanged, only the fan-out is.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+from repro.dht.metrics import LookupRecord, LookupStats
+from repro.sim.workload import lookup_workload
+from repro.util.rng import shard_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
+    from repro.dht.base import Network
+    from repro.dht.routing import TraceObserver
+    from repro.sim.faults import FaultInjector
+
+__all__ = [
+    "DEFAULT_SHARD_SIZE",
+    "ShardSpec",
+    "ShardTask",
+    "ShardResult",
+    "MergedRun",
+    "plan_shards",
+    "plain_setup",
+    "execute_shard",
+    "merge_shards",
+    "run_sharded_lookups",
+    "run_cells",
+    "available_workers",
+]
+
+T = TypeVar("T")
+
+#: A network/injector factory: zero-argument, picklable (build it with
+#: ``functools.partial`` over module-level functions), returning the
+#: freshly built + prepared network and the injector whose topology
+#: faults (crashes, flaky marks) have already been applied — or ``None``
+#: for fault-free cells.
+Setup = Callable[[], Tuple["Network", Optional["FaultInjector"]]]
+
+#: Default lookups per shard.  Chosen so a paper-scale cell (2000
+#: lookups) splits into 4 shards — enough fan-out to keep 4 workers
+#: busy — while a test-scale cell (a few hundred lookups) stays a
+#: single shard and pays no extra network build.
+DEFAULT_SHARD_SIZE = 500
+
+
+def available_workers() -> int:
+    """Usable CPU count (affinity-aware where the platform exposes it)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard of a cell's lookup workload.
+
+    ``index`` doubles as the RNG stream selector
+    (:func:`repro.util.rng.shard_rng` and
+    :meth:`repro.sim.faults.FaultInjector.for_shard`); ``offset`` is the
+    global index of the shard's first lookup, so ``[offset, offset +
+    count)`` ranges tile the whole workload without gap or overlap.
+    """
+
+    index: int
+    offset: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0 or self.offset < 0 or self.count < 0:
+            raise ValueError("shard fields must be non-negative")
+
+
+def plan_shards(count: int, shard_size: int = DEFAULT_SHARD_SIZE) -> List[ShardSpec]:
+    """Split ``count`` lookups into balanced contiguous shards.
+
+    The plan depends only on ``(count, shard_size)`` — crucially *not*
+    on the worker count — so serial and parallel runs execute identical
+    shards.  Shard sizes differ by at most one, every shard is
+    non-empty, and the union of ``[offset, offset + count)`` ranges is
+    exactly ``[0, count)``: a (source, key) pair, identified by its
+    global lookup index, lands in exactly one shard.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if shard_size < 1:
+        raise ValueError("shard_size must be >= 1")
+    if count == 0:
+        return []
+    shards = math.ceil(count / shard_size)
+    base, extra = divmod(count, shards)
+    specs: List[ShardSpec] = []
+    offset = 0
+    for index in range(shards):
+        size = base + (1 if index < extra else 0)
+        specs.append(ShardSpec(index=index, offset=offset, count=size))
+        offset += size
+    return specs
+
+
+def plain_setup(builder: Callable[..., "Network"], *args, **kwargs):
+    """Adapt a bare network builder into a fault-free :data:`Setup`.
+
+    ``functools.partial(plain_setup, build_complete_network, "chord",
+    8, seed=42)`` is picklable as long as ``builder`` is a module-level
+    callable with picklable arguments.
+    """
+    return builder(*args, **kwargs), None
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Everything a worker process needs to execute one shard."""
+
+    setup: Setup
+    spec: ShardSpec
+    seed: int
+    keys: Tuple[object, ...] = ()
+    retry_budget: int = 0
+
+
+@dataclass
+class ShardResult:
+    """Picklable outcome of one shard.
+
+    ``population`` and ``crashed`` describe the *prepared* network the
+    shard routed on; every shard of a cell must agree on them (the
+    crash/flaky streams are derived from the plan seed alone), which
+    :func:`merge_shards` asserts.
+    """
+
+    index: int
+    records: List[LookupRecord]
+    query_counts: Dict[object, int]
+    route_repairs: int = 0
+    dropped_messages: int = 0
+    crashed: int = 0
+    population: int = 0
+
+
+@dataclass
+class MergedRun:
+    """Order-independent merge of a cell's shard results."""
+
+    stats: LookupStats = field(default_factory=LookupStats)
+    query_counts: Dict[object, int] = field(default_factory=dict)
+    route_repairs: int = 0
+    dropped_messages: int = 0
+    crashed: int = 0
+    population: int = 0
+    shards: int = 0
+
+
+def execute_shard(
+    task: ShardTask, observer: Optional["TraceObserver"] = None
+) -> ShardResult:
+    """Run one shard: build the network locally, route, aggregate.
+
+    This is the single execution path for every worker count — the
+    serial fallback calls it in-process, the parallel path ships the
+    (picklable) task to a pool worker.  ``observer`` only exists on the
+    in-process path; it never affects routing.
+    """
+    spec = task.spec
+    network, injector = task.setup()
+    shard_injector = (
+        injector.for_shard(spec.index) if injector is not None else None
+    )
+    network.reset_query_counts()
+    records = network.lookup_many(
+        lookup_workload(
+            network,
+            spec.count,
+            shard_rng(task.seed, spec.index),
+            task.keys,
+            start=spec.offset,
+        ),
+        observer=observer,
+        injector=shard_injector,
+        retry_budget=task.retry_budget,
+    )
+    live = network.live_nodes()
+    return ShardResult(
+        index=spec.index,
+        records=records,
+        query_counts={
+            node.name: count
+            for node, count in zip(live, network.query_counts())
+        },
+        route_repairs=network.route_repairs,
+        dropped_messages=(
+            shard_injector.dropped if shard_injector is not None else 0
+        ),
+        crashed=injector.crashed if injector is not None else 0,
+        population=len(live),
+    )
+
+
+def merge_shards(results: Sequence[ShardResult]) -> MergedRun:
+    """Fold shard results into one run, independent of arrival order.
+
+    Records concatenate in shard-index order (the canonical workload
+    order); query counts, repairs and drops sum; population and crash
+    counts must agree across shards — disagreement means the shards did
+    not route on identical networks, which would invalidate the merge.
+    """
+    merged = MergedRun()
+    ordered = sorted(results, key=lambda r: r.index)
+    indices = [r.index for r in ordered]
+    if len(set(indices)) != len(indices):
+        raise ValueError(f"duplicate shard indices in merge: {indices}")
+    for result in ordered:
+        merged.stats.extend(result.records)
+        for name, count in result.query_counts.items():
+            merged.query_counts[name] = (
+                merged.query_counts.get(name, 0) + count
+            )
+        merged.route_repairs += result.route_repairs
+        merged.dropped_messages += result.dropped_messages
+    if ordered:
+        first = ordered[0]
+        for result in ordered[1:]:
+            if result.population != first.population:
+                raise ValueError(
+                    "shards disagree on population: "
+                    f"{result.population} != {first.population}"
+                )
+            if result.crashed != first.crashed:
+                raise ValueError(
+                    "shards disagree on crash count: "
+                    f"{result.crashed} != {first.crashed}"
+                )
+            if set(result.query_counts) != set(first.query_counts):
+                raise ValueError("shards disagree on the live node set")
+        merged.crashed = first.crashed
+        merged.population = first.population
+    merged.shards = len(ordered)
+    return merged
+
+
+def run_sharded_lookups(
+    setup: Setup,
+    count: int,
+    seed: int,
+    *,
+    workers: int = 1,
+    shard_size: int = DEFAULT_SHARD_SIZE,
+    keys: Sequence[object] = (),
+    retry_budget: int = 0,
+    observer: Optional["TraceObserver"] = None,
+) -> MergedRun:
+    """Execute one cell's lookup workload as deterministic shards.
+
+    The result is a pure function of ``(setup, count, seed, shard_size,
+    keys, retry_budget)`` — ``workers`` only chooses the fan-out.
+    ``workers=1`` (or a non-picklable ``observer``, or a single-shard
+    plan) runs every shard in-process through the identical
+    shard/merge path.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    specs = plan_shards(count, shard_size)
+    tasks = [
+        ShardTask(
+            setup=setup,
+            spec=spec,
+            seed=seed,
+            keys=tuple(keys),
+            retry_budget=retry_budget,
+        )
+        for spec in specs
+    ]
+    if workers == 1 or observer is not None or len(tasks) <= 1:
+        results = [execute_shard(task, observer) for task in tasks]
+    else:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(tasks))
+        ) as pool:
+            results = list(pool.map(execute_shard, tasks))
+    return merge_shards(results)
+
+
+def _call_cell(task: Callable[[], T]) -> T:
+    """Module-level trampoline so cell callables cross the pool."""
+    return task()
+
+
+def run_cells(
+    tasks: Sequence[Callable[[], T]], workers: int = 1
+) -> List[T]:
+    """Execute independent experiment cells, preserving input order.
+
+    The coarse-grained counterpart of :func:`run_sharded_lookups` for
+    runners whose unit of work is a whole simulation rather than a
+    lookup batch (churn runs, maintenance sweeps, key-distribution
+    cells).  Each task must be a zero-argument picklable callable
+    (``functools.partial`` over a module-level function) returning a
+    picklable result; each cell seeds itself, so the output does not
+    depend on ``workers``.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if workers == 1 or len(tasks) <= 1:
+        return [task() for task in tasks]
+    with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+        return list(pool.map(_call_cell, tasks))

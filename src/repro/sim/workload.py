@@ -32,17 +32,24 @@ def lookup_workload(
     count: int,
     rng: random.Random,
     keys: Sequence[object] = (),
+    start: int = 0,
 ) -> Iterator[Tuple[Node, object]]:
     """Yield ``count`` (source node, key) lookup pairs.
 
     Sources are uniform over live nodes.  Keys come from ``keys`` when
     provided, otherwise fresh uniform random keys are drawn — the
     paper's "lookup requests to random destinations".
+
+    ``start`` offsets the index baked into generated key names: shard
+    ``k`` of a sharded workload (:mod:`repro.sim.parallel`) passes its
+    global offset so every lookup across all shards carries a distinct
+    global index and no (source, key) pair can straddle a shard
+    boundary.
     """
     nodes = network.live_nodes()
     if not nodes:
         raise ValueError("network has no live nodes")
-    for index in range(count):
+    for index in range(start, start + count):
         source = nodes[rng.randrange(len(nodes))]
         if keys:
             key = keys[rng.randrange(len(keys))]

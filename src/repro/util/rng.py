@@ -13,7 +13,7 @@ from __future__ import annotations
 import random
 from typing import Iterator, Sequence, Tuple, TypeVar
 
-__all__ = ["make_rng", "derive_rng", "sample_pairs"]
+__all__ = ["make_rng", "derive_rng", "shard_rng", "sample_pairs"]
 
 T = TypeVar("T")
 
@@ -34,6 +34,21 @@ def derive_rng(rng: random.Random, stream: int) -> random.Random:
     """
     base = rng.getrandbits(64)
     return random.Random((base ^ (stream * _DERIVE_SALT)) & (2**64 - 1))
+
+
+def shard_rng(seed: int, shard: int) -> random.Random:
+    """The RNG stream of shard ``shard`` of an experiment seeded ``seed``.
+
+    Sharded experiments (see :mod:`repro.sim.parallel`) split one
+    workload into fixed shards, each drawing from its own stream so
+    results do not depend on execution order or worker count.  The
+    stream is a pure function of ``(seed, shard)``: shard 3 of a
+    workload draws the same sequence whether it runs first, last, in
+    another process, or alone.
+    """
+    if shard < 0:
+        raise ValueError("shard index must be non-negative")
+    return derive_rng(make_rng(seed), shard)
 
 
 def sample_pairs(

@@ -1,6 +1,14 @@
 """Unit tests for the plain-text reporting helpers."""
 
-from repro.analysis.report import ascii_series, format_table, series_by_protocol
+import pytest
+
+from repro.analysis.report import (
+    ascii_series,
+    format_bench_table,
+    format_table,
+    series_by_protocol,
+)
+from repro.util.stats import summarize
 
 
 class TestFormatTable:
@@ -22,6 +30,66 @@ class TestFormatTable:
         header, rule, row = text.splitlines()
         assert len(rule) >= len("very-long-value")
         del header, row
+
+
+class TestPercentileRows:
+    """Edge cases of the ``mean (p1, p99)`` printers the tables use."""
+
+    def test_empty_series(self):
+        summary = summarize([])
+        assert summary.as_row() == "0.00 (0, 0)"
+        assert summary.count == 0
+        assert summary.spread == 0.0
+
+    def test_single_sample(self):
+        # One sample: every percentile is the sample itself.
+        summary = summarize([7.0])
+        assert summary.as_row() == "7.00 (7, 7)"
+        assert summary.p1 == summary.p99 == 7.0
+
+    def test_two_samples_interpolate(self):
+        # n=2: the 1st/99th percentiles interpolate between the two
+        # order statistics (rank = q/100 * (n-1)), staying in-bounds.
+        summary = summarize([1.0, 3.0])
+        assert summary.mean == 2.0
+        assert summary.p1 == pytest.approx(1.02)
+        assert summary.p99 == pytest.approx(2.98)
+        assert summary.as_row() == "2.00 (1.02, 2.98)"
+
+    def test_two_samples_render_in_table(self):
+        text = format_table(
+            ["timeouts"], [[summarize([1.0, 3.0]).as_row()]]
+        )
+        assert "(1.02, 2.98)" in text
+
+
+class TestFormatBenchTable:
+    CELLS = [
+        {
+            "protocol": "cycloid",
+            "serial_seconds": 2.0,
+            "parallel_seconds": 0.8,
+            "speedup": 2.5,
+            "digest_match": True,
+        },
+        {
+            "protocol": "chord",
+            "serial_seconds": 1.0,
+            "parallel_seconds": 1.1,
+            "speedup": 0.909,
+            "digest_match": False,
+        },
+    ]
+
+    def test_columns_and_flags(self):
+        text = format_bench_table(self.CELLS, workers=4)
+        assert "workers=4" in text.splitlines()[0]
+        assert "2.50x" in text
+        assert "0.91x" in text
+        cycloid_row = next(l for l in text.splitlines() if "cycloid" in l)
+        chord_row = next(l for l in text.splitlines() if "chord" in l)
+        assert "yes" in cycloid_row
+        assert "NO" in chord_row
 
 
 class TestSeriesByProtocol:

@@ -1,0 +1,89 @@
+"""Unit tests for the shared experiment plumbing (`run_lookups`)."""
+
+from __future__ import annotations
+
+from functools import partial
+
+import pytest
+
+from repro.core import CycloidNetwork
+from repro.experiments.common import run_lookups
+from repro.experiments.registry import build_complete_network
+from repro.sim.parallel import plain_setup, run_sharded_lookups
+from repro.util.rng import shard_rng
+
+
+def _network():
+    return CycloidNetwork.complete(4)
+
+
+class TestSeedHandling:
+    def test_implicit_seed_is_deprecated(self):
+        with pytest.deprecated_call():
+            stats = run_lookups(_network(), 5)
+        assert len(stats) == 5
+
+    def test_implicit_seed_still_means_zero(self):
+        with pytest.deprecated_call():
+            implicit = run_lookups(_network(), 10)
+        explicit = run_lookups(_network(), 10, seed=0)
+        assert implicit.records == explicit.records
+
+    def test_seed_and_factory_conflict(self):
+        with pytest.raises(TypeError):
+            run_lookups(
+                _network(), 5, seed=1, rng_factory=partial(shard_rng, 1)
+            )
+
+    def test_explicit_seed_emits_no_warning(self, recwarn):
+        run_lookups(_network(), 5, seed=3)
+        assert not [
+            w for w in recwarn if issubclass(w.category, DeprecationWarning)
+        ]
+
+
+class TestRngFactory:
+    def test_factory_matches_equivalent_seed(self):
+        seeded = run_lookups(_network(), 40, seed=9, shard_size=10)
+        injected = run_lookups(
+            _network(),
+            40,
+            rng_factory=partial(shard_rng, 9),
+            shard_size=10,
+        )
+        assert seeded.records == injected.records
+
+    def test_factory_receives_shard_indices(self):
+        calls = []
+
+        def factory(index):
+            calls.append(index)
+            return shard_rng(5, index)
+
+        run_lookups(_network(), 40, rng_factory=factory, shard_size=10)
+        assert calls == [0, 1, 2, 3]
+
+
+class TestShardEquivalence:
+    def test_matches_sharded_runner_without_faults(self):
+        """Shared-network `run_lookups` == per-shard-rebuild runner.
+
+        Without an injector, routing carries no cross-lookup state, so
+        reusing one network must give the same records as rebuilding it
+        per shard (the run_sharded_lookups path).
+        """
+        stats = run_lookups(
+            build_complete_network("cycloid", 4, seed=42),
+            60,
+            seed=11,
+            shard_size=20,
+        )
+        merged = run_sharded_lookups(
+            partial(plain_setup, build_complete_network, "cycloid", 4, seed=42),
+            60,
+            11,
+            workers=1,
+            shard_size=20,
+        )
+        assert stats.records == merged.stats.records
+        assert stats.digest() == merged.stats.digest()

@@ -121,3 +121,72 @@ def test_flaky_nodes_use_their_own_loss_rate():
     # message_loss=0 keeps every other link perfect.
     assert not injector.delivered(steady, flaky)
     assert injector.delivered(flaky, steady)
+
+
+# ----------------------------------------------------------------------
+# per-shard injectors
+# ----------------------------------------------------------------------
+
+
+def test_for_shard_zero_is_bit_identical_to_parent():
+    network = _network()
+    a, b = network.live_nodes()[:2]
+    plan = FaultPlan(seed=5, message_loss=0.5)
+    parent = FaultInjector(plan)
+    child = FaultInjector(plan).for_shard(0)
+    assert [parent.delivered(a, b) for _ in range(100)] == [
+        child.delivered(a, b) for _ in range(100)
+    ]
+
+
+def test_for_shard_derives_independent_loss_streams():
+    network = _network()
+    a, b = network.live_nodes()[:2]
+    plan = FaultPlan(seed=5, message_loss=0.5)
+    streams = []
+    for shard in range(4):
+        injector = FaultInjector(plan).for_shard(shard)
+        streams.append(tuple(injector.delivered(a, b) for _ in range(64)))
+    assert len(set(streams)) == len(streams)
+
+
+def test_for_shard_is_reproducible():
+    network = _network()
+    a, b = network.live_nodes()[:2]
+    plan = FaultPlan(seed=8, message_loss=0.4)
+    first = FaultInjector(plan).for_shard(3)
+    second = FaultInjector(plan).for_shard(3)
+    assert [first.delivered(a, b) for _ in range(100)] == [
+        second.delivered(a, b) for _ in range(100)
+    ]
+
+
+def test_for_shard_preserves_flaky_marks():
+    network = _network()
+    plan = FaultPlan(seed=9, flaky_fraction=0.25, flaky_loss=1.0)
+    parent = FaultInjector(plan)
+    parent.mark_flaky(network)
+    child = parent.for_shard(2)
+    assert child.flaky_nodes == parent.flaky_nodes
+    flaky = next(
+        n for n in network.live_nodes() if n.name in parent.flaky_nodes
+    )
+    steady = next(
+        n for n in network.live_nodes() if n.name not in parent.flaky_nodes
+    )
+    assert not child.delivered(steady, flaky)
+
+
+def test_for_shard_starts_with_fresh_drop_counter():
+    plan = FaultPlan(seed=5, message_loss=1.0)
+    network = _network()
+    a, b = network.live_nodes()[:2]
+    parent = FaultInjector(plan)
+    assert not parent.delivered(a, b)
+    child = parent.for_shard(1)
+    assert child.dropped == 0
+
+
+def test_for_shard_rejects_negative_index():
+    with pytest.raises(ValueError):
+        FaultInjector(FaultPlan(seed=1)).for_shard(-1)

@@ -53,3 +53,16 @@ class TestLookupWorkload:
 
         with pytest.raises(ValueError):
             list(lookup_workload(CycloidNetwork(4), 1, rng))
+
+    def test_start_offsets_key_indices(self, cycloid_sparse):
+        # Shard workloads carry global lookup indices: a shard at
+        # offset 5 generates keys tagged -5, -6, ... so two shards can
+        # never emit the same key even from colliding RNG draws.
+        pairs = list(
+            lookup_workload(cycloid_sparse, 3, make_rng(1), start=5)
+        )
+        assert [key.rsplit("-", 1)[1] for _, key in pairs] == ["5", "6", "7"]
+
+    def test_start_defaults_to_zero(self, cycloid_sparse):
+        pairs = list(lookup_workload(cycloid_sparse, 2, make_rng(1)))
+        assert [key.rsplit("-", 1)[1] for _, key in pairs] == ["0", "1"]

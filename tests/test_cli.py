@@ -196,3 +196,75 @@ class TestTrace:
         kinds = {e["kind"] for e in events if "kind" in e}
         assert "timeout" in kinds
         assert kinds <= {"timeout", "retry"}
+
+
+class TestWorkers:
+    def run(self, argv, capsys):
+        assert main(argv) == 0
+        return capsys.readouterr().out
+
+    def test_workers_flag_on_every_figure_command(self):
+        parser = build_parser()
+        for command in (
+            "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+            "fig12", "fig13", "fig14", "fig-crash", "maint",
+        ):
+            args = parser.parse_args([command, "--workers", "3"])
+            assert args.workers == 3
+            assert parser.parse_args([command]).workers == 1
+
+    def test_fig5_output_is_worker_invariant(self, capsys):
+        base = ["fig5", "--lookups", "160", "--dimensions", "3", "4"]
+        serial = self.run(base + ["--workers", "1"], capsys)
+        parallel = self.run(base + ["--workers", "2"], capsys)
+        assert serial == parallel
+
+    def test_fig8_output_is_worker_invariant(self, capsys):
+        base = ["fig8", "--nodes", "120", "--keys", "2000"]
+        serial = self.run(base + ["--workers", "1"], capsys)
+        parallel = self.run(base + ["--workers", "2"], capsys)
+        assert serial == parallel
+
+
+class TestBench:
+    def test_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.dimension == 8
+        assert args.lookups == 2000
+        assert args.workers == 4
+        assert args.output == "BENCH_parallel.json"
+
+    def test_bench_writes_report(self, capsys, tmp_path):
+        out_path = tmp_path / "bench.json"
+        assert (
+            main(
+                [
+                    "bench",
+                    "--dimension", "4",
+                    "--lookups", "120",
+                    "--shard-size", "30",
+                    "--workers", "2",
+                    "--protocols", "cycloid", "chord",
+                    "--output", str(out_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Parallel lookup bench" in out
+        report = json.loads(out_path.read_text())
+        assert report["config"]["workers"] == 2
+        assert report["config"]["cpus"] >= 1
+        assert report["all_match"] is True
+        assert [c["protocol"] for c in report["cells"]] == [
+            "cycloid", "chord",
+        ]
+        for cell in report["cells"]:
+            assert cell["digest_match"] is True
+            assert cell["serial_seconds"] > 0
+            assert cell["parallel_seconds"] > 0
+            assert len(cell["digest"]) == 64
+
+    def test_bench_rejects_single_worker(self):
+        with pytest.raises(ValueError):
+            main(["bench", "--workers", "1", "--lookups", "40"])

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.util.rng import derive_rng, make_rng, sample_pairs
+from repro.util.rng import derive_rng, make_rng, sample_pairs, shard_rng
 
 
 class TestMakeRng:
@@ -38,6 +38,32 @@ class TestDeriveRng:
             a.random()
         assert b.random() == b2.random()
         del a2
+
+
+class TestShardRng:
+    def test_matches_manual_derivation(self):
+        # shard_rng is the canonical (seed, shard) stream: exactly
+        # derive_rng over a fresh root, never a partially consumed one.
+        assert (
+            shard_rng(42, 3).random()
+            == derive_rng(make_rng(42), 3).random()
+        )
+
+    def test_deterministic(self):
+        assert [shard_rng(7, 2).random() for _ in range(3)] == [
+            shard_rng(7, 2).random() for _ in range(3)
+        ]
+
+    def test_shards_are_independent_streams(self):
+        streams = [
+            tuple(shard_rng(11, shard).random() for _ in range(4))
+            for shard in range(6)
+        ]
+        assert len(set(streams)) == len(streams)
+
+    def test_negative_shard_rejected(self):
+        with pytest.raises(ValueError):
+            shard_rng(0, -1)
 
 
 class TestSamplePairs:
