@@ -1,0 +1,61 @@
+"""§S21 micro-benchmarks: build-once snapshots and the ring hot path.
+
+Two guards ride the benchmark suite:
+
+* ``run_clone_bench`` at full fig-5 scale (d = 8, n = 2048) must show a
+  snapshot restore at least 3x cheaper than the full join-protocol
+  rebuild it replaces, with bit-identical digests.
+* ``SortedRing.successor_run`` is called once per node per capture and
+  inside Chord/Koorde maintenance; the two-slice implementation must
+  stay well under the cost of a per-step modular walk (guarded here as
+  an absolute budget on a 2048-node ring).
+"""
+
+import time
+
+from repro.analysis import format_clone_bench_table
+from repro.dht.ring import SortedRing
+from repro.experiments import run_clone_bench
+
+RING_BITS = 16
+RING_NODES = 2048
+RUN_LENGTH = 16
+
+
+def test_snapshot_restore_vs_rebuild(benchmark, report):
+    cells = benchmark.pedantic(
+        run_clone_bench,
+        kwargs={"dimension": 8, "lookups": 400, "seed": 42, "repeats": 5},
+        rounds=1,
+        iterations=1,
+    )
+    report(format_clone_bench_table(cells))
+    assert all(cell.digest_match for cell in cells)
+    assert all(cell.population == 2048 for cell in cells)
+    for cell in cells:
+        assert cell.restore_speedup >= 3.0, (
+            cell.protocol,
+            cell.restore_speedup,
+        )
+
+
+def test_successor_run_two_slice_budget(benchmark):
+    ring = SortedRing(RING_BITS)
+    step = (1 << RING_BITS) // RING_NODES
+    ids = [i * step for i in range(RING_NODES)]
+    for node_id in ids:
+        ring.add(node_id, node_id)
+
+    def sweep():
+        for node_id in ids:
+            ring.successor_run(node_id, RUN_LENGTH)
+
+    benchmark.pedantic(sweep, rounds=3, iterations=1)
+
+    # Absolute guard, generous enough for CI noise: the full sweep is
+    # 2048 runs of 16 successors; the two-slice form does it in a few
+    # milliseconds where the per-step modular walk took tens.
+    start = time.perf_counter()
+    sweep()
+    elapsed = time.perf_counter() - start
+    assert elapsed < 0.25, f"successor_run sweep took {elapsed:.3f}s"

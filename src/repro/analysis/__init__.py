@@ -3,6 +3,7 @@
 from repro.analysis.report import (
     ascii_series,
     format_bench_table,
+    format_clone_bench_table,
     format_table,
     series_by_protocol,
 )
@@ -12,4 +13,5 @@ __all__ = [
     "ascii_series",
     "series_by_protocol",
     "format_bench_table",
+    "format_clone_bench_table",
 ]

@@ -15,6 +15,7 @@ __all__ = [
     "ascii_series",
     "series_by_protocol",
     "format_bench_table",
+    "format_clone_bench_table",
 ]
 
 T = TypeVar("T")
@@ -68,6 +69,39 @@ def format_bench_table(
         ["protocol", "serial", f"{workers} workers", "speedup", "bit-exact"],
         rows,
         f"Parallel lookup bench (workers={workers})",
+    )
+
+
+def format_clone_bench_table(
+    cells: Sequence[Mapping[str, object]]
+) -> str:
+    """Render the build-vs-clone section of the bench report.
+
+    Each cell mapping carries the ``build_vs_clone`` records of
+    ``BENCH_parallel.json``: one full network build timed against a
+    snapshot restore and an in-process clone of the same network.
+    ``CloneBenchCell`` instances are accepted directly.
+    """
+    cells = [
+        cell.as_dict() if hasattr(cell, "as_dict") else cell
+        for cell in cells
+    ]
+    rows = [
+        [
+            cell["protocol"],
+            str(cell["population"]),
+            f"{float(cell['build_seconds']) * 1e3:.1f}ms",
+            f"{float(cell['restore_seconds']) * 1e3:.1f}ms",
+            f"{float(cell['clone_seconds']) * 1e3:.1f}ms",
+            f"{cell['restore_speedup']:.1f}x",
+            "yes" if cell["digest_match"] else "NO",
+        ]
+        for cell in cells
+    ]
+    return format_table(
+        ["protocol", "n", "build", "restore", "clone", "speedup", "bit-exact"],
+        rows,
+        "Build-once vs per-shard rebuild (one shard's network)",
     )
 
 

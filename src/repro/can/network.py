@@ -172,6 +172,7 @@ class CanNetwork(Network):
     # ------------------------------------------------------------------
 
     def join(self, name: object) -> CanNode:
+        self.invalidate_owner_cache()
         point = self.key_id(name)
         if not self._nodes:
             full = Zone(
@@ -202,6 +203,7 @@ class CanNetwork(Network):
         smallest neighbour (CAN's takeover), which coalesces buddies."""
         if not node.alive:
             raise ValueError(f"{node!r} already departed")
+        self.invalidate_owner_cache()
         if len(self._nodes) == 1:
             node.alive = False
             self._nodes.remove(node)
@@ -222,6 +224,7 @@ class CanNetwork(Network):
         stay stale until stabilisation."""
         if not node.alive:
             raise ValueError(f"{node!r} already departed")
+        self.invalidate_owner_cache()
         if len(self._nodes) == 1:
             node.alive = False
             self._nodes.remove(node)

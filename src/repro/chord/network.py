@@ -257,6 +257,7 @@ class ChordNetwork(Network):
         fingers stay stale until stabilisation, per the paper's model.
         """
         node_id = self._free_id_for(name)
+        self.invalidate_owner_cache()
         node = ChordNode(name, node_id, self.bits)
         had_peers = len(self.ring) > 0
         self._insert(node)
@@ -288,6 +289,7 @@ class ChordNetwork(Network):
         """Graceful departure: notify predecessor and successor only."""
         if not node.alive:
             raise ValueError(f"{node!r} already departed")
+        self.invalidate_owner_cache()
         node.alive = False
         self.ring.remove(node.id)
         predecessor = node.predecessor
@@ -316,6 +318,7 @@ class ChordNetwork(Network):
         predecessor pointers stay stale until stabilisation."""
         if not node.alive:
             raise ValueError(f"{node!r} already departed")
+        self.invalidate_owner_cache()
         node.alive = False
         self.ring.remove(node.id)
 

@@ -21,7 +21,11 @@ size knobs so a laptop run can be scaled down.
 Every figure command accepts ``--workers N`` to fan its experiment out
 over N processes through :mod:`repro.sim.parallel`; the output is
 bit-identical at any worker count (``bench`` measures and checks
-exactly that).
+exactly that).  The shard-driven commands additionally accept
+``--distribution {snapshot,rebuild}``: ``snapshot`` (default) builds
+each cell's network once and hands every shard a restored copy,
+``rebuild`` re-runs the join protocol per shard — the digests are
+bit-identical either way (DESIGN §S21).
 
 ``--trace PATH`` (on the lookup-driven commands: fig5/6/7, fig10,
 fig11, fig12, fig13, fig14, fig-crash, maint) streams every routing
@@ -36,7 +40,11 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.analysis import format_bench_table, format_table
+from repro.analysis import (
+    format_bench_table,
+    format_clone_bench_table,
+    format_table,
+)
 from repro.dht.routing import JsonlTraceSink, TraceObserver
 from repro.experiments import (
     architecture_table,
@@ -47,6 +55,7 @@ from repro.experiments import (
     run_koorde_sparsity_breakdown,
     run_maintenance_experiment,
     run_mass_departure_experiment,
+    run_clone_bench,
     run_parallel_bench,
     run_path_length_experiment,
     run_phase_breakdown_experiment,
@@ -55,7 +64,7 @@ from repro.experiments import (
     write_bench_report,
 )
 from repro.experiments.bench import DEFAULT_BENCH_PROTOCOLS
-from repro.sim.parallel import DEFAULT_SHARD_SIZE
+from repro.sim.parallel import DEFAULT_SHARD_SIZE, DISTRIBUTIONS
 
 __all__ = ["main", "build_parser"]
 
@@ -68,6 +77,17 @@ def _add_workers(subparser: argparse.ArgumentParser) -> None:
         metavar="N",
         help="fan the experiment out over N processes; the output is "
         "bit-identical at any worker count (default: 1)",
+    )
+
+
+def _add_distribution(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--distribution",
+        choices=DISTRIBUTIONS,
+        default="snapshot",
+        help="how each shard obtains its network: 'snapshot' builds the "
+        "cell once and restores copies (default), 'rebuild' re-runs the "
+        "full join protocol per shard; both are bit-identical",
     )
 
 
@@ -158,6 +178,11 @@ def build_parser() -> argparse.ArgumentParser:
         fig5, fig6, fig7, fig10, fig11, fig12, fig13, fig14, crash, maint
     ):
         _add_workers(figure)
+    # The run_sharded_lookups-driven commands also choose a shard
+    # network distribution; fig12/maint run whole cells, fig8/9 assign
+    # keys without routing, so the knob does not apply to them.
+    for figure in (fig5, fig6, fig7, fig10, fig11, fig13, fig14, crash):
+        _add_distribution(figure)
 
     bench = sub.add_parser(
         "bench",
@@ -219,6 +244,7 @@ def _run_fig5_or_6(
         seed=args.seed,
         observer=observer,
         workers=args.workers,
+    distribution=args.distribution,
     )
     x_header = "d" if by_dimension else "n"
     rows = [
@@ -282,6 +308,7 @@ def _dispatch(
             seed=args.seed,
             observer=sink,
             workers=args.workers,
+        distribution=args.distribution,
         )
         rows = [
             [
@@ -331,6 +358,7 @@ def _dispatch(
             seed=args.seed,
             observer=sink,
             workers=args.workers,
+        distribution=args.distribution,
         )
         rows = [
             [
@@ -356,6 +384,7 @@ def _dispatch(
             seed=args.seed,
             observer=sink,
             workers=args.workers,
+        distribution=args.distribution,
         )
         rows = [
             [
@@ -406,6 +435,7 @@ def _dispatch(
             seed=args.seed,
             observer=sink,
             workers=args.workers,
+        distribution=args.distribution,
         )
         rows = [
             [
@@ -429,6 +459,7 @@ def _dispatch(
             seed=args.seed,
             observer=sink,
             workers=args.workers,
+        distribution=args.distribution,
         )
         rows = [
             [
@@ -455,6 +486,7 @@ def _dispatch(
             dimension=args.dimension,
             observer=sink,
             workers=args.workers,
+        distribution=args.distribution,
         )
         rows = [
             [
@@ -528,6 +560,12 @@ def _dispatch(
             shard_size=args.shard_size,
             seed=args.seed,
         )
+        clone_cells = run_clone_bench(
+            protocols=tuple(args.protocols),
+            dimension=args.dimension,
+            shard_size=args.shard_size,
+            seed=args.seed,
+        )
         report = bench_report(
             cells,
             dimension=args.dimension,
@@ -535,9 +573,11 @@ def _dispatch(
             workers=args.workers,
             shard_size=args.shard_size,
             seed=args.seed,
+            clone_cells=clone_cells,
         )
         write_bench_report(args.output, report)
         _print(format_bench_table(report["cells"], args.workers))
+        _print(format_clone_bench_table(report["build_vs_clone"]))
         print(f"bench report -> {args.output}", file=sys.stderr)
         if not report["all_match"]:
             print(

@@ -496,6 +496,7 @@ class CycloidNetwork(Network):
         leaf sets — everyone else's cubical/cyclic neighbours stay stale
         until stabilisation.
         """
+        self.invalidate_owner_cache()
         node_id = self._free_id_for(name)
         node = CycloidNode(name, node_id)
         self.topology.add(node_id, node)
@@ -511,6 +512,7 @@ class CycloidNetwork(Network):
         Cubical/cyclic neighbours of other nodes are left stale."""
         if not node.alive:
             raise ValueError(f"{node!r} already departed")
+        self.invalidate_owner_cache()
         node.alive = False
         self.topology.remove(node.id)
         self.maintenance_updates += self._refresh_leaves_around(
@@ -523,6 +525,7 @@ class CycloidNetwork(Network):
         lookups must survive on timeouts and fallbacks alone."""
         if not node.alive:
             raise ValueError(f"{node!r} already departed")
+        self.invalidate_owner_cache()
         node.alive = False
         self.topology.remove(node.id)
 

@@ -20,6 +20,7 @@ import bisect
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.dht.identifiers import CycloidId, cycloid_space_size
+from repro.dht.snapshot import register_composite
 
 __all__ = ["CycloidTopology"]
 
@@ -256,3 +257,6 @@ class CycloidTopology:
             else None
         )
         return larger, smaller
+
+
+register_composite(CycloidTopology)

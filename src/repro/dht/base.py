@@ -29,11 +29,23 @@ from typing import (
 
 from repro.dht.metrics import LookupRecord
 from repro.dht.routing import LookupEngine, RoutingDecision, TraceObserver
+from repro.dht.snapshot import (
+    NetworkSnapshot,
+    clone_network,
+    pack_network,
+    unpack_network,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
     from repro.sim.faults import FaultInjector
 
 __all__ = ["LookupOutcome", "Node", "Network"]
+
+#: Upper bound on memoized owner entries per network.  Ring overlays
+#: draw key ids from spaces as large as 2**52 (Viceroy), so an
+#: unbounded cache could grow without limit under adversarial
+#: workloads; paper-scale experiments stay far below this.
+OWNER_CACHE_LIMIT = 65536
 
 
 class LookupOutcome(enum.Enum):
@@ -97,6 +109,9 @@ class Network(abc.ABC):
 
     def __init__(self) -> None:
         self._query_counts: Counter = Counter()
+        #: memoized ``key_id -> owner`` map; every membership change
+        #: (join/leave/fail) calls :meth:`invalidate_owner_cache`.
+        self._owner_cache: Dict[object, Node] = {}
         #: running count of *other* nodes whose routing state a join or
         #: graceful leave updated — the connectivity-maintenance cost
         #: the paper's conclusion weighs across designs.
@@ -183,8 +198,30 @@ class Network(abc.ABC):
         it to count failures.
         """
 
+    def cached_owner_of_id(self, key_id: object) -> Node:
+        """Memoized :meth:`owner_of_id`.
+
+        ``owner_of_id`` is deterministic between membership changes, so
+        the cached node is *the same object* a fresh derivation would
+        return — the engine's identity-based success check is
+        unaffected.  An entry whose node has since died (possible only
+        if an overlay misses an invalidation) is recomputed, never
+        served stale.
+        """
+        cache = self._owner_cache
+        node = cache.get(key_id)
+        if node is None or not node.alive:
+            node = self.owner_of_id(key_id)
+            if len(cache) < OWNER_CACHE_LIMIT:
+                cache[key_id] = node
+        return node
+
+    def invalidate_owner_cache(self) -> None:
+        """Drop all memoized owners; call on every join/leave/fail."""
+        self._owner_cache.clear()
+
     def owner_of_key(self, key: object) -> Node:
-        return self.owner_of_id(self.key_id(key))
+        return self.cached_owner_of_id(self.key_id(key))
 
     # -- the routing step contract -------------------------------------
     #
@@ -295,6 +332,41 @@ class Network(abc.ABC):
         """Per-live-node query counts, zero-filled for unvisited nodes."""
         counts = self._query_counts
         return [counts[node.name] for node in self.live_nodes()]
+
+    # ------------------------------------------------------------------
+    # snapshot / clone (DESIGN §S21)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> NetworkSnapshot:
+        """Capture this network as immutable, picklable bytes.
+
+        One snapshot per experiment cell is shipped to every worker
+        process; each restore yields a fresh, fully-independent copy
+        with identical routing state, so shards run against the
+        prepared network in O(state) instead of re-running the join
+        protocol.  Fault injectors are never part of the capture —
+        they reattach from the plan seed
+        (:class:`~repro.sim.faults.FaultState`).
+        """
+        return NetworkSnapshot.capture(self)
+
+    def clone(self) -> "Network":
+        """Fast in-process deep clone (no serialisation round-trip).
+
+        Used by the serial shard path (``workers=1``, observer-forced
+        runs) where shipping bytes between processes buys nothing.
+        """
+        return clone_network(self)
+
+    def __getstate__(self):
+        # Pickle via the flat packed form: overlay node graphs are
+        # linked structures with O(n) pointer-chain depth, so default
+        # pickling recurses past the interpreter limit at paper scale.
+        return pack_network(self)
+
+    def __setstate__(self, packed) -> None:
+        restored = unpack_network(packed)
+        self.__dict__.update(restored.__dict__)
 
     # ------------------------------------------------------------------
     # invariants

@@ -19,7 +19,7 @@ from repro.util.stats import DistributionSummary, PhaseBreakdown, summarize
 __all__ = ["LookupRecord", "LookupStats"]
 
 
-@dataclass
+@dataclass(slots=True)
 class LookupRecord:
     """Outcome of one simulated lookup.
 

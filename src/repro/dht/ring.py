@@ -12,6 +12,8 @@ from __future__ import annotations
 import bisect
 from typing import Dict, Generic, List, Sequence, TypeVar
 
+from repro.dht.snapshot import register_composite
+
 __all__ = ["SortedRing", "in_interval"]
 
 N = TypeVar("N")
@@ -117,9 +119,18 @@ class SortedRing(Generic[N]):
         """
         if node_id not in self._by_id:
             raise KeyError(node_id)
-        run: List[N] = []
-        index = bisect.bisect_right(self._ids, node_id)
-        total = len(self._ids)
-        for step in range(min(count, total - 1)):
-            run.append(self._by_id[self._ids[(index + step) % total]])
-        return run
+        ids = self._ids
+        take = min(count, len(ids) - 1)
+        if take <= 0:
+            return []
+        # Two contiguous slices instead of a per-step ``%`` walk: the
+        # run is ``ids[index:index+take]`` plus (on wrap) a prefix.
+        index = bisect.bisect_right(ids, node_id)
+        run_ids = ids[index : index + take]
+        if len(run_ids) < take:
+            run_ids = run_ids + ids[: take - len(run_ids)]
+        by_id = self._by_id
+        return [by_id[i] for i in run_ids]
+
+
+register_composite(SortedRing)

@@ -162,7 +162,7 @@ class RoutingDecision:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
     """One routed hop, as emitted to trace observers.
 
@@ -362,7 +362,7 @@ class LookupEngine:
         self._next_id += 1
         if not source.alive:
             raise ValueError("lookup source must be alive")
-        owner = network.owner_of_id(key_id)
+        owner = network.cached_owner_of_id(key_id)
         phases = dict(self._phase_template)
         state = network.begin_route(source, key_id)
         current = source

@@ -51,6 +51,7 @@ from repro.experiments.maintenance import (
 from repro.experiments.bench import (
     BenchCell,
     bench_report,
+    run_clone_bench,
     run_parallel_bench,
     write_bench_report,
 )
@@ -85,6 +86,7 @@ __all__ = [
     "run_maintenance_experiment",
     "BenchCell",
     "run_parallel_bench",
+    "run_clone_bench",
     "bench_report",
     "write_bench_report",
 ]

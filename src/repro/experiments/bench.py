@@ -32,7 +32,9 @@ from repro.sim.parallel import (
 
 __all__ = [
     "BenchCell",
+    "CloneBenchCell",
     "run_parallel_bench",
+    "run_clone_bench",
     "bench_report",
     "write_bench_report",
     "DEFAULT_BENCH_PROTOCOLS",
@@ -116,6 +118,130 @@ def run_parallel_bench(
     return cells
 
 
+@dataclass(frozen=True)
+class CloneBenchCell:
+    """Build-once vs per-shard-rebuild timing of one overlay (§S21).
+
+    ``build_seconds`` is what every shard used to pay (one full join
+    protocol); ``restore_seconds``/``clone_seconds`` are what a shard
+    pays now (snapshot restore across the pool, in-process clone on the
+    serial path).  ``digest_match`` confirms the cheap path changed
+    nothing: snapshot-distribution digest == rebuild-distribution
+    digest on the same cell.
+    """
+
+    protocol: str
+    population: int
+    snapshot_bytes: int
+    build_seconds: float
+    snapshot_seconds: float
+    restore_seconds: float
+    clone_seconds: float
+    digest_match: bool
+
+    @property
+    def restore_speedup(self) -> float:
+        """How much cheaper a snapshot restore is than a rebuild."""
+        if self.restore_seconds == 0:
+            return 0.0
+        return self.build_seconds / self.restore_seconds
+
+    @property
+    def clone_speedup(self) -> float:
+        if self.clone_seconds == 0:
+            return 0.0
+        return self.build_seconds / self.clone_seconds
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "protocol": self.protocol,
+            "population": self.population,
+            "snapshot_bytes": self.snapshot_bytes,
+            "build_seconds": self.build_seconds,
+            "snapshot_seconds": self.snapshot_seconds,
+            "restore_seconds": self.restore_seconds,
+            "clone_seconds": self.clone_seconds,
+            "restore_speedup": self.restore_speedup,
+            "clone_speedup": self.clone_speedup,
+            "digest_match": self.digest_match,
+        }
+
+
+def run_clone_bench(
+    protocols: Sequence[str] = DEFAULT_BENCH_PROTOCOLS,
+    dimension: int = 8,
+    lookups: int = 400,
+    shard_size: int = DEFAULT_SHARD_SIZE,
+    seed: int = 42,
+    repeats: int = 5,
+) -> List[CloneBenchCell]:
+    """Time one full network build against snapshot restore / clone.
+
+    The build is what the rebuild distribution pays *per shard*; the
+    restore/clone is what the snapshot distribution pays instead, so
+    ``restore_speedup`` is the per-shard saving of DESIGN §S21.  Every
+    timing is the best of ``repeats`` runs.  The digest check runs the
+    same small cell through both distributions at ``workers=1`` and
+    compares merged digests.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    cells: List[CloneBenchCell] = []
+    for protocol in protocols:
+        setup = partial(
+            plain_setup, build_complete_network, protocol, dimension, seed=seed
+        )
+        def best_of(operation):
+            # Minimum over ``repeats`` runs: the low-noise estimator for
+            # micro-timings (anything above the minimum is interference).
+            best = None
+            result = None
+            for _ in range(repeats):
+                start = time.perf_counter()
+                result = operation()
+                elapsed = time.perf_counter() - start
+                if best is None or elapsed < best:
+                    best = elapsed
+            return best, result
+
+        build_seconds, (network, _) = best_of(setup)
+        snapshot_seconds, snapshot = best_of(network.snapshot)
+        restore_seconds, _ = best_of(snapshot.restore)
+        clone_seconds, _ = best_of(network.clone)
+
+        via_snapshot = run_sharded_lookups(
+            setup,
+            lookups,
+            seed + dimension,
+            workers=1,
+            shard_size=shard_size,
+            distribution="snapshot",
+        )
+        via_rebuild = run_sharded_lookups(
+            setup,
+            lookups,
+            seed + dimension,
+            workers=1,
+            shard_size=shard_size,
+            distribution="rebuild",
+        )
+        cells.append(
+            CloneBenchCell(
+                protocol=protocol,
+                population=network.size,
+                snapshot_bytes=len(snapshot.payload),
+                build_seconds=build_seconds,
+                snapshot_seconds=snapshot_seconds,
+                restore_seconds=restore_seconds,
+                clone_seconds=clone_seconds,
+                digest_match=(
+                    via_snapshot.stats.digest() == via_rebuild.stats.digest()
+                ),
+            )
+        )
+    return cells
+
+
 def bench_report(
     cells: Sequence[BenchCell],
     dimension: int,
@@ -123,8 +249,13 @@ def bench_report(
     workers: int,
     shard_size: int,
     seed: int,
+    clone_cells: Sequence[CloneBenchCell] = (),
 ) -> Dict[str, object]:
-    """The JSON document ``bench`` writes to ``BENCH_parallel.json``."""
+    """The JSON document ``bench`` writes to ``BENCH_parallel.json``.
+
+    ``all_match`` covers every digest comparison in the report: the
+    serial-vs-parallel cells *and* the snapshot-vs-rebuild clone cells.
+    """
     return {
         "config": {
             "dimension": dimension,
@@ -135,7 +266,9 @@ def bench_report(
             "cpus": available_workers(),
         },
         "cells": [cell.as_dict() for cell in cells],
-        "all_match": all(cell.digest_match for cell in cells),
+        "build_vs_clone": [cell.as_dict() for cell in clone_cells],
+        "all_match": all(cell.digest_match for cell in cells)
+        and all(cell.digest_match for cell in clone_cells),
     }
 
 

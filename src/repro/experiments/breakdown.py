@@ -48,6 +48,7 @@ def run_phase_breakdown_experiment(
     seed: int = 42,
     observer: Optional[TraceObserver] = None,
     workers: int = 1,
+    distribution: str = "snapshot",
 ) -> List[BreakdownPoint]:
     """Fig. 7(a)-(c): phase breakdown on complete networks."""
     points: List[BreakdownPoint] = []
@@ -64,6 +65,7 @@ def run_phase_breakdown_experiment(
                 lookups,
                 seed + dimension,
                 workers=workers,
+                distribution=distribution,
                 observer=observer,
             ).stats
             breakdown = stats.phase_breakdown()
@@ -89,6 +91,7 @@ def run_koorde_sparsity_breakdown(
     seed: int = 42,
     observer: Optional[TraceObserver] = None,
     workers: int = 1,
+    distribution: str = "snapshot",
 ) -> List[BreakdownPoint]:
     """Fig. 14: Koorde's de Bruijn vs successor hop split vs sparsity.
 
@@ -114,6 +117,7 @@ def run_koorde_sparsity_breakdown(
             lookups,
             seed + count,
             workers=workers,
+            distribution=distribution,
             observer=observer,
         ).stats
         breakdown = stats.phase_breakdown()

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import random
-import warnings
 from functools import partial
 from typing import Callable, Optional, Sequence
 
@@ -17,13 +16,11 @@ from repro.util.rng import shard_rng
 
 __all__ = ["run_lookups", "fail_nodes"]
 
-_IMPLICIT_SEED = object()  # sentinel: caller passed neither seed nor factory
-
 
 def run_lookups(
     network: Network,
     count: int,
-    seed: object = _IMPLICIT_SEED,
+    seed: Optional[int] = None,
     keys: Sequence[object] = (),
     observer: Optional[TraceObserver] = None,
     injector: Optional[FaultInjector] = None,
@@ -46,9 +43,9 @@ def run_lookups(
     identical to a :func:`repro.sim.parallel.run_sharded_lookups` run
     of the same cell whenever routing carries no state between lookups
     (always true without an active injector).  Pass ``rng_factory``
-    directly to control the streams; passing *neither* ``seed`` nor
-    ``rng_factory`` is deprecated — silent default seeds already bit us
-    in ``fail_nodes``, which now requires an explicit rng.
+    directly to control the streams; exactly one of ``seed`` /
+    ``rng_factory`` is required — silent default seeds already bit us
+    in ``fail_nodes``, so there is no unseeded fallback anywhere.
 
     All shards run in-process against the given ``network`` instance;
     ``observer`` (e.g. a :class:`~repro.dht.routing.JsonlTraceSink`)
@@ -57,18 +54,15 @@ def run_lookups(
     each shard draws message-loss verdicts from the injector's
     per-shard stream (:meth:`~repro.sim.faults.FaultInjector.for_shard`).
     """
-    if rng_factory is not None and seed is not _IMPLICIT_SEED:
+    if rng_factory is not None and seed is not None:
         raise TypeError("pass either seed or rng_factory, not both")
     if rng_factory is None:
-        if seed is _IMPLICIT_SEED:
-            warnings.warn(
-                "run_lookups() without an explicit seed or rng_factory is "
-                "deprecated; pass seed=... or rng_factory=... so the "
-                "experiment is reproducible by construction",
-                DeprecationWarning,
-                stacklevel=2,
+        if seed is None:
+            raise TypeError(
+                "run_lookups() requires an explicit seed=... or "
+                "rng_factory=... so the experiment is reproducible by "
+                "construction"
             )
-            seed = 0
         rng_factory = partial(shard_rng, seed)
     stats = LookupStats()
     for spec in plan_shards(count, shard_size):

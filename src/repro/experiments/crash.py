@@ -109,6 +109,7 @@ def run_crash_experiment(
     retry_budget: int = 8,
     observer: Optional[TraceObserver] = None,
     workers: int = 1,
+    distribution: str = "snapshot",
 ) -> List[CrashPoint]:
     """Sweep graceful/crash/crash+retry over every overlay.
 
@@ -157,6 +158,7 @@ def run_crash_experiment(
                     lookups,
                     seed + 1,
                     workers=workers,
+                    distribution=distribution,
                     retry_budget=budget,
                     observer=observer,
                 )

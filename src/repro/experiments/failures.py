@@ -70,6 +70,7 @@ def run_mass_departure_experiment(
     seed: int = 42,
     observer: Optional[TraceObserver] = None,
     workers: int = 1,
+    distribution: str = "snapshot",
 ) -> List[FailurePoint]:
     """Fig. 11 (mean path length vs p) and Table 4 (timeouts vs p).
 
@@ -91,6 +92,7 @@ def run_mass_departure_experiment(
                 lookups,
                 seed + 1,
                 workers=workers,
+                distribution=distribution,
                 observer=observer,
             )
             stats = merged.stats

@@ -40,6 +40,7 @@ def run_path_length_experiment(
     seed: int = 42,
     observer: Optional[TraceObserver] = None,
     workers: int = 1,
+    distribution: str = "snapshot",
 ) -> List[PathLengthPoint]:
     """Measure mean lookup path length for every protocol and dimension.
 
@@ -66,6 +67,7 @@ def run_path_length_experiment(
                 lookups,
                 seed + dimension,
                 workers=workers,
+                distribution=distribution,
                 observer=observer,
             )
             stats = merged.stats

@@ -51,6 +51,7 @@ def run_query_load_experiment(
     seed: int = 42,
     observer: Optional[TraceObserver] = None,
     workers: int = 1,
+    distribution: str = "snapshot",
 ) -> List[QueryLoadPoint]:
     """Measure the query-load spread for each protocol and size.
 
@@ -74,6 +75,7 @@ def run_query_load_experiment(
                 total_lookups,
                 seed + dimension,
                 workers=workers,
+                distribution=distribution,
                 observer=observer,
             )
             summary = summarize(

@@ -232,6 +232,7 @@ class KoordeNetwork(Network):
     def join(self, name: object) -> KoordeNode:
         """Join: wire the joiner, notify its ring neighbours (as Chord)."""
         node_id = self._free_id_for(name)
+        self.invalidate_owner_cache()
         node = KoordeNode(name, node_id, self.bits)
         had_peers = len(self.ring) > 0
         self.ring.add(node_id, node)
@@ -268,6 +269,7 @@ class KoordeNetwork(Network):
         """
         if not node.alive:
             raise ValueError(f"{node!r} already departed")
+        self.invalidate_owner_cache()
         node.alive = False
         self.ring.remove(node.id)
         predecessor = node.predecessor
@@ -292,6 +294,7 @@ class KoordeNetwork(Network):
         predecessors and de Bruijn chains all stay stale."""
         if not node.alive:
             raise ValueError(f"{node!r} already departed")
+        self.invalidate_owner_cache()
         node.alive = False
         self.ring.remove(node.id)
 

@@ -285,6 +285,7 @@ class PastryNetwork(Network):
     # ------------------------------------------------------------------
 
     def join(self, name: object) -> PastryNode:
+        self.invalidate_owner_cache()
         node_id = self._free_id_for(name)
         node = PastryNode(name, node_id, self.bits, self.digit_bits)
         self.ring.add(node_id, node)
@@ -300,6 +301,7 @@ class PastryNetwork(Network):
         model)."""
         if not node.alive:
             raise ValueError(f"{node!r} already departed")
+        self.invalidate_owner_cache()
         node.alive = False
         self.ring.remove(node.id)
         self.maintenance_updates += self._refresh_leaves_near(node.id)
@@ -308,6 +310,7 @@ class PastryNetwork(Network):
         """Silent failure: nothing is repaired until stabilisation."""
         if not node.alive:
             raise ValueError(f"{node!r} already departed")
+        self.invalidate_owner_cache()
         node.alive = False
         self.ring.remove(node.id)
 

@@ -29,15 +29,15 @@ bit-exactly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Set
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, FrozenSet, Set
 
 from repro.util.rng import derive_rng, make_rng
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
     from repro.dht.base import Network, Node
 
-__all__ = ["FaultPlan", "FaultInjector"]
+__all__ = ["FaultPlan", "FaultInjector", "FaultState"]
 
 
 def _check_probability(name: str, value: float) -> None:
@@ -206,3 +206,38 @@ class FaultInjector:
             f"loss={self.plan.message_loss} crashed={self.crashed} "
             f"dropped={self.dropped}>"
         )
+
+
+@dataclass(frozen=True)
+class FaultState:
+    """Post-setup injector state, reattachable after a snapshot restore.
+
+    An injector is never serialised with a network snapshot (DESIGN
+    §S21): ``random.Random`` stream positions consumed during setup are
+    irrelevant once crashes and flaky marks are baked into the network,
+    and :meth:`FaultInjector.for_shard` derives every per-shard loss
+    stream fresh from ``plan.seed`` alone.  So the whole post-setup
+    injector is a pure function of ``(plan, flaky_nodes, crashed)`` —
+    which is exactly what this dataclass carries.  :meth:`rebuild`
+    therefore yields an injector whose shard children are bit-identical
+    to the original's, making the snapshot path's fault schedule
+    indistinguishable from the rebuild path's.
+    """
+
+    plan: FaultPlan
+    flaky_nodes: FrozenSet[object] = field(default_factory=frozenset)
+    crashed: int = 0
+
+    @classmethod
+    def capture(cls, injector: FaultInjector) -> "FaultState":
+        return cls(
+            plan=injector.plan,
+            flaky_nodes=frozenset(injector.flaky_nodes),
+            crashed=injector.crashed,
+        )
+
+    def rebuild(self) -> FaultInjector:
+        injector = FaultInjector(self.plan)
+        injector.flaky_nodes = set(self.flaky_nodes)
+        injector.crashed = self.crashed
+        return injector

@@ -28,14 +28,28 @@ paths are bit-identical — the property `tests/sim/test_parallel_parity`
 pins for every overlay, with and without an enabled
 :class:`~repro.sim.faults.FaultPlan`.
 
-Determinism model (DESIGN.md §S20)
-----------------------------------
-A shard **rebuilds its network from the setup callable** even when run
-serially.  That is what makes fault-mode runs order-independent: lazy
-route repair (``Network.on_dead_entry``) mutates routing tables, so two
-shards sharing one network instance would leak state from whichever ran
-first.  Fresh per-shard networks cost one extra build per shard and buy
-bit-exactness at any worker count.
+Determinism model (DESIGN.md §S20/§S21)
+---------------------------------------
+Every shard routes on a **fresh network instance**.  That is what makes
+fault-mode runs order-independent: lazy route repair
+(``Network.on_dead_entry``) mutates routing tables, so two shards
+sharing one network instance would leak state from whichever ran first.
+How the fresh instance is obtained is the ``distribution`` choice:
+
+* ``"snapshot"`` (the default, §S21) builds the prepared network from
+  the setup callable **exactly once**, captures it — as an immutable
+  :class:`~repro.dht.snapshot.NetworkSnapshot` for pool workers, or via
+  the in-process :meth:`~repro.dht.base.Network.clone` fast path when
+  running serially — and hands every shard a restored copy in O(state).
+  Fault injectors are never serialised: the post-setup injector is a
+  pure function of ``(plan, flaky set, crash count)``
+  (:class:`~repro.sim.faults.FaultState`) and reattaches bit-exactly.
+* ``"rebuild"`` (§S20, kept as the referee) re-runs the setup callable
+  in every shard — one full join protocol per shard.
+
+Both distributions produce bit-identical merged digests at every worker
+count; the parity suite pins snapshot == rebuild for every overlay,
+with and without an enabled :class:`~repro.sim.faults.FaultPlan`.
 
 Trace observers hold open file handles and are not picklable, so an
 ``observer`` forces in-process execution; the shard plan (and therefore
@@ -60,6 +74,8 @@ from typing import (
 )
 
 from repro.dht.metrics import LookupRecord, LookupStats
+from repro.dht.snapshot import NetworkSnapshot, pack_network, unpack_network
+from repro.sim.faults import FaultState
 from repro.sim.workload import lookup_workload
 from repro.util.rng import shard_rng
 
@@ -69,6 +85,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
     from repro.sim.faults import FaultInjector
 
 __all__ = [
+    "DISTRIBUTIONS",
     "DEFAULT_SHARD_SIZE",
     "ShardSpec",
     "ShardTask",
@@ -97,6 +114,11 @@ Setup = Callable[[], Tuple["Network", Optional["FaultInjector"]]]
 #: busy — while a test-scale cell (a few hundred lookups) stays a
 #: single shard and pays no extra network build.
 DEFAULT_SHARD_SIZE = 500
+
+#: How shards obtain their fresh network instance (module docstring):
+#: ``"snapshot"`` builds once and restores copies; ``"rebuild"``
+#: re-runs the setup callable per shard.
+DISTRIBUTIONS: Tuple[str, ...] = ("snapshot", "rebuild")
 
 
 def available_workers() -> int:
@@ -166,13 +188,29 @@ def plain_setup(builder: Callable[..., "Network"], *args, **kwargs):
 
 @dataclass(frozen=True)
 class ShardTask:
-    """Everything a worker process needs to execute one shard."""
+    """Everything a worker process needs to execute one shard.
 
-    setup: Setup
+    Exactly one network source must be set: ``snapshot`` (the build-once
+    distribution — ``faults`` reattaches the injector from the plan
+    seed) or ``setup`` (the per-shard rebuild distribution).  A cell's
+    snapshot bytes are captured once and shared by reference across all
+    of its tasks, so the pool pickles them once per worker, not once
+    per shard.
+    """
+
     spec: ShardSpec
     seed: int
+    setup: Optional[Setup] = None
     keys: Tuple[object, ...] = ()
     retry_budget: int = 0
+    snapshot: Optional[NetworkSnapshot] = None
+    faults: Optional[FaultState] = None
+
+    def __post_init__(self) -> None:
+        if (self.setup is None) == (self.snapshot is None):
+            raise ValueError(
+                "exactly one of setup/snapshot must be provided"
+            )
 
 
 @dataclass
@@ -208,17 +246,33 @@ class MergedRun:
 
 
 def execute_shard(
-    task: ShardTask, observer: Optional["TraceObserver"] = None
+    task: ShardTask,
+    observer: Optional["TraceObserver"] = None,
+    prepared: Optional[
+        Tuple["Network", Optional["FaultInjector"]]
+    ] = None,
 ) -> ShardResult:
-    """Run one shard: build the network locally, route, aggregate.
+    """Run one shard: obtain a fresh network, route, aggregate.
 
     This is the single execution path for every worker count — the
     serial fallback calls it in-process, the parallel path ships the
-    (picklable) task to a pool worker.  ``observer`` only exists on the
-    in-process path; it never affects routing.
+    (picklable) task to a pool worker.  The network comes from, in
+    order of precedence: ``prepared`` (an in-process clone handed over
+    by the serial snapshot path), the task's ``snapshot`` (restored
+    bytes, injector reattached from ``task.faults``), or the task's
+    ``setup`` callable (full per-shard rebuild).  ``observer`` only
+    exists on the in-process path; it never affects routing.
     """
     spec = task.spec
-    network, injector = task.setup()
+    if prepared is not None:
+        network, injector = prepared
+    elif task.snapshot is not None:
+        network = task.snapshot.restore()
+        injector = (
+            task.faults.rebuild() if task.faults is not None else None
+        )
+    else:
+        network, injector = task.setup()
     shard_injector = (
         injector.for_shard(spec.index) if injector is not None else None
     )
@@ -304,21 +358,100 @@ def run_sharded_lookups(
     keys: Sequence[object] = (),
     retry_budget: int = 0,
     observer: Optional["TraceObserver"] = None,
+    distribution: str = "snapshot",
 ) -> MergedRun:
     """Execute one cell's lookup workload as deterministic shards.
 
     The result is a pure function of ``(setup, count, seed, shard_size,
-    keys, retry_budget)`` — ``workers`` only chooses the fan-out.
+    keys, retry_budget)`` — ``workers`` only chooses the fan-out and
+    ``distribution`` only chooses how each shard obtains its fresh
+    network: ``"snapshot"`` builds once and hands every shard a
+    restored copy (clones in-process, pickled bytes across the pool);
+    ``"rebuild"`` re-runs ``setup`` per shard.  Both are bit-identical.
     ``workers=1`` (or a non-picklable ``observer``, or a single-shard
-    plan) runs every shard in-process through the identical
-    shard/merge path.
+    plan) runs every shard in-process through the identical shard/merge
+    path.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    if distribution not in DISTRIBUTIONS:
+        raise ValueError(
+            f"unknown distribution {distribution!r}; "
+            f"expected one of {DISTRIBUTIONS}"
+        )
     specs = plan_shards(count, shard_size)
+    serial = workers == 1 or observer is not None or len(specs) <= 1
+    if distribution == "rebuild":
+        tasks = [
+            ShardTask(
+                setup=setup,
+                spec=spec,
+                seed=seed,
+                keys=tuple(keys),
+                retry_budget=retry_budget,
+            )
+            for spec in specs
+        ]
+        if serial:
+            results = [execute_shard(task, observer) for task in tasks]
+        else:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(tasks))
+            ) as pool:
+                results = list(pool.map(execute_shard, tasks))
+        return merge_shards(results)
+    if not specs:
+        return merge_shards([])
+    # Build-once snapshot distribution: one setup() for the whole cell.
+    network, injector = setup()
+    if serial:
+        # Shards before the last route on copies unpacked from one
+        # packed capture of the still-pristine original (only copies
+        # are mutated); the final shard consumes the original itself,
+        # so a single-shard plan packs nothing at all.
+        packed = pack_network(network) if len(specs) > 1 else None
+        results = []
+        for task in _snapshot_tasks(specs, seed, keys, retry_budget):
+            prepared = (
+                (network, injector)
+                if task.spec is specs[-1]
+                else (unpack_network(packed), injector)
+            )
+            results.append(execute_shard(task, observer, prepared))
+        return merge_shards(results)
+    snapshot = network.snapshot()
+    faults = FaultState.capture(injector) if injector is not None else None
     tasks = [
         ShardTask(
-            setup=setup,
+            spec=spec,
+            seed=seed,
+            keys=tuple(keys),
+            retry_budget=retry_budget,
+            snapshot=snapshot,
+            faults=faults,
+        )
+        for spec in specs
+    ]
+    with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+        results = list(pool.map(execute_shard, tasks))
+    return merge_shards(results)
+
+
+def _snapshot_tasks(
+    specs: Sequence[ShardSpec],
+    seed: int,
+    keys: Sequence[object],
+    retry_budget: int,
+) -> List[ShardTask]:
+    """Placeholder tasks for the in-process snapshot path.
+
+    The network arrives via ``execute_shard``'s ``prepared`` argument;
+    the dummy setup satisfies the one-source-only task invariant and is
+    never called.
+    """
+    return [
+        ShardTask(
+            setup=_prepared_network_expected,
             spec=spec,
             seed=seed,
             keys=tuple(keys),
@@ -326,14 +459,13 @@ def run_sharded_lookups(
         )
         for spec in specs
     ]
-    if workers == 1 or observer is not None or len(tasks) <= 1:
-        results = [execute_shard(task, observer) for task in tasks]
-    else:
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(tasks))
-        ) as pool:
-            results = list(pool.map(execute_shard, tasks))
-    return merge_shards(results)
+
+
+def _prepared_network_expected():  # pragma: no cover - never called
+    raise RuntimeError(
+        "in-process snapshot tasks must be run with prepared=(network, "
+        "injector)"
+    )
 
 
 def _call_cell(task: Callable[[], T]) -> T:

@@ -298,6 +298,7 @@ class ViceroyNetwork(Network):
     def join(self, name: object) -> ViceroyNode:
         """Arrival: pick an identity and a level, splice into the rings,
         and repair every link that should now point at the newcomer."""
+        self.invalidate_owner_cache()
         node_id = self._free_id(name)
         size = len(self.ring) + 1
         max_level = max(1, round(math.log2(size))) if size > 1 else 1
@@ -313,6 +314,7 @@ class ViceroyNetwork(Network):
         if not node.alive:
             raise ValueError(f"{node!r} already departed")
         self.maintenance_updates += self._affected_by(node)
+        self.invalidate_owner_cache()
         node.alive = False
         self._evict(node)
         self._readjust_levels()
@@ -377,6 +379,7 @@ class ViceroyNetwork(Network):
         if not node.alive:
             raise ValueError(f"{node!r} already departed")
         self.maintenance_updates += self._affected_by(node)
+        self.invalidate_owner_cache()
         node.alive = False
         self._evict(node)
         self._readjust_levels()

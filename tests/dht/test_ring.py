@@ -127,3 +127,39 @@ def test_successor_predecessor_match_reference(ids, point):
     assert ring.predecessor_id(point) == expected_predecessor
     expected_at_or_before = min(ids, key=lambda i: (point - i) % 256)
     assert ring.at_or_before_id(point) == expected_at_or_before
+
+
+@given(
+    st.sets(st.integers(0, 255), min_size=1, max_size=30),
+    st.data(),
+    st.integers(0, 40),
+)
+def test_successor_run_matches_reference_walk(ids, data, count):
+    """The two-slice ``successor_run`` equals a one-step-at-a-time walk."""
+    ring = SortedRing(8)
+    for value in ids:
+        ring.add(value, f"n{value}")
+    node_id = data.draw(st.sampled_from(sorted(ids)))
+    ordered = sorted(ids)
+    start = ordered.index(node_id)
+    expected = []
+    for step in range(1, len(ordered)):
+        if len(expected) == count:
+            break
+        expected.append(f"n{ordered[(start + step) % len(ordered)]}")
+    assert ring.successor_run(node_id, count) == expected
+
+
+def test_successor_run_wraps_across_zero():
+    ring = SortedRing(8)
+    for value in (3, 7, 250, 253):
+        ring.add(value, value)
+    assert ring.successor_run(250, 3) == [253, 3, 7]
+    assert ring.successor_run(253, 2) == [3, 7]
+
+
+def test_successor_run_zero_count():
+    ring = SortedRing(8)
+    ring.add(5, "n5")
+    ring.add(9, "n9")
+    assert ring.successor_run(5, 0) == []

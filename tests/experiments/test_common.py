@@ -18,16 +18,9 @@ def _network():
 
 
 class TestSeedHandling:
-    def test_implicit_seed_is_deprecated(self):
-        with pytest.deprecated_call():
-            stats = run_lookups(_network(), 5)
-        assert len(stats) == 5
-
-    def test_implicit_seed_still_means_zero(self):
-        with pytest.deprecated_call():
-            implicit = run_lookups(_network(), 10)
-        explicit = run_lookups(_network(), 10, seed=0)
-        assert implicit.records == explicit.records
+    def test_implicit_seed_is_rejected(self):
+        with pytest.raises(TypeError, match="explicit seed"):
+            run_lookups(_network(), 5)
 
     def test_seed_and_factory_conflict(self):
         with pytest.raises(TypeError):

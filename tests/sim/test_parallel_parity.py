@@ -102,6 +102,71 @@ def test_parallel_matches_serial_under_faults(protocol):
     assert serial.crashed > 0  # the plan actually fired
 
 
+def _assert_same_merged(a, b):
+    assert a.stats.digest() == b.stats.digest()
+    assert a.stats.records == b.stats.records
+    assert a.query_counts == b.query_counts
+    assert a.route_repairs == b.route_repairs
+    assert a.dropped_messages == b.dropped_messages
+    assert a.crashed == b.crashed
+    assert a.population == b.population
+
+
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_snapshot_distribution_matches_rebuild(protocol, workers):
+    """§S21: build-once snapshot distribution is bit-identical to the
+    per-shard rebuild path at every worker count."""
+    rebuild = run_sharded_lookups(
+        _setup(protocol, 4),
+        LOOKUPS,
+        SEED + 4,
+        workers=workers,
+        shard_size=SHARD_SIZE,
+        distribution="rebuild",
+    )
+    snapshot = run_sharded_lookups(
+        _setup(protocol, 4),
+        LOOKUPS,
+        SEED + 4,
+        workers=workers,
+        shard_size=SHARD_SIZE,
+        distribution="snapshot",
+    )
+    _assert_same_merged(rebuild, snapshot)
+
+
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_snapshot_distribution_matches_rebuild_under_faults(
+    protocol, workers
+):
+    """§S21 under an active FaultPlan: the injector is reattached from
+    the plan seed on every restored copy, so crashes, loss streams and
+    lazy repair must replay identically."""
+    setup = partial(_fault_setup, protocol, 4, FAULT_PLAN)
+    rebuild = run_sharded_lookups(
+        setup,
+        LOOKUPS,
+        SEED,
+        workers=workers,
+        shard_size=SHARD_SIZE,
+        retry_budget=6,
+        distribution="rebuild",
+    )
+    snapshot = run_sharded_lookups(
+        setup,
+        LOOKUPS,
+        SEED,
+        workers=workers,
+        shard_size=SHARD_SIZE,
+        retry_budget=6,
+        distribution="snapshot",
+    )
+    _assert_same_merged(rebuild, snapshot)
+    assert rebuild.crashed > 0  # the plan actually fired
+
+
 #: Golden digests of the sharded workload stream (captured once from
 #: this implementation — the one deliberate re-baseline of the parallel
 #: engine PR).  Any change to shard planning, stream derivation or
