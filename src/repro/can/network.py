@@ -128,6 +128,15 @@ class CanNetwork(Network):
     ) -> Set[object]:
         return set()  # names of nodes the message has passed through
 
+    def pack_route_state(self, state: Set[object]) -> object:
+        """Wire form of the visited-name set (repro.net, DESIGN S22)."""
+        return {"visited": sorted(state, key=repr)}
+
+    def unpack_route_state(
+        self, blob: object, key_id: Tuple[int, ...]
+    ) -> Set[object]:
+        return set(blob["visited"])
+
     def next_hop(
         self, current: CanNode, key_id: Tuple[int, ...], visited: Set[object]
     ) -> RoutingDecision:

@@ -14,6 +14,8 @@ Usage::
     python -m repro.cli maint [--lookups N]
     python -m repro.cli table1
     python -m repro.cli bench [--workers N] [--output BENCH_parallel.json]
+    python -m repro.cli serve [--protocol P] [--dimension D] [--servers N]
+    python -m repro.cli loadgen [--clients N] [--lookups N] [--puts N]
 
 Each command prints the reproduced table; the heavier sweeps accept
 size knobs so a laptop run can be scaled down.
@@ -32,6 +34,14 @@ fig11, fig12, fig13, fig14, fig-crash, maint) streams every routing
 hop as one JSON line to ``PATH`` — see
 :class:`repro.dht.routing.JsonlTraceSink`.  Tracing forces in-process
 execution (the sink holds a file handle), overriding ``--workers``.
+
+``serve`` boots a built overlay as a cluster of asyncio node servers
+on loopback (DESIGN S22) and writes an attachable spec file;
+``loadgen`` drives such a cluster (its own, or one attached via
+``--cluster-file``) with concurrent closed-loop clients and writes a
+digest-checked ``BENCH_net.json``.  On ``loadgen``, ``--trace``
+captures the *live* per-RPC hop stream (the engine's JSONL hop schema
+plus ``rpc`` and ``latency_ms`` fields).
 """
 
 from __future__ import annotations
@@ -63,7 +73,11 @@ from repro.experiments import (
     run_sparsity_experiment,
     write_bench_report,
 )
-from repro.experiments.bench import DEFAULT_BENCH_PROTOCOLS
+from repro.experiments.bench import (
+    DEFAULT_BENCH_PROTOCOLS,
+    validate_net_report,
+)
+from repro.experiments.registry import ALL_PROTOCOLS
 from repro.sim.parallel import DEFAULT_SHARD_SIZE, DISTRIBUTIONS
 
 __all__ = ["main", "build_parser"]
@@ -207,6 +221,98 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: BENCH_parallel.json)",
     )
 
+    def _add_build(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--protocol", choices=ALL_PROTOCOLS, default="cycloid"
+        )
+        subparser.add_argument(
+            "--dimension",
+            type=int,
+            default=4,
+            help="Cycloid dimension of the overlay (complete build "
+            "unless --nodes is given)",
+        )
+        subparser.add_argument(
+            "--nodes",
+            type=int,
+            default=None,
+            metavar="N",
+            help="build N randomly-placed nodes instead of a complete "
+            "overlay",
+        )
+        subparser.add_argument(
+            "--servers",
+            type=int,
+            default=4,
+            metavar="N",
+            help="how many asyncio node servers share the overlay "
+            "(default: 4)",
+        )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a built overlay as a live cluster of node servers",
+    )
+    _add_build(serve)
+    serve.add_argument(
+        "--cluster-file",
+        metavar="PATH",
+        default=None,
+        help="write the attachable cluster spec (directory + build "
+        "recipe) to PATH",
+    )
+    serve.add_argument(
+        "--lifetime",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="shut down after SECONDS (default: serve until interrupted)",
+    )
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive a live cluster closed-loop and write BENCH_net.json",
+    )
+    _add_build(loadgen)
+    loadgen.add_argument(
+        "--cluster-file",
+        metavar="PATH",
+        default=None,
+        help="attach to the running cluster this spec describes "
+        "instead of booting a private one",
+    )
+    loadgen.add_argument("--clients", type=int, default=64, metavar="N")
+    loadgen.add_argument("--lookups", type=int, default=256, metavar="N")
+    loadgen.add_argument(
+        "--puts",
+        type=int,
+        default=32,
+        metavar="N",
+        help="PUT/GET pairs to run after the lookups (default: 32)",
+    )
+    loadgen.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="per-RPC reply timeout (default: 5.0)",
+    )
+    loadgen.add_argument(
+        "--retry-budget",
+        type=int,
+        default=8,
+        metavar="N",
+        help="attempts after the first, per operation — the engine's "
+        "retry_budget semantics (default: 8)",
+    )
+    loadgen.add_argument(
+        "--output",
+        metavar="PATH",
+        default="BENCH_net.json",
+        help="where to write the net bench report "
+        "(default: BENCH_net.json)",
+    )
+
     sub.add_parser("table1", help="architecture comparison")
     return parser
 
@@ -263,12 +369,132 @@ def _run_fig5_or_6(
     _print(format_table([x_header, "protocol", "mean path"], rows, title))
 
 
+def _build_recipe(args: argparse.Namespace) -> dict:
+    """The deterministic overlay recipe the serve/loadgen args name."""
+    recipe: dict = {"protocol": args.protocol, "seed": args.seed}
+    if args.nodes is not None:
+        recipe["nodes"] = args.nodes
+        recipe["dimension"] = args.dimension
+    else:
+        recipe["dimension"] = args.dimension
+    return recipe
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.net.cluster import LocalCluster, serve_forever
+    from repro.net.loadgen import build_from_recipe
+
+    build = _build_recipe(args)
+
+    async def _serve() -> None:
+        network = build_from_recipe(build)
+        cluster = LocalCluster(network, servers=args.servers, build=build)
+        await cluster.start()
+        try:
+            if args.cluster_file is not None:
+                cluster.write_spec(args.cluster_file)
+                print(
+                    f"cluster spec -> {args.cluster_file}", file=sys.stderr
+                )
+            print(
+                f"serving {len(cluster.directory)} {build['protocol']} "
+                f"nodes on {len(cluster.services)} servers:"
+            )
+            for service in cluster.services:
+                host, port = service.address
+                print(f"  {host}:{port}  ({len(service.hosted)} nodes)")
+            await serve_forever(cluster, args.lifetime)
+        finally:
+            await cluster.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _run_loadgen(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.net.cluster import load_spec
+    from repro.net.loadgen import run_loadgen
+    from repro.sim.faults import RetryPolicy
+
+    spec = None
+    if args.cluster_file is not None:
+        try:
+            spec = load_spec(args.cluster_file)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load cluster spec: {exc}", file=sys.stderr)
+            return 2
+        build = dict(spec["build"])
+    else:
+        build = _build_recipe(args)
+
+    report = run_loadgen(
+        build,
+        servers=args.servers,
+        clients=args.clients,
+        lookups=args.lookups,
+        puts=args.puts,
+        seed=args.seed,
+        retry=RetryPolicy(budget=args.retry_budget),
+        timeout=args.timeout,
+        spec=spec,
+        trace_path=args.trace,
+    )
+    validate_net_report(report)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    ops = report["ops"]
+    latency = report["latency_ms"]
+    digest = report["digest"]
+    rows = [
+        ["ops", ops["total"]],
+        ["failures", ops["failures"]],
+        ["client retries", ops["retries"]],
+        ["throughput (ops/s)", f"{report['throughput_ops_per_s']:.0f}"],
+        ["p50 latency (ms)", f"{latency['p50']:.2f}"],
+        ["p95 latency (ms)", f"{latency['p95']:.2f}"],
+        ["p99 latency (ms)", f"{latency['p99']:.2f}"],
+        ["engine parity", "match" if digest["match"] else "MISMATCH"],
+    ]
+    _print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            f"loadgen — {build['protocol']}, {args.clients} clients",
+        )
+    )
+    print(f"net bench report -> {args.output}", file=sys.stderr)
+    if args.trace is not None:
+        print(
+            f"trace: {report['trace']['lines']} hop events -> {args.trace}",
+            file=sys.stderr,
+        )
+    if ops["failures"] or not digest["match"]:
+        print(
+            "error: live run had failures or diverged from the "
+            "in-memory engine",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
     sink: Optional[JsonlTraceSink] = None
     trace_file = None
-    if args.trace is not None:
+    # loadgen traces the *live* hop stream itself — the path is passed
+    # through instead of opening an engine trace sink here.
+    if args.trace is not None and args.command != "loadgen":
         if args.command not in TRACEABLE_COMMANDS:
             print(
                 f"error: --trace is not supported for {args.command} "
@@ -586,6 +812,10 @@ def _dispatch(
                 file=sys.stderr,
             )
             return 1
+    elif args.command == "serve":
+        return _run_serve(args)
+    elif args.command == "loadgen":
+        return _run_loadgen(args)
     elif args.command == "table1":
         rows = [
             [

@@ -241,6 +241,38 @@ class CycloidNetwork(Network):
             return RoutingDecision.deliver(best, PHASE_TRAVERSE)
         return None
 
+    def pack_route_state(self, state: "_RouteState") -> object:
+        """Wire form of the §3.1 message state (repro.net, DESIGN S22).
+
+        Everything is reduced to linear identifiers; membership sets are
+        sorted only to keep frames canonical — routing consults them by
+        membership, never by order.
+        """
+        return {
+            "visited": sorted(i.linear for i in state.visited),
+            "explored": sorted(state.explored_cycles),
+            "best": None if state.best is None else state.best.id.linear,
+        }
+
+    def unpack_route_state(
+        self, blob: object, key_id: CycloidId
+    ) -> "_RouteState":
+        dimension = self.dimension
+        state = _RouteState(key_id)
+        state.visited = {
+            CycloidId.from_linear(value, dimension)
+            for value in blob["visited"]
+        }
+        state.explored_cycles = set(blob["explored"])
+        if blob["best"] is not None:
+            best_id = CycloidId.from_linear(blob["best"], dimension)
+            best = self.topology.try_get(best_id.cyclic, best_id.cubical)
+            if best is not None:
+                # observe() recomputes best_distance exactly as the
+                # original observation did (distance_to is pure).
+                state.observe(best)
+        return state
+
     def _choose_next(
         self,
         current: CycloidNode,

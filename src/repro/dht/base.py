@@ -247,6 +247,38 @@ class Network(abc.ABC):
         call.  Default: stateless protocols return ``None``."""
         return None
 
+    def pack_route_state(self, state: object) -> object:
+        """Encode per-lookup routing state for the live wire (S22).
+
+        The live cluster (:mod:`repro.net`) routes hop-by-hop across
+        node servers, so whatever :meth:`begin_route` returned has to
+        cross a socket inside the forwarded frame as JSON.  Stateless
+        protocols (the ``None`` default) need nothing; overlays that
+        carry scratch state override this pair with a loss-free
+        name/index encoding.  The contract: ``unpack_route_state`` must
+        reconstruct an object under which every subsequent
+        :meth:`next_hop` decision is bit-identical to the uninterrupted
+        in-memory walk — the live-vs-engine parity suite pins exactly
+        that.
+        """
+        if state is None:
+            return None
+        raise NotImplementedError(
+            f"{type(self).__name__} carries routing state but does not "
+            "implement pack_route_state/unpack_route_state for live "
+            "serving"
+        )
+
+    def unpack_route_state(self, blob: object, key_id: object) -> object:
+        """Rebuild :meth:`begin_route` state from its wire form."""
+        if blob is None:
+            return None
+        raise NotImplementedError(
+            f"{type(self).__name__} carries routing state but does not "
+            "implement pack_route_state/unpack_route_state for live "
+            "serving"
+        )
+
     def on_dead_entry(self, observer: Node, dead: Node) -> int:
         """Lazy route repair: ``observer`` just timed out contacting
         ``dead`` (engine fault mode), so evict or replace the stale

@@ -70,6 +70,7 @@ __all__ = [
     "RecordingTracer",
     "LookupEngine",
     "execute_lookup",
+    "step_route",
 ]
 
 
@@ -256,6 +257,33 @@ class RecordingTracer(TraceObserver):
         return [e for e in self.events if e.lookup_id == lookup_id]
 
 
+def step_route(
+    network: "Network", current: "Node", key_id: object, state: object
+) -> Tuple[RoutingDecision, int]:
+    """One engine-equivalent routing step at ``current``.
+
+    Calls :meth:`~repro.dht.base.Network.next_hop` repeatedly until the
+    protocol either names a hop target or terminates, absorbing any
+    message-free ``advance()`` decisions (Koorde's de Bruijn self-shift)
+    in between.  Returns the hop-or-terminal decision plus the timeouts
+    the absorbed advances accumulated (the final decision's own
+    ``timeouts`` are *not* included — they stay attributed to the hop,
+    exactly as the engine traces them).
+
+    This is the single step primitive shared by :class:`LookupEngine`
+    and the live cluster serving layer (:mod:`repro.net.server`), which
+    routes the same decisions hop-by-hop over real sockets; keeping both
+    on one code path is what makes the live-vs-engine parity suite
+    meaningful.
+    """
+    advance_timeouts = 0
+    while True:
+        decision = network.next_hop(current, key_id, state)
+        if decision.node is not None or decision.terminal:
+            return decision, advance_timeouts
+        advance_timeouts += decision.timeouts
+
+
 class LookupEngine:
     """The single driver loop shared by all overlays.
 
@@ -377,15 +405,15 @@ class LookupEngine:
         limit = network.HOP_LIMIT
 
         while hops < limit:
-            decision = network.next_hop(current, key_id, state)
-            timeouts += decision.timeouts
+            decision, advance_timeouts = step_route(
+                network, current, key_id, state
+            )
+            timeouts += advance_timeouts + decision.timeouts
             node = decision.node
             phase = decision.phase
             if node is None:
-                if decision.terminal:
-                    failed = decision.failed
-                    break
-                continue  # state advanced without a message
+                failed = decision.failed
+                break
             if fault_mode:
                 node, phase, probe_timeouts, probe_retries, budget = (
                     self._probe(lookup_id, hops + 1, current, decision, budget)

@@ -23,7 +23,46 @@ from typing import Dict, List, Optional, Tuple
 from repro.dht.base import Network, Node
 from repro.dht.metrics import LookupRecord
 
-__all__ = ["KeyValueStore", "StoreResult"]
+__all__ = ["KeyValueStore", "StoreResult", "StorageShard"]
+
+
+class StorageShard:
+    """Per-server key/value shelves for the live cluster (repro.net).
+
+    A :class:`~repro.net.server.NodeService` keeps one shard holding
+    the pairs whose owning virtual nodes it hosts; PUT/GET frames route
+    to the owner over the wire and land here.  This is the wire-level
+    counterpart of :class:`KeyValueStore`'s per-node shelves — the live
+    path stores on the owner only (``replicas = 1`` semantics), while
+    replication and migration stay an in-memory concern of
+    :class:`KeyValueStore`.
+    """
+
+    __slots__ = ("_shelves",)
+
+    def __init__(self) -> None:
+        #: node name -> {key: value}
+        self._shelves: Dict[str, Dict[str, object]] = {}
+
+    def put(self, node_name: str, key: str, value: object) -> None:
+        self._shelves.setdefault(node_name, {})[key] = value
+
+    def get(self, node_name: str, key: str) -> Tuple[bool, object]:
+        """``(found, value)`` for ``key`` on ``node_name``'s shelf."""
+        shelf = self._shelves.get(node_name, {})
+        if key in shelf:
+            return True, shelf[key]
+        return False, None
+
+    def keys_on(self, node_name: str) -> List[str]:
+        return list(self._shelves.get(node_name, {}))
+
+    def drop_node(self, node_name: str) -> int:
+        """Discard a departed node's shelf; returns the pair count."""
+        return len(self._shelves.pop(node_name, {}))
+
+    def total_pairs(self) -> int:
+        return sum(len(shelf) for shelf in self._shelves.values())
 
 
 class StoreResult:
@@ -143,6 +182,15 @@ class KeyValueStore:
 
         Returns how many keys lost their *only* copy (zero when
         ``replicas >= 2`` and the replica set stayed connected).
+
+        **Documented loss path:** replication only survives failures
+        that are spaced wider than the replica set.  With
+        ``replicas = r``, ``r`` silent failures that hit *every* holder
+        of a key — e.g. both the owner and its neighbour replica at
+        ``r = 2`` — before :meth:`rereplicate` runs lose the pair
+        permanently: the second ``on_silent_failure`` call finds no
+        surviving copy and reports the loss
+        (``tests/dht/test_storage.py`` pins this).
         """
         shelf = self._stored.pop(node.name, {})
         lost = 0

@@ -53,6 +53,7 @@ from repro.experiments.bench import (
     bench_report,
     run_clone_bench,
     run_parallel_bench,
+    validate_net_report,
     write_bench_report,
 )
 
@@ -89,4 +90,5 @@ __all__ = [
     "run_clone_bench",
     "bench_report",
     "write_bench_report",
+    "validate_net_report",
 ]

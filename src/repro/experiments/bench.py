@@ -37,6 +37,7 @@ __all__ = [
     "run_clone_bench",
     "bench_report",
     "write_bench_report",
+    "validate_net_report",
     "DEFAULT_BENCH_PROTOCOLS",
 ]
 
@@ -276,3 +277,72 @@ def write_bench_report(path: str, report: Dict[str, object]) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")
+
+
+#: ``BENCH_net.json`` required shape: top-level keys and the nested
+#: keys of each aggregate section.  Guarded so CI archives can be
+#: machine-compared across commits without schema drift.
+_NET_REPORT_KEYS = (
+    "schema",
+    "build",
+    "clients",
+    "seed",
+    "ops",
+    "latency_ms",
+    "throughput_ops_per_s",
+    "digest",
+)
+_NET_OPS_KEYS = ("total", "completed", "lookups", "puts", "gets", "failures")
+_NET_LATENCY_KEYS = ("mean", "p50", "p95", "p99", "max")
+_NET_DIGEST_KEYS = ("live", "expected", "match")
+
+
+def validate_net_report(report: Dict[str, object]) -> None:
+    """Schema-guard a ``BENCH_net.json`` loadgen report.
+
+    Raises ``ValueError`` naming the first violation: wrong/missing
+    schema tag, missing sections, malformed digests, or a digest
+    ``match`` flag inconsistent with the live/expected hashes it
+    summarises.
+    """
+    from repro.net.loadgen import NET_BENCH_SCHEMA
+
+    if not isinstance(report, dict):
+        raise ValueError("net report must be a JSON object")
+    if report.get("schema") != NET_BENCH_SCHEMA:
+        raise ValueError(
+            f"net report schema is {report.get('schema')!r}, "
+            f"expected {NET_BENCH_SCHEMA!r}"
+        )
+    for key in _NET_REPORT_KEYS:
+        if key not in report:
+            raise ValueError(f"net report is missing {key!r}")
+    for section, keys in (
+        ("ops", _NET_OPS_KEYS),
+        ("latency_ms", _NET_LATENCY_KEYS),
+        ("digest", _NET_DIGEST_KEYS),
+    ):
+        block = report[section]
+        if not isinstance(block, dict):
+            raise ValueError(f"net report {section!r} must be an object")
+        for key in keys:
+            if key not in block:
+                raise ValueError(
+                    f"net report {section!r} is missing {key!r}"
+                )
+    digest = report["digest"]
+    for side in ("live", "expected"):
+        value = digest[side]
+        if not (isinstance(value, str) and len(value) == 64):
+            raise ValueError(
+                f"net report digest.{side} is not a sha256 hex digest"
+            )
+    ops = report["ops"]
+    expected_match = (
+        ops["completed"] == ops["total"]
+        and digest["live"] == digest["expected"]
+    )
+    if bool(digest["match"]) != expected_match:
+        raise ValueError(
+            "net report digest.match is inconsistent with the digests"
+        )

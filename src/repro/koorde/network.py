@@ -113,6 +113,19 @@ class KoordeNetwork(Network):
         # i == key_id.
         return _ImaginaryWalk(source.id, key_id, self.bits)
 
+    def pack_route_state(self, state: _ImaginaryWalk) -> object:
+        """Wire form of the imaginary-node walk (repro.net, DESIGN S22)."""
+        return {
+            "imaginary": state.imaginary,
+            "kshift": state.kshift,
+            "bits_left": state.bits_left,
+        }
+
+    def unpack_route_state(self, blob: object, key_id: int) -> _ImaginaryWalk:
+        return _ImaginaryWalk(
+            blob["imaginary"], blob["kshift"], blob["bits_left"]
+        )
+
     def next_hop(
         self, current: KoordeNode, key_id: int, walk: _ImaginaryWalk
     ) -> RoutingDecision:

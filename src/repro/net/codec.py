@@ -1,0 +1,201 @@
+"""Versioned, length-prefixed wire protocol of the live cluster (S22).
+
+Every message is one *frame*: a fixed 16-byte header followed by a
+UTF-8 JSON object payload.
+
+======  ====  =====================================================
+offset  size  field
+======  ====  =====================================================
+0       2     magic ``b"RP"``
+2       1     protocol version (:data:`PROTOCOL_VERSION`)
+3       1     message type (:class:`MessageType`)
+4       8     rpc id, unsigned big-endian (echoed verbatim in the
+              matching ``REPLY``/``ERROR`` frame)
+12      4     payload byte length, unsigned big-endian
+16      n     payload: UTF-8 JSON **object**
+======  ====  =====================================================
+
+Client-facing request types are ``JOIN``, ``LOOKUP``, ``PUT``, ``GET``,
+``PING`` and ``LEAVE``; servers forward in-flight lookups to each other
+with ``STEP`` continuations and answer everything with ``REPLY`` or
+``ERROR``.  Anything that violates the frame contract — wrong magic,
+unknown version or type, a payload longer than ``max_payload``, bytes
+that are not JSON, or JSON that is not an object — raises
+:class:`FrameError` with a human-readable reason; servers reject the
+frame (and close the now-unsynchronised connection) without crashing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import json
+import struct
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAGIC",
+    "HEADER_SIZE",
+    "MAX_PAYLOAD",
+    "MessageType",
+    "FrameError",
+    "Frame",
+    "encode_frame",
+    "decode_header",
+    "decode_frame",
+    "read_frame",
+    "write_frame",
+]
+
+MAGIC = b"RP"
+PROTOCOL_VERSION = 1
+
+#: Default upper bound on a frame's payload.  A lookup continuation is a
+#: few KB even at paper scale (HOP_LIMIT-long paths included), so 1 MiB
+#: leaves two orders of magnitude of headroom while still bounding what
+#: one malicious or broken peer can make a server buffer.
+MAX_PAYLOAD = 1 << 20
+
+_HEADER = struct.Struct(">2sBBQI")
+HEADER_SIZE = _HEADER.size  # 16 bytes
+_MAX_RPC = (1 << 64) - 1
+
+
+class MessageType(enum.IntEnum):
+    """Frame types of protocol version 1."""
+
+    JOIN = 1
+    LOOKUP = 2
+    PUT = 3
+    GET = 4
+    PING = 5
+    LEAVE = 6
+    #: server-to-server lookup continuation (one routed hop crossing a
+    #: service boundary); never sent by clients.
+    STEP = 7
+    REPLY = 8
+    ERROR = 9
+
+
+class FrameError(ValueError):
+    """A frame violated the wire contract; ``reason`` says how."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded frame: its type, rpc id and JSON payload."""
+
+    kind: MessageType
+    rpc: int
+    payload: Dict[str, object]
+
+
+def encode_frame(
+    kind: MessageType,
+    rpc: int,
+    payload: Dict[str, object],
+    max_payload: int = MAX_PAYLOAD,
+) -> bytes:
+    """Serialise one frame; raises :class:`FrameError` on contract
+    violations (so an oversized *outgoing* message is caught before it
+    hits the socket)."""
+    kind = MessageType(kind)
+    if not 0 <= rpc <= _MAX_RPC:
+        raise FrameError(f"rpc id {rpc} outside unsigned 64-bit range")
+    if not isinstance(payload, dict):
+        raise FrameError(
+            f"payload must be a JSON object, got {type(payload).__name__}"
+        )
+    try:
+        body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise FrameError(f"payload is not JSON-serialisable: {exc}") from None
+    if len(body) > max_payload:
+        raise FrameError(
+            f"payload of {len(body)} bytes exceeds the "
+            f"{max_payload}-byte frame limit"
+        )
+    return _HEADER.pack(MAGIC, PROTOCOL_VERSION, kind, rpc, len(body)) + body
+
+
+def decode_header(
+    header: bytes, max_payload: int = MAX_PAYLOAD
+) -> Tuple[MessageType, int, int]:
+    """Validate a 16-byte header; returns ``(type, rpc, payload_length)``."""
+    if len(header) != HEADER_SIZE:
+        raise FrameError(
+            f"header is {len(header)} bytes, expected {HEADER_SIZE}"
+        )
+    magic, version, kind_value, rpc, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise FrameError(f"bad magic {magic!r}")
+    if version != PROTOCOL_VERSION:
+        raise FrameError(
+            f"unsupported protocol version {version} "
+            f"(this codec speaks {PROTOCOL_VERSION})"
+        )
+    try:
+        kind = MessageType(kind_value)
+    except ValueError:
+        raise FrameError(f"unknown message type {kind_value}") from None
+    if length > max_payload:
+        raise FrameError(
+            f"declared payload of {length} bytes exceeds the "
+            f"{max_payload}-byte frame limit"
+        )
+    return kind, rpc, length
+
+
+def _decode_payload(kind: MessageType, rpc: int, body: bytes) -> Frame:
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"payload is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise FrameError(
+            f"payload must be a JSON object, got {type(payload).__name__}"
+        )
+    return Frame(kind, rpc, payload)
+
+
+def decode_frame(buffer: bytes, max_payload: int = MAX_PAYLOAD) -> Frame:
+    """Decode one complete frame from ``buffer`` (must be exact)."""
+    kind, rpc, length = decode_header(buffer[:HEADER_SIZE], max_payload)
+    body = buffer[HEADER_SIZE:]
+    if len(body) != length:
+        raise FrameError(
+            f"payload is {len(body)} bytes, header declared {length}"
+        )
+    return _decode_payload(kind, rpc, body)
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, max_payload: int = MAX_PAYLOAD
+) -> Frame:
+    """Read one frame from ``reader``.
+
+    Raises :class:`FrameError` on any contract violation (the stream is
+    unsynchronised afterwards — close the connection) and
+    :class:`asyncio.IncompleteReadError` on EOF mid-frame.
+    """
+    header = await reader.readexactly(HEADER_SIZE)
+    kind, rpc, length = decode_header(header, max_payload)
+    body = await reader.readexactly(length) if length else b""
+    return _decode_payload(kind, rpc, body)
+
+
+def write_frame(
+    writer: asyncio.StreamWriter,
+    kind: MessageType,
+    rpc: int,
+    payload: Dict[str, object],
+    max_payload: int = MAX_PAYLOAD,
+) -> None:
+    """Encode and queue one frame on ``writer`` (call ``drain`` after)."""
+    writer.write(encode_frame(kind, rpc, payload, max_payload))

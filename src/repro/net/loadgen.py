@@ -1,0 +1,438 @@
+"""Closed-loop load generator with engine-parity checking (S22).
+
+``repro loadgen`` drives a live cluster with ``clients`` concurrent
+closed-loop clients (each issues its next operation the moment the
+previous reply lands), measures throughput and latency percentiles, and
+— because every wire lookup must take *exactly* the hop path the
+in-memory :class:`~repro.dht.routing.LookupEngine` would take — proves
+correctness by digest: the sha256 over the live results' canonical
+``(index, op, key, source, path, hops, timeouts, success)`` tuples must
+equal the digest over the engine's records for the same deterministic
+workload on a pristine clone of the overlay.  The digests, the match
+verdict and the performance numbers land in a schema-tagged
+``BENCH_net.json`` (:data:`NET_BENCH_SCHEMA`, guarded by
+:func:`repro.experiments.bench.validate_net_report`).
+
+The workload is three deterministic op groups derived from one seed:
+``lookups`` plain lookups, then ``puts`` PUTs, then one GET per PUT
+(run as a second closed-loop phase so every GET observes its PUT).  A
+*failure* is any transport-level error surviving the retry budget, any
+unsuccessful route, or a GET that does not return its PUT's value; the
+CI smoke job requires zero.
+
+With ``trace_path`` set, every completed operation appends its per-hop
+trace as JSON lines in the ``--trace`` format of the simulated engine
+(``lookup``/``hop``/``node``/``phase``/``timeouts``) extended with the
+live-only fields ``rpc`` (the winning attempt's rpc id) and
+``latency_ms`` (the operation's wall-clock latency) — the presence of
+``rpc`` is what distinguishes a live trace line from a simulated one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import hashlib
+import json
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.dht.base import Network
+from repro.experiments.registry import (
+    build_complete_network,
+    build_sized_network,
+)
+from repro.net.client import ClusterClient, ClusterError
+from repro.net.cluster import LocalCluster
+from repro.sim.faults import RetryPolicy
+from repro.sim.workload import random_keys
+from repro.util.rng import derive_rng, make_rng
+from repro.util.stats import mean, percentile
+
+__all__ = [
+    "NET_BENCH_SCHEMA",
+    "build_from_recipe",
+    "make_operations",
+    "expected_results",
+    "results_digest",
+    "run_loadgen",
+]
+
+#: Schema tag of the ``BENCH_net.json`` report.
+NET_BENCH_SCHEMA = "repro/net-bench/v1"
+
+
+def build_from_recipe(build: Dict[str, object]) -> Network:
+    """Rebuild the overlay a cluster spec describes, bit-identically.
+
+    The recipe is ``{"protocol", "seed"}`` plus either ``"dimension"``
+    (complete Cycloid-sized build) or ``"nodes"`` (random-id build of
+    that population, optionally pinned by ``"dimension"``).
+    """
+    protocol = str(build.get("protocol", "cycloid"))
+    seed = int(build.get("seed", 0))
+    nodes = build.get("nodes")
+    dimension = build.get("dimension")
+    if nodes is not None:
+        return build_sized_network(
+            protocol,
+            int(nodes),
+            seed=seed,
+            cycloid_dimension=int(dimension) if dimension is not None else None,
+        )
+    if dimension is None:
+        raise ValueError("build recipe needs 'dimension' or 'nodes'")
+    return build_complete_network(protocol, int(dimension), seed=seed)
+
+
+def make_operations(
+    network: Network, lookups: int, puts: int, seed: int
+) -> List[Dict[str, object]]:
+    """The deterministic operation list for one loadgen run.
+
+    ``lookups`` LOOKUP ops, then ``puts`` PUT ops, then one GET per PUT
+    (same keys, independently drawn sources).  Sources are uniform over
+    the overlay's live nodes; everything derives from ``seed`` alone,
+    which is what lets an attached loadgen reproduce the workload — and
+    its expected routes — without talking to the cluster first.
+    """
+    rng = make_rng(seed)
+    names = [str(node.name) for node in network.live_nodes()]
+    if not names:
+        raise ValueError("network has no live nodes")
+    operations: List[Dict[str, object]] = []
+
+    def pick_source() -> str:
+        return names[rng.randrange(len(names))]
+
+    for index in range(lookups):
+        operations.append(
+            {
+                "index": len(operations),
+                "op": "lookup",
+                "key": f"lookup-{rng.getrandbits(64):016x}-{index}",
+                "source": pick_source(),
+            }
+        )
+    pair_keys = random_keys(puts, derive_rng(rng, 1), prefix="pair")
+    for index, key in enumerate(pair_keys):
+        operations.append(
+            {
+                "index": len(operations),
+                "op": "put",
+                "key": key,
+                "source": pick_source(),
+                "value": f"value-{index}",
+            }
+        )
+    for index, key in enumerate(pair_keys):
+        operations.append(
+            {
+                "index": len(operations),
+                "op": "get",
+                "key": key,
+                "source": pick_source(),
+                "expect": f"value-{index}",
+            }
+        )
+    return operations
+
+
+def expected_results(
+    network: Network, operations: Sequence[Dict[str, object]]
+) -> List[Dict[str, object]]:
+    """What the in-memory engine routes for each operation.
+
+    Runs every op's lookup through :meth:`Network.lookup_many` on a
+    pristine **clone** (so neither the served overlay's query-load
+    telemetry nor the caller's network is disturbed) and returns one
+    canonical result dict per op — the parity baseline.
+    """
+    reference = network.clone()
+    by_name = {str(node.name): node for node in reference.live_nodes()}
+    records = reference.lookup_many(
+        (by_name[str(op["source"])], op["key"]) for op in operations
+    )
+    results = []
+    for op, record in zip(operations, records):
+        results.append(
+            {
+                "index": op["index"],
+                "op": op["op"],
+                "key": op["key"],
+                "source": op["source"],
+                "path": [str(name) for name in record.path],
+                "hops": record.hops,
+                "timeouts": record.timeouts,
+                "success": record.success,
+            }
+        )
+    return results
+
+
+def results_digest(results: Sequence[Dict[str, object]]) -> str:
+    """sha256 over the canonical routing content, in op-index order.
+
+    Covers ``(index, op, key, source, path, hops, timeouts, success)``
+    of every result — client scheduling order does not matter, the op
+    index pins the sequence.
+    """
+    canonical = [
+        (
+            result["index"],
+            result["op"],
+            result["key"],
+            result["source"],
+            tuple(result["path"]),
+            result["hops"],
+            result["timeouts"],
+            bool(result["success"]),
+        )
+        for result in sorted(results, key=lambda r: r["index"])
+    ]
+    return hashlib.sha256(repr(canonical).encode()).hexdigest()
+
+
+async def _run_clients(
+    directory: Dict[str, Sequence[object]],
+    operations: Sequence[Dict[str, object]],
+    clients: int,
+    retry: RetryPolicy,
+    timeout: float,
+) -> Dict[str, object]:
+    """Drive the workload closed-loop; returns results + telemetry."""
+    results: List[Dict[str, object]] = []
+    failures = 0
+    errors: List[str] = []
+    # GETs run as a second phase so each observes its PUT.
+    phases = [
+        [op for op in operations if op["op"] != "get"],
+        [op for op in operations if op["op"] == "get"],
+    ]
+    pool = [
+        ClusterClient(directory, retry=retry, timeout=timeout)
+        for _ in range(clients)
+    ]
+
+    async def worker(client: ClusterClient, queue) -> None:
+        nonlocal failures
+        while queue:
+            op = queue.popleft()
+            started = time.perf_counter()
+            try:
+                if op["op"] == "lookup":
+                    reply = await client.lookup(
+                        op["key"], op["source"], lookup_id=op["index"]
+                    )
+                elif op["op"] == "put":
+                    reply = await client.put(
+                        op["key"], op["value"], op["source"]
+                    )
+                else:
+                    reply = await client.get(op["key"], op["source"])
+            except ClusterError as exc:
+                failures += 1
+                errors.append(f"op {op['index']} ({op['op']}): {exc}")
+                continue
+            latency_ms = (time.perf_counter() - started) * 1000.0
+            ok = bool(reply.get("success"))
+            if op["op"] == "get" and (
+                not reply.get("found") or reply.get("value") != op["expect"]
+            ):
+                ok = False
+            if not ok:
+                failures += 1
+                errors.append(
+                    f"op {op['index']} ({op['op']}) unsuccessful: "
+                    f"success={reply.get('success')} "
+                    f"found={reply.get('found')}"
+                )
+            results.append(
+                {
+                    "index": op["index"],
+                    "op": op["op"],
+                    "key": op["key"],
+                    "source": op["source"],
+                    "path": list(reply.get("path", [])),
+                    "hops": int(reply.get("hops", -1)),
+                    "timeouts": int(reply.get("timeouts", -1)),
+                    "success": bool(reply.get("success")),
+                    "rpc": int(reply.get("rpc", 0)),
+                    "latency_ms": latency_ms,
+                    "trace": reply.get("trace", []),
+                }
+            )
+
+    started = time.perf_counter()
+    try:
+        for phase_ops in phases:
+            if not phase_ops:
+                continue
+            queue = collections.deque(phase_ops)
+            await asyncio.gather(
+                *(worker(client, queue) for client in pool)
+            )
+    finally:
+        for client in pool:
+            await client.close()
+    elapsed = time.perf_counter() - started
+    return {
+        "results": results,
+        "failures": failures,
+        "errors": errors,
+        "elapsed_s": elapsed,
+        "retries": sum(client.retries for client in pool),
+    }
+
+
+def _write_trace(
+    trace_path: str, results: Sequence[Dict[str, object]]
+) -> int:
+    """Live-trace JSONL: the simulated ``--trace`` hop schema plus the
+    per-RPC fields ``rpc`` and ``latency_ms``; returns lines written."""
+    lines = 0
+    with open(trace_path, "w", encoding="utf-8") as stream:
+        for result in sorted(results, key=lambda r: r["index"]):
+            for event in result["trace"]:
+                stream.write(
+                    json.dumps(
+                        {
+                            "lookup": result["index"],
+                            "hop": event["hop"],
+                            "node": str(event["node"]),
+                            "phase": event["phase"],
+                            "timeouts": event["timeouts"],
+                            "rpc": result["rpc"],
+                            "latency_ms": round(result["latency_ms"], 3),
+                        }
+                    )
+                )
+                stream.write("\n")
+                lines += 1
+    return lines
+
+
+async def _loadgen(
+    build: Dict[str, object],
+    servers: int,
+    clients: int,
+    lookups: int,
+    puts: int,
+    seed: int,
+    retry: RetryPolicy,
+    timeout: float,
+    spec: Optional[Dict[str, object]],
+    trace_path: Optional[str],
+) -> Dict[str, object]:
+    network = build_from_recipe(build)
+    operations = make_operations(network, lookups, puts, seed)
+    expected = expected_results(network, operations)
+
+    cluster: Optional[LocalCluster] = None
+    if spec is None:
+        cluster = LocalCluster(network, servers=servers, build=build)
+        await cluster.start()
+        directory = cluster.directory
+    else:
+        directory = {
+            str(name): list(address)
+            for name, address in spec["directory"].items()
+        }
+    try:
+        outcome = await _run_clients(
+            directory, operations, clients, retry, timeout
+        )
+    finally:
+        if cluster is not None:
+            await cluster.stop()
+
+    results = outcome["results"]
+    live_digest = results_digest(results)
+    expected_digest = results_digest(expected)
+    complete = len(results) == len(operations)
+    latencies = [result["latency_ms"] for result in results]
+    elapsed = outcome["elapsed_s"]
+    trace_lines = (
+        _write_trace(trace_path, results) if trace_path is not None else 0
+    )
+    report: Dict[str, object] = {
+        "schema": NET_BENCH_SCHEMA,
+        "build": dict(build),
+        "servers": servers if cluster is not None else spec.get("servers"),
+        "attached": cluster is None,
+        "clients": clients,
+        "seed": seed,
+        "retry": {
+            "budget": retry.budget,
+            "base_delay": retry.base_delay,
+            "multiplier": retry.multiplier,
+            "max_delay": retry.max_delay,
+        },
+        "timeout_s": timeout,
+        "ops": {
+            "total": len(operations),
+            "completed": len(results),
+            "lookups": lookups,
+            "puts": puts,
+            "gets": puts,
+            "failures": outcome["failures"],
+            "retries": outcome["retries"],
+        },
+        "latency_ms": {
+            "mean": mean(latencies),
+            "p50": percentile(latencies, 50.0),
+            "p95": percentile(latencies, 95.0),
+            "p99": percentile(latencies, 99.0),
+            "max": max(latencies) if latencies else 0.0,
+        },
+        "throughput_ops_per_s": (
+            len(results) / elapsed if elapsed > 0 else 0.0
+        ),
+        "elapsed_s": elapsed,
+        "digest": {
+            "live": live_digest,
+            "expected": expected_digest,
+            "match": complete and live_digest == expected_digest,
+        },
+        "errors": outcome["errors"][:20],
+    }
+    if trace_path is not None:
+        report["trace"] = {"path": trace_path, "lines": trace_lines}
+    return report
+
+
+def run_loadgen(
+    build: Dict[str, object],
+    servers: int = 4,
+    clients: int = 64,
+    lookups: int = 256,
+    puts: int = 32,
+    seed: int = 42,
+    retry: Optional[RetryPolicy] = None,
+    timeout: float = 5.0,
+    spec: Optional[Dict[str, object]] = None,
+    trace_path: Optional[str] = None,
+) -> Dict[str, object]:
+    """Run one load-generation session and return the bench report.
+
+    ``build`` is the overlay recipe (see :func:`build_from_recipe`).
+    With ``spec`` (a loaded cluster-spec document) the generator
+    *attaches* to the already-running cluster it describes — the local
+    build then only computes the expected routes; without it a private
+    :class:`LocalCluster` of ``servers`` servers is booted and torn
+    down around the run.
+    """
+    return asyncio.run(
+        _loadgen(
+            build,
+            servers,
+            clients,
+            lookups,
+            puts,
+            seed,
+            retry if retry is not None else RetryPolicy(),
+            timeout,
+            spec,
+            trace_path,
+        )
+    )

@@ -1,0 +1,544 @@
+"""Asyncio node servers: the overlay hosted behind real sockets (S22).
+
+A :class:`NodeService` is one asyncio TCP server hosting a partition of
+an overlay's *virtual nodes*.  Lookups are routed **recursively
+hop-by-hop**: the service steps the overlay's pure
+:func:`~repro.dht.routing.step_route` decision at each hosted node and,
+the moment a hop targets a node hosted elsewhere, forwards the whole
+lookup continuation — key, hop/timeout counters, path, per-hop trace
+and the overlay's packed routing state
+(:meth:`~repro.dht.base.Network.pack_route_state`) — to the peer server
+in a ``STEP`` frame and awaits its reply, which then propagates back
+along the chain of awaiting servers to the origin.  Because every step
+runs the exact decision functions of the in-memory
+:class:`~repro.dht.routing.LookupEngine` (same hop accounting, same
+``HOP_LIMIT``, same ``finish_route`` delivery hop, same query-load
+visit recording), a live lookup's hop path is bit-exact against the
+engine's trace for the same ``(source, key)`` — the parity suite pins
+it.
+
+Malformed, oversized or otherwise contract-violating frames are
+rejected without crashing: the offending connection gets one ``ERROR``
+frame (rpc id 0 — framing is lost, so the id is unknowable) and is
+closed; every other connection keeps being served.
+
+PUT/GET frames route exactly like lookups and then hit the terminal
+node's :class:`~repro.dht.storage.StorageShard`; JOIN/LEAVE mutate the
+hosted node set through the overlay's own join/leave protocols and keep
+the shared cluster directory current.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.dht.base import Network, Node
+from repro.dht.routing import step_route
+from repro.dht.storage import StorageShard
+from repro.net.client import RpcConnection
+from repro.net.codec import (
+    Frame,
+    FrameError,
+    MAX_PAYLOAD,
+    MessageType,
+    PROTOCOL_VERSION,
+    write_frame,
+)
+
+__all__ = ["ServiceError", "NodeService"]
+
+Address = Tuple[str, int]
+
+#: Request types a client may open an operation with.
+_OP_TYPES = {
+    MessageType.LOOKUP: "lookup",
+    MessageType.PUT: "put",
+    MessageType.GET: "get",
+}
+
+
+class ServiceError(RuntimeError):
+    """A request was well-framed but unserviceable; sent back as ERROR."""
+
+
+class NodeService:
+    """One asyncio server hosting ``hosted`` virtual nodes of ``network``.
+
+    ``directory`` (node name -> ``[host, port]``) is assigned by the
+    cluster harness once every service has bound its port; services on
+    one :class:`~repro.net.cluster.LocalCluster` share the *same* dict
+    object, so JOINs through any server become routable everywhere
+    immediately.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        hosted: Sequence[str],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_payload: int = MAX_PAYLOAD,
+        timeout: float = 10.0,
+    ) -> None:
+        if not hosted:
+            raise ValueError("a NodeService must host at least one node")
+        self.network = network
+        self.hosted: List[str] = [str(name) for name in hosted]
+        self._hosted_set: Set[str] = set(self.hosted)
+        self._bind_host = host
+        self._bind_port = port
+        self.max_payload = max_payload
+        self.timeout = timeout
+        self.directory: Dict[str, Sequence[object]] = {}
+        self.storage = StorageShard()
+        #: requests answered (REPLY or ERROR), for PING telemetry.
+        self.rpcs_served = 0
+        #: frames rejected for wire-contract violations.
+        self.frames_rejected = 0
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._address: Optional[Address] = None
+        self._peers: Dict[Address, RpcConnection] = {}
+        self._peer_lock = asyncio.Lock()
+        self._client_writers: Set[asyncio.StreamWriter] = set()
+        self._handler_tasks: Set[asyncio.Task] = set()
+        self._names: Dict[str, Node] = {}
+        self._step_counter = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def address(self) -> Address:
+        if self._address is None:
+            raise RuntimeError("service is not started")
+        return self._address
+
+    async def start(self) -> "NodeService":
+        self._server = await asyncio.start_server(
+            self._serve_connection, self._bind_host, self._bind_port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self._address = (sockname[0], sockname[1])
+        return self
+
+    async def stop(self) -> None:
+        """Close the listener, all live connections and peer links."""
+        if self._server is not None:
+            self._server.close()
+        for task in list(self._handler_tasks):
+            task.cancel()
+        for writer in list(self._client_writers):
+            writer.close()
+        for task in list(self._handler_tasks):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._handler_tasks.clear()
+        peers, self._peers = self._peers, {}
+        for peer in peers.values():
+            await peer.close()
+        if self._server is not None:
+            try:
+                await self._server.wait_closed()
+            except asyncio.CancelledError:  # pragma: no cover - defensive
+                pass
+            self._server = None
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._client_writers.add(writer)
+        send_lock = asyncio.Lock()
+        try:
+            while True:
+                try:
+                    frame = await _read(reader, self.max_payload)
+                except FrameError as exc:
+                    # The stream is unsynchronised: answer once (rpc id
+                    # 0 — the real id is unrecoverable) and close this
+                    # connection only.  The server keeps serving.
+                    self.frames_rejected += 1
+                    await self._send_safely(
+                        writer,
+                        send_lock,
+                        MessageType.ERROR,
+                        0,
+                        {"error": f"rejected frame: {exc.reason}"},
+                    )
+                    break
+                except (
+                    asyncio.IncompleteReadError,
+                    ConnectionError,
+                    OSError,
+                ):
+                    break
+                task = asyncio.create_task(
+                    self._handle_frame(frame, writer, send_lock)
+                )
+                self._handler_tasks.add(task)
+                task.add_done_callback(self._handler_tasks.discard)
+        finally:
+            self._client_writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _send_safely(
+        self,
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+        kind: MessageType,
+        rpc: int,
+        payload: Dict[str, object],
+    ) -> None:
+        try:
+            async with lock:
+                write_frame(writer, kind, rpc, payload, self.max_payload)
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # peer went away; nothing left to tell it
+
+    async def _handle_frame(
+        self,
+        frame: Frame,
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+    ) -> None:
+        try:
+            if frame.kind in _OP_TYPES:
+                payload = await self._start_operation(
+                    _OP_TYPES[frame.kind], frame.payload
+                )
+            elif frame.kind == MessageType.STEP:
+                payload = await self._continue_operation(frame.payload)
+            elif frame.kind == MessageType.PING:
+                payload = self._handle_ping()
+            elif frame.kind == MessageType.JOIN:
+                payload = self._handle_join(frame.payload)
+            elif frame.kind == MessageType.LEAVE:
+                payload = self._handle_leave(frame.payload)
+            else:
+                raise ServiceError(
+                    f"unexpected {frame.kind.name} frame on a server"
+                )
+            kind = MessageType.REPLY
+        except ServiceError as exc:
+            kind, payload = MessageType.ERROR, {"error": str(exc)}
+        except Exception as exc:  # never let one request kill the server
+            kind, payload = (
+                MessageType.ERROR,
+                {"error": f"internal error: {exc!r}"},
+            )
+        self.rpcs_served += 1
+        await self._send_safely(writer, lock, kind, frame.rpc, payload)
+
+    # ------------------------------------------------------------------
+    # node resolution
+    # ------------------------------------------------------------------
+
+    def _resolve(self, name: str) -> Node:
+        node = self._names.get(name)
+        if node is None or not node.alive:
+            # Stale or unseen (membership changed via another service
+            # on the same network): refresh the index once.
+            self._names = {
+                str(live.name): live for live in self.network.live_nodes()
+            }
+            node = self._names.get(name)
+        if node is None or not node.alive:
+            raise ServiceError(f"unknown or dead node {name!r}")
+        return node
+
+    def _is_local(self, name: str) -> bool:
+        return name in self._hosted_set
+
+    # ------------------------------------------------------------------
+    # the recursive lookup driver
+    # ------------------------------------------------------------------
+
+    async def _start_operation(
+        self, op: str, payload: Dict[str, object]
+    ) -> Dict[str, object]:
+        key = payload.get("key")
+        if not isinstance(key, str):
+            raise ServiceError("operation requires a string 'key'")
+        source_name = str(payload.get("source") or self.hosted[0])
+        if not self._is_local(source_name):
+            raise ServiceError(
+                f"node {source_name!r} is not hosted by this server"
+            )
+        source = self._resolve(source_name)
+        network = self.network
+        network.fault_detection = False
+        key_id = network.key_id(key)
+        state = network.begin_route(source, key_id)
+        continuation: Dict[str, object] = {
+            "op": op,
+            "key": key,
+            "value": payload.get("value"),
+            "lookup": payload.get("lookup"),
+            "current": source_name,
+            "stage": "route",
+            "failed": False,
+            "hops": 0,
+            "timeouts": 0,
+            "path": [str(source.name)],
+            "phases": dict.fromkeys(network.ROUTING_PHASES, 0),
+            "trace": [],
+        }
+        return await self._drive(continuation, source, key_id, state)
+
+    async def _continue_operation(
+        self, continuation: Dict[str, object]
+    ) -> Dict[str, object]:
+        """A forwarded hop landed here: the sender already charged the
+        hop (count, phase, path, trace); this server records the visit
+        at its node and carries on per the continuation's stage."""
+        network = self.network
+        network.fault_detection = False
+        current_name = str(continuation["current"])
+        if not self._is_local(current_name):
+            raise ServiceError(
+                f"misrouted step: {current_name!r} is not hosted here"
+            )
+        current = self._resolve(current_name)
+        key_id = network.key_id(continuation["key"])
+        state = network.unpack_route_state(continuation.get("state"), key_id)
+        network._record_visit(current)
+        return await self._drive(continuation, current, key_id, state)
+
+    async def _drive(
+        self,
+        continuation: Dict[str, object],
+        current: Node,
+        key_id: object,
+        state: object,
+    ) -> Dict[str, object]:
+        """Run the engine-equivalent driver loop from ``current`` until
+        the lookup terminates locally or hops to another server."""
+        network = self.network
+        limit = network.HOP_LIMIT
+        hops = int(continuation["hops"])
+        timeouts = int(continuation["timeouts"])
+        phases: Dict[str, int] = continuation["phases"]
+        path: List[str] = continuation["path"]
+        trace: List[Dict[str, object]] = continuation["trace"]
+        failed = bool(continuation["failed"])
+
+        if continuation["stage"] == "route":
+            while hops < limit:
+                decision, advance_timeouts = step_route(
+                    network, current, key_id, state
+                )
+                timeouts += advance_timeouts + decision.timeouts
+                node = decision.node
+                if node is None:
+                    failed = decision.failed
+                    break
+                hops += 1
+                phases[decision.phase] = phases.get(decision.phase, 0) + 1
+                name = str(node.name)
+                path.append(name)
+                trace.append(
+                    {
+                        "hop": hops,
+                        "node": name,
+                        "phase": decision.phase,
+                        "timeouts": decision.timeouts,
+                    }
+                )
+                if not self._is_local(name):
+                    continuation.update(
+                        current=name,
+                        stage="finish" if decision.terminal else "route",
+                        failed=failed,
+                        hops=hops,
+                        timeouts=timeouts,
+                        state=network.pack_route_state(state),
+                    )
+                    return await self._forward(name, continuation)
+                network._record_visit(node)
+                current = node
+                if decision.terminal:
+                    break
+            continuation["stage"] = "finish"
+
+        if continuation["stage"] == "finish":
+            # The walk has stopped at ``current``; a protocol may owe
+            # one final delivery hop (Cycloid's best-observed handoff),
+            # exactly as the engine runs it — including after a
+            # HOP_LIMIT exhaustion.
+            final = network.finish_route(current, key_id, state)
+            if final is not None and final.node is not None:
+                timeouts += final.timeouts
+                node = final.node
+                hops += 1
+                phases[final.phase] = phases.get(final.phase, 0) + 1
+                name = str(node.name)
+                path.append(name)
+                trace.append(
+                    {
+                        "hop": hops,
+                        "node": name,
+                        "phase": final.phase,
+                        "timeouts": final.timeouts,
+                    }
+                )
+                if not self._is_local(name):
+                    continuation.update(
+                        current=name,
+                        stage="final",
+                        failed=failed,
+                        hops=hops,
+                        timeouts=timeouts,
+                        state=network.pack_route_state(state),
+                    )
+                    return await self._forward(name, continuation)
+                network._record_visit(node)
+                current = node
+
+        return self._finalize(continuation, current, key_id, hops, timeouts, failed)
+
+    async def _forward(
+        self, name: str, continuation: Dict[str, object]
+    ) -> Dict[str, object]:
+        """Hand the continuation to the server hosting ``name`` and
+        relay its final reply back down the chain."""
+        entry = self.directory.get(name)
+        if entry is None:
+            raise ServiceError(f"no server in the directory hosts {name!r}")
+        address = (str(entry[0]), int(entry[1]))
+        # Concurrent handlers must not race one address: the loser's
+        # connection (and its reader task) would leak.
+        async with self._peer_lock:
+            peer = self._peers.get(address)
+            if peer is None or not peer.connected:
+                peer = RpcConnection(*address, self.max_payload)
+                await peer.connect()
+                self._peers[address] = peer
+        try:
+            reply = await peer.request(
+                MessageType.STEP, continuation, self.timeout
+            )
+        except (asyncio.TimeoutError, ConnectionError, OSError) as exc:
+            raise ServiceError(
+                f"step to {address[0]}:{address[1]} ({name}) failed: {exc}"
+            ) from exc
+        if reply.kind == MessageType.ERROR:
+            raise ServiceError(str(reply.payload.get("error", "peer error")))
+        return reply.payload
+
+    def _finalize(
+        self,
+        continuation: Dict[str, object],
+        current: Node,
+        key_id: object,
+        hops: int,
+        timeouts: int,
+        failed: bool,
+    ) -> Dict[str, object]:
+        network = self.network
+        owner = network.cached_owner_of_id(key_id)
+        current_name = str(current.name)
+        success = (not failed) and current_name == str(owner.name)
+        result: Dict[str, object] = {
+            "op": continuation["op"],
+            "key": continuation["key"],
+            "lookup": continuation["lookup"],
+            "owner": current_name,
+            "hops": hops,
+            "timeouts": timeouts,
+            "success": success,
+            "failed": failed,
+            "path": continuation["path"],
+            "phases": continuation["phases"],
+            "trace": continuation["trace"],
+        }
+        if continuation["op"] == "put":
+            self.storage.put(
+                current_name, continuation["key"], continuation["value"]
+            )
+            result["stored"] = True
+        elif continuation["op"] == "get":
+            found, value = self.storage.get(current_name, continuation["key"])
+            result["found"] = found
+            result["value"] = value
+        return result
+
+    # ------------------------------------------------------------------
+    # membership + health
+    # ------------------------------------------------------------------
+
+    def _handle_ping(self) -> Dict[str, object]:
+        return {
+            "pong": True,
+            "version": PROTOCOL_VERSION,
+            "hosted": len(self.hosted),
+            "network_size": self.network.size,
+            "stored_pairs": self.storage.total_pairs(),
+            "rpcs_served": self.rpcs_served,
+            "frames_rejected": self.frames_rejected,
+        }
+
+    def _handle_join(self, payload: Dict[str, object]) -> Dict[str, object]:
+        name = payload.get("name")
+        if not isinstance(name, str) or not name:
+            raise ServiceError("JOIN requires a non-empty string 'name'")
+        try:
+            node = self.network.join(name)
+        except Exception as exc:
+            raise ServiceError(f"join failed: {exc}") from exc
+        joined = str(node.name)
+        self.hosted.append(joined)
+        self._hosted_set.add(joined)
+        self._names[joined] = node
+        if self._address is not None:
+            # Visible to every service sharing this directory object.
+            self.directory[joined] = list(self._address)
+        return {"joined": joined, "network_size": self.network.size}
+
+    def _handle_leave(self, payload: Dict[str, object]) -> Dict[str, object]:
+        name = payload.get("name")
+        if not isinstance(name, str) or not name:
+            raise ServiceError("LEAVE requires a non-empty string 'name'")
+        if not self._is_local(name):
+            raise ServiceError(f"node {name!r} is not hosted by this server")
+        if len(self.hosted) == 1:
+            raise ServiceError(
+                "refusing to retire this server's last hosted node"
+            )
+        node = self._resolve(name)
+        try:
+            self.network.leave(node)
+        except Exception as exc:
+            raise ServiceError(f"leave failed: {exc}") from exc
+        self.hosted.remove(name)
+        self._hosted_set.discard(name)
+        self._names.pop(name, None)
+        self.directory.pop(name, None)
+        # A graceful leaver's wire-stored pairs are dropped with it;
+        # re-homing them is the in-memory KeyValueStore's concern.
+        dropped = self.storage.drop_node(name)
+        return {
+            "left": name,
+            "network_size": self.network.size,
+            "dropped_pairs": dropped,
+        }
+
+
+async def _read(reader: asyncio.StreamReader, max_payload: int):
+    # Local indirection so tests can exercise _serve_connection's error
+    # paths through the public codec entry point.
+    from repro.net.codec import read_frame
+
+    return await read_frame(reader, max_payload)

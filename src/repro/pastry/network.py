@@ -155,6 +155,14 @@ class PastryNetwork(Network):
     def begin_route(self, source: PastryNode, key_id: int) -> Set[int]:
         return set()  # ids the message has passed through
 
+    def pack_route_state(self, state: Set[int]) -> object:
+        """Wire form of the visited-id set (repro.net, DESIGN S22);
+        sorted only to keep frames canonical, routing tests membership."""
+        return {"visited": sorted(state)}
+
+    def unpack_route_state(self, blob: object, key_id: int) -> Set[int]:
+        return set(blob["visited"])
+
     def next_hop(
         self, current: PastryNode, key_id: int, visited: Set[int]
     ) -> RoutingDecision:

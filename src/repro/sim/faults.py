@@ -30,14 +30,14 @@ bit-exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, FrozenSet, Set
+from typing import TYPE_CHECKING, FrozenSet, Set, Tuple
 
 from repro.util.rng import derive_rng, make_rng
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
     from repro.dht.base import Network, Node
 
-__all__ = ["FaultPlan", "FaultInjector", "FaultState"]
+__all__ = ["FaultPlan", "FaultInjector", "FaultState", "RetryPolicy"]
 
 
 def _check_probability(name: str, value: float) -> None:
@@ -83,6 +83,52 @@ class FaultPlan:
             or self.message_loss > 0.0
             or self.flaky_fraction > 0.0
         )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """The shared retry semantics of the fault harness (S19/S22).
+
+    ``budget`` has exactly the meaning of the lookup engine's
+    ``retry_budget``: the number of *continuations after a failed
+    attempt* a single operation may spend — an exhausted budget fails
+    the operation on the spot, so a budget of ``b`` allows at most
+    ``b + 1`` attempts in total.  The simulated engine
+    (:class:`repro.dht.routing.LookupEngine`) charges the budget per
+    failed probe with zero delay (simulated time); the live
+    :class:`repro.net.client.ClusterClient` charges it per timed-out or
+    failed RPC and sleeps :meth:`delay` in between — capped exponential
+    backoff, the wall-clock counterpart of the engine's probe loop.
+    """
+
+    budget: int = 8
+    #: sleep before the first re-attempt (seconds).
+    base_delay: float = 0.02
+    #: backoff growth factor per consecutive failure.
+    multiplier: float = 2.0
+    #: upper bound on any single sleep (seconds).
+    max_delay: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.budget < 0:
+            raise ValueError("retry budget must be >= 0")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("retry delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("retry multiplier must be >= 1")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before re-attempt ``attempt`` (0-based): capped
+        ``base_delay * multiplier**attempt``."""
+        if attempt < 0:
+            raise ValueError("attempt index must be >= 0")
+        return min(
+            self.base_delay * self.multiplier**attempt, self.max_delay
+        )
+
+    def delays(self) -> Tuple[float, ...]:
+        """The full backoff schedule, one entry per budget unit."""
+        return tuple(self.delay(i) for i in range(self.budget))
 
 
 class FaultInjector:

@@ -18,7 +18,9 @@ __all__ = ["random_keys", "uniform_key_corpus", "lookup_workload"]
 def random_keys(count: int, rng: random.Random, prefix: str = "key") -> List[str]:
     """``count`` distinct application keys with random suffixes."""
     if count < 0:
-        raise ValueError("count must be non-negative")
+        raise ValueError(
+            f"random_keys count must be non-negative, got {count}"
+        )
     return [f"{prefix}-{rng.getrandbits(64):016x}-{i}" for i in range(count)]
 
 

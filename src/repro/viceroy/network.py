@@ -187,6 +187,15 @@ class ViceroyNetwork(Network):
     ) -> _ButterflyWalk:
         return _ButterflyWalk()
 
+    def pack_route_state(self, state: _ButterflyWalk) -> object:
+        """Wire form of the stage cursor (repro.net, DESIGN S22)."""
+        return {"stage": state.stage}
+
+    def unpack_route_state(self, blob: object, key_id: int) -> _ButterflyWalk:
+        walk = _ButterflyWalk()
+        walk.stage = blob["stage"]
+        return walk
+
     def _believes_responsible(self, node: ViceroyNode, key_id: int) -> bool:
         predecessor, _ = self.general_ring(node)
         if predecessor is None:

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import CycloidNetwork
 from repro.chord import ChordNetwork
-from repro.dht.storage import KeyValueStore
+from repro.dht.storage import KeyValueStore, StorageShard
 from repro.util.rng import make_rng
 
 
@@ -132,6 +132,32 @@ class TestMigration:
         # After re-replication, running it again is a no-op.
         assert store.rereplicate() == 0
 
+    def test_losing_every_holder_loses_the_pair(self):
+        """The documented loss path: replicas=2 survives one silent
+        failure, but ungraceful failures that kill BOTH the owner and
+        the replica holder before rereplicate() lose the pair."""
+        net = CycloidNetwork.with_random_ids(60, 5, seed=8)
+        store = KeyValueStore(net, replicas=2)
+        source = net.live_nodes()[0]
+        store.put(source, "doomed", "value")
+        holders = [
+            node
+            for node in net.live_nodes()
+            if "doomed" in store.keys_on(node)
+        ]
+        assert len(holders) == 2  # owner + one neighbour replica
+        # First crash: the surviving copy still answers.
+        net.fail(holders[0])
+        assert store.on_silent_failure(holders[0]) == 0
+        # Second crash takes the last copy before any rereplicate().
+        net.fail(holders[1])
+        assert store.on_silent_failure(holders[1]) == 1
+        net.stabilize()
+        reader = next(
+            node for node in net.live_nodes() if node not in holders
+        )
+        assert store.get(reader, "doomed").found is False
+
     def test_works_on_ring_dhts_too(self):
         net = ChordNetwork.with_random_ids(50, 8, seed=7)
         store = KeyValueStore(net, replicas=2)
@@ -141,3 +167,42 @@ class TestMigration:
         newcomer = net.join("late")
         store.on_join(newcomer)
         assert store.get(newcomer, "ring-key").value == 42
+
+
+class TestStorageShard:
+    """Per-server shelves backing the live cluster's PUT/GET frames."""
+
+    def test_put_get_round_trip(self):
+        shard = StorageShard()
+        shard.put("n1", "k", {"v": 1})
+        assert shard.get("n1", "k") == (True, {"v": 1})
+
+    def test_missing_key_and_missing_node(self):
+        shard = StorageShard()
+        shard.put("n1", "k", "v")
+        assert shard.get("n1", "other") == (False, None)
+        assert shard.get("n2", "k") == (False, None)
+
+    def test_shelves_are_per_node(self):
+        shard = StorageShard()
+        shard.put("n1", "k", "one")
+        shard.put("n2", "k", "two")
+        assert shard.get("n1", "k") == (True, "one")
+        assert shard.get("n2", "k") == (True, "two")
+        assert shard.total_pairs() == 2
+
+    def test_overwrite_keeps_one_pair(self):
+        shard = StorageShard()
+        shard.put("n1", "k", "old")
+        shard.put("n1", "k", "new")
+        assert shard.get("n1", "k") == (True, "new")
+        assert shard.keys_on("n1") == ["k"]
+
+    def test_drop_node_reports_pair_count(self):
+        shard = StorageShard()
+        for i in range(3):
+            shard.put("n1", f"k{i}", i)
+        shard.put("n2", "other", 9)
+        assert shard.drop_node("n1") == 3
+        assert shard.drop_node("n1") == 0
+        assert shard.total_pairs() == 1

@@ -1,0 +1,157 @@
+"""Client retry semantics: budget, backoff schedule, timeouts."""
+
+import asyncio
+
+import pytest
+
+from repro.net.client import ClusterClient, ClusterError
+from repro.net.codec import MessageType, read_frame, write_frame
+from repro.sim.faults import RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(budget=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+
+    def test_exponential_backoff_schedule(self):
+        policy = RetryPolicy(
+            budget=5, base_delay=0.01, multiplier=2.0, max_delay=0.05
+        )
+        assert policy.delays() == (0.01, 0.02, 0.04, 0.05, 0.05)
+
+    def test_zero_budget_has_no_delays(self):
+        assert RetryPolicy(budget=0).delays() == ()
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def start_black_hole():
+    """A server that reads frames and never replies."""
+    seen = []
+
+    async def handle(reader, writer):
+        try:
+            while True:
+                frame = await read_frame(reader)
+                seen.append(frame)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            writer.close()
+
+    server = await asyncio.start_server(handle, "127.0.0.1", 0)
+    return server, server.sockets[0].getsockname()[:2], seen
+
+
+async def start_refuser():
+    """An address with nothing listening behind it."""
+    server = await asyncio.start_server(
+        lambda r, w: w.close(), "127.0.0.1", 0
+    )
+    address = server.sockets[0].getsockname()[:2]
+    server.close()
+    await server.wait_closed()
+    return address
+
+
+class TestClientRetries:
+    def test_timeout_consumes_exact_retry_budget(self):
+        async def go():
+            server, address, seen = await start_black_hole()
+            policy = RetryPolicy(budget=2, base_delay=0.001, max_delay=0.002)
+            client = ClusterClient(
+                {"n0": list(address)}, retry=policy, timeout=0.05
+            )
+            try:
+                with pytest.raises(ClusterError) as excinfo:
+                    await client.lookup("k", "n0")
+            finally:
+                await client.close()
+                server.close()
+                await server.wait_closed()
+            # budget b => b + 1 attempts, the engine's retry semantics.
+            assert len(seen) == 3
+            assert "after 3 attempts" in str(excinfo.value)
+            assert "retry budget 2" in str(excinfo.value)
+            assert client.retries == 2
+
+        run(go())
+
+    def test_zero_budget_fails_on_first_timeout(self):
+        async def go():
+            server, address, seen = await start_black_hole()
+            client = ClusterClient(
+                {"n0": list(address)},
+                retry=RetryPolicy(budget=0),
+                timeout=0.05,
+            )
+            try:
+                with pytest.raises(ClusterError, match="after 1 attempts"):
+                    await client.get("k", "n0")
+            finally:
+                await client.close()
+                server.close()
+                await server.wait_closed()
+            assert len(seen) == 1
+            assert client.retries == 0
+
+        run(go())
+
+    def test_connection_refused_retries_then_fails(self):
+        async def go():
+            address = await start_refuser()
+            client = ClusterClient(
+                {"n0": list(address)},
+                retry=RetryPolicy(budget=1, base_delay=0.001),
+                timeout=0.05,
+            )
+            try:
+                with pytest.raises(ClusterError, match="retry budget 1"):
+                    await client.ping(address)
+            finally:
+                await client.close()
+            assert client.retries == 1
+
+        run(go())
+
+    def test_unknown_node_is_not_retried(self):
+        client = ClusterClient({"n0": ["127.0.0.1", 1]})
+        with pytest.raises(ClusterError, match="no server hosts"):
+            client.address_of("missing")
+
+    def test_server_error_reply_is_not_retried(self):
+        async def go():
+            async def handle(reader, writer):
+                try:
+                    frame = await read_frame(reader)
+                    write_frame(
+                        writer,
+                        MessageType.ERROR,
+                        frame.rpc,
+                        {"error": "nope"},
+                    )
+                    await writer.drain()
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    pass
+
+            server = await asyncio.start_server(handle, "127.0.0.1", 0)
+            address = server.sockets[0].getsockname()[:2]
+            client = ClusterClient(
+                {"n0": list(address)}, retry=RetryPolicy(budget=3)
+            )
+            try:
+                with pytest.raises(ClusterError, match="nope"):
+                    await client.lookup("k", "n0")
+            finally:
+                await client.close()
+                server.close()
+                await server.wait_closed()
+            # An ERROR frame is an answer, not a transport failure.
+            assert client.retries == 0
+
+        run(go())

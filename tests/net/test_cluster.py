@@ -1,0 +1,227 @@
+"""LocalCluster lifecycle: serving, storage, membership, bad frames."""
+
+import asyncio
+
+import pytest
+
+from repro.core import CycloidNetwork
+from repro.net.client import ClusterClient, ClusterError
+from repro.net.cluster import SPEC_SCHEMA, LocalCluster, load_spec
+from repro.net.codec import (
+    HEADER_SIZE,
+    MessageType,
+    encode_frame,
+    read_frame,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def small_cluster(servers=3):
+    network = CycloidNetwork.complete(3)  # 24 nodes
+    return LocalCluster(
+        network, servers=servers, build={"protocol": "cycloid", "dimension": 3}
+    )
+
+
+class TestLifecycle:
+    def test_start_serves_every_node_and_stops_cleanly(self):
+        async def go():
+            async with small_cluster() as cluster:
+                assert len(cluster.directory) == 24
+                assert len(cluster.services) == 3
+                client = cluster.client()
+                async with client:
+                    for address in client.addresses():
+                        reply = await client.ping(address)
+                        assert reply["pong"] is True
+                        assert reply["network_size"] == 24
+            # Stopped: connecting again must fail.
+            address = cluster.services[0].address
+            with pytest.raises((ConnectionError, OSError)):
+                await asyncio.open_connection(*address)
+
+        run(go())
+
+    def test_round_robin_partition_covers_all_nodes(self):
+        cluster = small_cluster(servers=5)
+        hosted = [name for svc in cluster.services for name in svc.hosted]
+        assert sorted(hosted) == sorted(
+            str(n.name) for n in cluster.network.live_nodes()
+        )
+        sizes = [len(svc.hosted) for svc in cluster.services]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_servers_than_nodes_is_clamped(self):
+        network = CycloidNetwork.with_random_ids(3, 3, seed=1)
+        cluster = LocalCluster(network, servers=10)
+        assert len(cluster.services) == 3
+
+    def test_spec_round_trips_through_disk(self, tmp_path):
+        async def go():
+            async with small_cluster() as cluster:
+                path = str(tmp_path / "spec.json")
+                cluster.write_spec(path)
+                spec = load_spec(path)
+                assert spec["schema"] == SPEC_SCHEMA
+                assert spec["build"]["protocol"] == "cycloid"
+                assert spec["nodes"] == 24
+                assert spec["directory"] == {
+                    name: list(address)
+                    for name, address in cluster.directory.items()
+                }
+
+        run(go())
+
+    def test_load_spec_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": "other/v9", "directory": {"a": 1}}')
+        with pytest.raises(ValueError, match="cluster spec"):
+            load_spec(str(path))
+
+
+class TestOperations:
+    def test_put_then_get_round_trips(self):
+        async def go():
+            async with small_cluster() as cluster:
+                async with cluster.client() as client:
+                    names = sorted(cluster.directory)
+                    put = await client.put("color", "teal", names[0])
+                    assert put["success"] is True
+                    assert put["stored"] is True
+                    # Read back from a *different* source node.
+                    got = await client.get("color", names[-1])
+                    assert got["found"] is True
+                    assert got["value"] == "teal"
+                    assert got["owner"] == put["owner"]
+
+        run(go())
+
+    def test_get_missing_key_reports_not_found(self):
+        async def go():
+            async with small_cluster() as cluster:
+                async with cluster.client() as client:
+                    source = sorted(cluster.directory)[0]
+                    got = await client.get("never-stored", source)
+                    assert got["success"] is True
+                    assert got["found"] is False
+                    assert got["value"] is None
+
+        run(go())
+
+    def test_join_then_leave_through_the_wire(self):
+        async def go():
+            network = CycloidNetwork.with_random_ids(20, 4, seed=3)
+            async with LocalCluster(network, servers=2) as cluster:
+                async with cluster.client() as client:
+                    via = sorted(cluster.directory)[0]
+                    joined = await client.join("newcomer", via)
+                    assert joined["network_size"] == 21
+                    name = joined["joined"]
+                    assert name in cluster.directory
+                    # The newcomer serves lookups immediately.
+                    reply = await client.lookup("some-key", name)
+                    assert reply["success"] is True
+                    left = await client.leave(name)
+                    assert left["left"] == name
+                    assert left["network_size"] == 20
+                    assert name not in cluster.directory
+
+        run(go())
+
+    def test_unknown_source_is_a_service_error(self):
+        async def go():
+            async with small_cluster() as cluster:
+                directory = dict(cluster.directory)
+                first = sorted(directory)[0]
+                directory["ghost"] = directory[first]
+                async with ClusterClient(directory) as client:
+                    with pytest.raises(ClusterError, match="not hosted"):
+                        await client.lookup("k", "ghost")
+
+        run(go())
+
+
+class TestBadFrames:
+    async def send_raw(self, address, blob):
+        reader, writer = await asyncio.open_connection(*address)
+        writer.write(blob)
+        await writer.drain()
+        try:
+            return await asyncio.wait_for(read_frame(reader), 5)
+        finally:
+            writer.close()
+
+    def test_garbage_gets_error_frame_not_a_crash(self):
+        async def go():
+            async with small_cluster() as cluster:
+                address = cluster.services[0].address
+                reply = await self.send_raw(address, b"\x00" * 64)
+                assert reply.kind is MessageType.ERROR
+                assert reply.rpc == 0
+                assert "rejected frame" in reply.payload["error"]
+                assert cluster.services[0].frames_rejected == 1
+                # The server still answers fresh connections.
+                async with cluster.client() as client:
+                    pong = await client.ping(address)
+                    assert pong["pong"] is True
+
+        run(go())
+
+    def test_oversized_frame_is_rejected_without_buffering(self):
+        async def go():
+            async with small_cluster() as cluster:
+                address = cluster.services[0].address
+                # Header declares 2 MiB: rejected on the header alone.
+                import struct
+
+                from repro.net.codec import MAGIC, PROTOCOL_VERSION
+
+                header = struct.pack(
+                    ">2sBBQI", MAGIC, PROTOCOL_VERSION, 2, 9, 2 << 20
+                )
+                reply = await self.send_raw(address, header)
+                assert reply.kind is MessageType.ERROR
+                assert "exceeds" in reply.payload["error"]
+
+        run(go())
+
+    def test_wrong_version_is_rejected(self):
+        async def go():
+            async with small_cluster() as cluster:
+                address = cluster.services[0].address
+                blob = bytearray(encode_frame(MessageType.PING, 1, {}))
+                blob[2] = 9
+                reply = await self.send_raw(address, bytes(blob))
+                assert reply.kind is MessageType.ERROR
+                assert "version" in reply.payload["error"]
+
+        run(go())
+
+    def test_reply_frame_to_a_server_is_answered_with_error(self):
+        async def go():
+            async with small_cluster() as cluster:
+                address = cluster.services[0].address
+                blob = encode_frame(MessageType.REPLY, 11, {})
+                reply = await self.send_raw(address, blob)
+                assert reply.kind is MessageType.ERROR
+                assert reply.rpc == 11
+                assert "unexpected" in reply.payload["error"]
+
+        run(go())
+
+    def test_malformed_payload_with_valid_header_shape(self):
+        async def go():
+            async with small_cluster() as cluster:
+                address = cluster.services[0].address
+                good = encode_frame(MessageType.PING, 3, {"pad": "xyzw"})
+                broken = good[:HEADER_SIZE] + b"\xff" * (
+                    len(good) - HEADER_SIZE
+                )
+                reply = await self.send_raw(address, broken)
+                assert reply.kind is MessageType.ERROR
+                assert "JSON" in reply.payload["error"]
+
+        run(go())

@@ -1,0 +1,151 @@
+"""Wire-protocol codec tests: round-trips and malformed-frame rejection."""
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.net.codec import (
+    Frame,
+    FrameError,
+    HEADER_SIZE,
+    MAGIC,
+    MAX_PAYLOAD,
+    MessageType,
+    PROTOCOL_VERSION,
+    decode_frame,
+    decode_header,
+    encode_frame,
+    read_frame,
+)
+
+
+def frame_bytes(kind=MessageType.PING, rpc=7, payload=None):
+    return encode_frame(kind, rpc, payload if payload is not None else {})
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("kind", list(MessageType))
+    def test_every_type_round_trips(self, kind):
+        payload = {"key": "k", "nested": {"n": [1, 2, 3]}, "flag": True}
+        frame = decode_frame(encode_frame(kind, 123456789, payload))
+        assert frame == Frame(kind, 123456789, payload)
+
+    def test_empty_payload_round_trips(self):
+        frame = decode_frame(frame_bytes())
+        assert frame.kind is MessageType.PING
+        assert frame.rpc == 7
+        assert frame.payload == {}
+
+    def test_rpc_id_bounds(self):
+        top = (1 << 64) - 1
+        assert decode_frame(frame_bytes(rpc=top)).rpc == top
+        for bad in (-1, 1 << 64):
+            with pytest.raises(FrameError):
+                encode_frame(MessageType.PING, bad, {})
+
+    def test_header_layout_is_pinned(self):
+        buffer = encode_frame(MessageType.LOOKUP, 5, {"a": 1})
+        magic, version, kind, rpc, length = struct.unpack(
+            ">2sBBQI", buffer[:HEADER_SIZE]
+        )
+        assert magic == MAGIC == b"RP"
+        assert version == PROTOCOL_VERSION == 1
+        assert kind == MessageType.LOOKUP
+        assert rpc == 5
+        assert length == len(buffer) - HEADER_SIZE
+
+
+class TestRejection:
+    def test_bad_magic(self):
+        buffer = bytearray(frame_bytes())
+        buffer[0:2] = b"XX"
+        with pytest.raises(FrameError, match="magic"):
+            decode_frame(bytes(buffer))
+
+    def test_unknown_version(self):
+        buffer = bytearray(frame_bytes())
+        buffer[2] = 99
+        with pytest.raises(FrameError, match="version"):
+            decode_frame(bytes(buffer))
+
+    def test_unknown_message_type(self):
+        buffer = bytearray(frame_bytes())
+        buffer[3] = 200
+        with pytest.raises(FrameError, match="type"):
+            decode_frame(bytes(buffer))
+
+    def test_oversized_payload_rejected_on_encode(self):
+        with pytest.raises(FrameError, match="exceeds"):
+            encode_frame(
+                MessageType.PUT, 1, {"blob": "x" * (MAX_PAYLOAD + 1)}
+            )
+
+    def test_oversized_declared_length_rejected_on_decode(self):
+        header = struct.pack(
+            ">2sBBQI", MAGIC, PROTOCOL_VERSION, 5, 1, MAX_PAYLOAD + 1
+        )
+        with pytest.raises(FrameError, match="exceeds"):
+            decode_header(header)
+
+    def test_custom_payload_limit(self):
+        buffer = encode_frame(MessageType.PUT, 1, {"k": "v" * 100})
+        with pytest.raises(FrameError, match="exceeds"):
+            decode_frame(buffer, max_payload=16)
+
+    def test_truncated_header(self):
+        with pytest.raises(FrameError, match="header"):
+            decode_header(frame_bytes()[: HEADER_SIZE - 1])
+
+    def test_truncated_payload(self):
+        with pytest.raises(FrameError, match="declared"):
+            decode_frame(frame_bytes(payload={"k": "value"})[:-3])
+
+    def test_payload_not_json(self):
+        good = frame_bytes(payload={"pad": "xxxx"})
+        broken = good[:HEADER_SIZE] + b"\xff" * (len(good) - HEADER_SIZE)
+        with pytest.raises(FrameError, match="JSON"):
+            decode_frame(broken)
+
+    def test_payload_not_an_object(self):
+        body = b"[1,2,3]"
+        buffer = (
+            struct.pack(
+                ">2sBBQI", MAGIC, PROTOCOL_VERSION, 5, 1, len(body)
+            )
+            + body
+        )
+        with pytest.raises(FrameError, match="object"):
+            decode_frame(buffer)
+
+    def test_non_serialisable_payload(self):
+        with pytest.raises(FrameError, match="serialisable"):
+            encode_frame(MessageType.PUT, 1, {"bad": object()})
+
+
+class TestStreamReading:
+    def read(self, data, **kwargs):
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(data)
+            reader.feed_eof()
+            return await read_frame(reader, **kwargs)
+
+        return asyncio.run(go())
+
+    def test_reads_one_frame(self):
+        frame = self.read(frame_bytes(MessageType.GET, 42, {"key": "k"}))
+        assert frame == Frame(MessageType.GET, 42, {"key": "k"})
+
+    def test_eof_mid_frame(self):
+        with pytest.raises(asyncio.IncompleteReadError):
+            self.read(frame_bytes()[:5])
+
+    def test_contract_violation_from_stream(self):
+        with pytest.raises(FrameError, match="magic"):
+            self.read(b"XX" + frame_bytes()[2:])
+
+    def test_stream_respects_payload_limit(self):
+        data = frame_bytes(payload={"k": "v" * 64})
+        with pytest.raises(FrameError, match="exceeds"):
+            self.read(data, max_payload=8)

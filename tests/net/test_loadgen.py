@@ -1,0 +1,167 @@
+"""Load generator: concurrency, digests, schema guard, live traces."""
+
+import json
+
+import pytest
+
+from repro.experiments.bench import validate_net_report
+from repro.net.loadgen import (
+    NET_BENCH_SCHEMA,
+    build_from_recipe,
+    expected_results,
+    make_operations,
+    results_digest,
+    run_loadgen,
+)
+
+BUILD_32 = {"protocol": "cycloid", "nodes": 32, "dimension": 4, "seed": 6}
+
+
+class TestWorkload:
+    def test_operations_are_deterministic(self):
+        network = build_from_recipe(BUILD_32)
+        first = make_operations(network, 10, 4, seed=3)
+        second = make_operations(network, 10, 4, seed=3)
+        assert first == second
+        assert len(first) == 18  # 10 lookups + 4 puts + 4 gets
+        assert [op["op"] for op in first].count("get") == 4
+
+    def test_gets_reuse_put_keys(self):
+        network = build_from_recipe(BUILD_32)
+        operations = make_operations(network, 0, 5, seed=1)
+        puts = {op["key"]: op["value"] for op in operations if op["op"] == "put"}
+        gets = {op["key"]: op["expect"] for op in operations if op["op"] == "get"}
+        assert puts == gets
+
+    def test_expected_results_leave_the_network_untouched(self):
+        network = build_from_recipe(BUILD_32)
+        operations = make_operations(network, 6, 0, seed=2)
+        before = list(network.query_counts())
+        expected_results(network, operations)
+        assert list(network.query_counts()) == before
+
+    def test_digest_is_order_insensitive_but_content_sensitive(self):
+        network = build_from_recipe(BUILD_32)
+        operations = make_operations(network, 8, 0, seed=2)
+        expected = expected_results(network, operations)
+        shuffled = list(reversed(expected))
+        assert results_digest(expected) == results_digest(shuffled)
+        tampered = [dict(r) for r in expected]
+        tampered[0]["hops"] += 1
+        assert results_digest(expected) != results_digest(tampered)
+
+
+class TestClosedLoopRun:
+    def test_64_clients_against_32_nodes_zero_failures(self):
+        """The acceptance-criteria run: >= 64 concurrent closed-loop
+        clients vs a 32-node cluster, zero failures, digest parity."""
+        report = run_loadgen(
+            BUILD_32, servers=4, clients=64, lookups=96, puts=16, seed=13
+        )
+        validate_net_report(report)
+        assert report["schema"] == NET_BENCH_SCHEMA
+        assert report["clients"] == 64
+        assert report["ops"]["total"] == 128
+        assert report["ops"]["completed"] == 128
+        assert report["ops"]["failures"] == 0
+        assert report["digest"]["match"] is True
+        assert report["throughput_ops_per_s"] > 0
+        latency = report["latency_ms"]
+        assert 0 < latency["p50"] <= latency["p95"] <= latency["p99"]
+        assert latency["p99"] <= latency["max"]
+
+    def test_digest_is_stable_across_client_counts(self):
+        """Scheduling differs wildly between 2 and 32 clients; the
+        op-indexed digest must not."""
+        few = run_loadgen(
+            BUILD_32, servers=2, clients=2, lookups=24, puts=4, seed=9
+        )
+        many = run_loadgen(
+            BUILD_32, servers=4, clients=32, lookups=24, puts=4, seed=9
+        )
+        assert few["digest"]["live"] == many["digest"]["live"]
+        assert few["digest"]["match"] and many["digest"]["match"]
+
+    def test_trace_lines_carry_rpc_and_latency(self, tmp_path):
+        trace_path = str(tmp_path / "live.jsonl")
+        report = run_loadgen(
+            {"protocol": "cycloid", "dimension": 3, "seed": 2},
+            servers=2,
+            clients=4,
+            lookups=10,
+            puts=2,
+            seed=5,
+            trace_path=trace_path,
+        )
+        lines = [
+            json.loads(line)
+            for line in open(trace_path, encoding="utf-8")
+        ]
+        assert lines
+        assert report["trace"]["lines"] == len(lines)
+        total_hops = sum(r["hops"] for r in expected_results(
+            build_from_recipe({"protocol": "cycloid", "dimension": 3, "seed": 2}),
+            make_operations(
+                build_from_recipe(
+                    {"protocol": "cycloid", "dimension": 3, "seed": 2}
+                ),
+                10,
+                2,
+                seed=5,
+            ),
+        ))
+        assert len(lines) == total_hops
+        for line in lines:
+            # The simulated --trace hop schema...
+            assert set(line) == {
+                "lookup", "hop", "node", "phase", "timeouts",
+                # ...plus the live-only per-RPC fields.
+                "rpc", "latency_ms",
+            }
+            assert line["rpc"] >= 1
+            assert line["latency_ms"] > 0
+
+
+class TestSchemaGuard:
+    def make_report(self):
+        return run_loadgen(
+            {"protocol": "cycloid", "dimension": 3, "seed": 1},
+            servers=2,
+            clients=4,
+            lookups=6,
+            puts=2,
+            seed=3,
+        )
+
+    def test_valid_report_passes(self):
+        validate_net_report(self.make_report())
+
+    def test_wrong_schema_tag_rejected(self):
+        report = self.make_report()
+        report["schema"] = "repro/net-bench/v0"
+        with pytest.raises(ValueError, match="schema"):
+            validate_net_report(report)
+
+    def test_missing_section_rejected(self):
+        report = self.make_report()
+        del report["latency_ms"]
+        with pytest.raises(ValueError, match="latency_ms"):
+            validate_net_report(report)
+
+    def test_missing_nested_key_rejected(self):
+        report = self.make_report()
+        del report["ops"]["failures"]
+        with pytest.raises(ValueError, match="failures"):
+            validate_net_report(report)
+
+    def test_inconsistent_match_flag_rejected(self):
+        report = self.make_report()
+        report["digest"]["match"] = not report["digest"]["match"]
+        with pytest.raises(ValueError, match="inconsistent"):
+            validate_net_report(report)
+
+    def test_malformed_digest_rejected(self):
+        report = self.make_report()
+        report["digest"]["live"] = "not-a-hash"
+        with pytest.raises(ValueError, match="sha256"):
+            validate_net_report(report)

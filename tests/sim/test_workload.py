@@ -15,6 +15,16 @@ class TestRandomKeys:
         with pytest.raises(ValueError):
             random_keys(-1, rng)
 
+    def test_negative_error_names_the_value(self, rng):
+        # The message must say what was passed, not just the rule.
+        with pytest.raises(
+            ValueError, match=r"count must be non-negative, got -7"
+        ):
+            random_keys(-7, rng)
+
+    def test_zero_is_allowed(self, rng):
+        assert random_keys(0, rng) == []
+
     def test_prefix(self, rng):
         assert random_keys(1, rng, prefix="abc")[0].startswith("abc-")
 

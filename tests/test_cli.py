@@ -268,3 +268,123 @@ class TestBench:
     def test_bench_rejects_single_worker(self):
         with pytest.raises(ValueError):
             main(["bench", "--workers", "1", "--lookups", "40"])
+
+
+class TestServeLoadgenParsers:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.protocol == "cycloid"
+        assert args.dimension == 4
+        assert args.nodes is None
+        assert args.servers == 4
+        assert args.cluster_file is None
+        assert args.lifetime is None
+
+    def test_loadgen_defaults(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert args.command == "loadgen"
+        assert args.clients == 64
+        assert args.lookups == 256
+        assert args.puts == 32
+        assert args.timeout == 5.0
+        assert args.retry_budget == 8
+        assert args.output == "BENCH_net.json"
+        assert args.cluster_file is None
+
+    def test_loadgen_rejects_unknown_protocol(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadgen", "--protocol", "gnutella"])
+
+    def test_console_script_entry_point_is_declared(self):
+        # The `repro` command installed by pip must point at this main.
+        import pathlib
+
+        pyproject = pathlib.Path(__file__).parent.parent / "pyproject.toml"
+        text = pyproject.read_text(encoding="utf-8")
+        assert "[project.scripts]" in text
+        assert 'repro = "repro.cli:main"' in text
+
+
+class TestServeLoadgenCommands:
+    def test_serve_with_lifetime_exits_cleanly(self, capsys, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        assert (
+            main(
+                [
+                    "serve",
+                    "--protocol", "cycloid",
+                    "--dimension", "3",
+                    "--servers", "2",
+                    "--cluster-file", str(spec_path),
+                    "--lifetime", "0.1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "serving 24 cycloid nodes on 2 servers" in out
+        spec = json.loads(spec_path.read_text())
+        assert spec["schema"] == "repro/cluster-spec/v1"
+        assert len(spec["directory"]) == 24
+
+    def test_loadgen_writes_digest_checked_report(self, capsys, tmp_path):
+        out_path = tmp_path / "BENCH_net.json"
+        assert (
+            main(
+                [
+                    "loadgen",
+                    "--protocol", "cycloid",
+                    "--dimension", "3",
+                    "--servers", "2",
+                    "--clients", "8",
+                    "--lookups", "20",
+                    "--puts", "4",
+                    "--output", str(out_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "loadgen — cycloid, 8 clients" in out
+        assert "match" in out
+        report = json.loads(out_path.read_text())
+        assert report["schema"] == "repro/net-bench/v1"
+        assert report["ops"]["failures"] == 0
+        assert report["digest"]["match"] is True
+
+    def test_loadgen_trace_writes_live_hop_lines(self, capsys, tmp_path):
+        out_path = tmp_path / "bench.json"
+        trace_path = tmp_path / "live.jsonl"
+        assert (
+            main(
+                [
+                    "--trace", str(trace_path),
+                    "loadgen",
+                    "--protocol", "chord",
+                    "--nodes", "16",
+                    "--servers", "2",
+                    "--clients", "4",
+                    "--lookups", "10",
+                    "--puts", "2",
+                    "--output", str(out_path),
+                ]
+            )
+            == 0
+        )
+        lines = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines()
+        ]
+        assert lines
+        for line in lines:
+            assert "rpc" in line and "latency_ms" in line
+
+    def test_loadgen_rejects_missing_cluster_file(self, capsys, tmp_path):
+        assert (
+            main(
+                ["loadgen", "--cluster-file", str(tmp_path / "absent.json")]
+            )
+            == 2
+        )
+        assert "cannot load cluster spec" in capsys.readouterr().err
