@@ -4,6 +4,7 @@ from repro.analysis.report import (
     ascii_series,
     format_bench_table,
     format_clone_bench_table,
+    format_kernel_bench_table,
     format_table,
     series_by_protocol,
 )
@@ -14,4 +15,5 @@ __all__ = [
     "series_by_protocol",
     "format_bench_table",
     "format_clone_bench_table",
+    "format_kernel_bench_table",
 ]

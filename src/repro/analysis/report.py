@@ -16,6 +16,7 @@ __all__ = [
     "series_by_protocol",
     "format_bench_table",
     "format_clone_bench_table",
+    "format_kernel_bench_table",
 ]
 
 T = TypeVar("T")
@@ -102,6 +103,37 @@ def format_clone_bench_table(
         ["protocol", "n", "build", "restore", "clone", "speedup", "bit-exact"],
         rows,
         "Build-once vs per-shard rebuild (one shard's network)",
+    )
+
+
+def format_kernel_bench_table(
+    cells: Sequence[Mapping[str, object]]
+) -> str:
+    """Render the ``kernel`` section of the bench report.
+
+    Each cell mapping carries the object-vs-columnar backend timings of
+    ``BENCH_parallel.json`` (DESIGN §S23).  ``KernelBenchCell``
+    instances are accepted directly.
+    """
+    cells = [
+        cell.as_dict() if hasattr(cell, "as_dict") else cell
+        for cell in cells
+    ]
+    rows = [
+        [
+            cell["protocol"],
+            str(cell["lookups"]),
+            f"{float(cell['object_lookups_per_s']):,.0f}/s",
+            f"{float(cell['columnar_lookups_per_s']):,.0f}/s",
+            f"{cell['speedup']:.1f}x",
+            "yes" if cell["digest_match"] else "NO",
+        ]
+        for cell in cells
+    ]
+    return format_table(
+        ["protocol", "lookups", "object", "columnar", "speedup", "bit-exact"],
+        rows,
+        "Lookup execution backends (object vs columnar kernel)",
     )
 
 

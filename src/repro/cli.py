@@ -29,6 +29,13 @@ each cell's network once and hands every shard a restored copy,
 ``rebuild`` re-runs the join protocol per shard — the digests are
 bit-identical either way (DESIGN §S21).
 
+The pure-lookup commands (fig5/6/7, fig14, fig-crash) also accept
+``--backend {object,columnar}``: ``object`` (default) routes each
+lookup hop-at-a-time over the node graph, ``columnar`` executes the
+whole batch as vectorized numpy sweeps (DESIGN §S23) — the records are
+bit-identical, the kernel is just faster (``bench``'s ``kernel``
+section measures by how much).
+
 ``--trace PATH`` (on the lookup-driven commands: fig5/6/7, fig10,
 fig11, fig12, fig13, fig14, fig-crash, maint) streams every routing
 hop as one JSON line to ``PATH`` — see
@@ -53,12 +60,14 @@ from typing import List, Optional
 from repro.analysis import (
     format_bench_table,
     format_clone_bench_table,
+    format_kernel_bench_table,
     format_table,
 )
 from repro.dht.routing import JsonlTraceSink, TraceObserver
 from repro.experiments import (
     architecture_table,
     bench_report,
+    compare_to_baseline,
     run_churn_experiment,
     run_crash_experiment,
     run_key_distribution_experiment,
@@ -66,6 +75,7 @@ from repro.experiments import (
     run_maintenance_experiment,
     run_mass_departure_experiment,
     run_clone_bench,
+    run_kernel_bench,
     run_parallel_bench,
     run_path_length_experiment,
     run_phase_breakdown_experiment,
@@ -75,9 +85,11 @@ from repro.experiments import (
 )
 from repro.experiments.bench import (
     DEFAULT_BENCH_PROTOCOLS,
+    KERNEL_BENCH_PROTOCOLS,
     validate_net_report,
 )
 from repro.experiments.registry import ALL_PROTOCOLS
+from repro.dht.kernel import BACKENDS
 from repro.sim.parallel import DEFAULT_SHARD_SIZE, DISTRIBUTIONS
 
 __all__ = ["main", "build_parser"]
@@ -102,6 +114,19 @@ def _add_distribution(subparser: argparse.ArgumentParser) -> None:
         help="how each shard obtains its network: 'snapshot' builds the "
         "cell once and restores copies (default), 'rebuild' re-runs the "
         "full join protocol per shard; both are bit-identical",
+    )
+
+
+def _add_backend(subparser: argparse.ArgumentParser) -> None:
+    # argparse's choices= produces the same actionable error shape as
+    # run_sharded_lookups: name the bad value, list the valid choices.
+    subparser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="object",
+        help="lookup execution backend: 'object' walks the node graph "
+        "hop-at-a-time (default), 'columnar' runs the vectorized numpy "
+        "kernel (DESIGN S23); both produce bit-identical records",
     )
 
 
@@ -197,6 +222,9 @@ def build_parser() -> argparse.ArgumentParser:
     # keys without routing, so the knob does not apply to them.
     for figure in (fig5, fig6, fig7, fig10, fig11, fig13, fig14, crash):
         _add_distribution(figure)
+    # The pure-lookup cells additionally choose an execution backend.
+    for figure in (fig5, fig6, fig7, fig14, crash):
+        _add_backend(figure)
 
     bench = sub.add_parser(
         "bench",
@@ -350,7 +378,8 @@ def _run_fig5_or_6(
         seed=args.seed,
         observer=observer,
         workers=args.workers,
-    distribution=args.distribution,
+        distribution=args.distribution,
+        backend=args.backend,
     )
     x_header = "d" if by_dimension else "n"
     rows = [
@@ -534,7 +563,8 @@ def _dispatch(
             seed=args.seed,
             observer=sink,
             workers=args.workers,
-        distribution=args.distribution,
+            distribution=args.distribution,
+            backend=args.backend,
         )
         rows = [
             [
@@ -685,7 +715,8 @@ def _dispatch(
             seed=args.seed,
             observer=sink,
             workers=args.workers,
-        distribution=args.distribution,
+            distribution=args.distribution,
+            backend=args.backend,
         )
         rows = [
             [
@@ -712,7 +743,8 @@ def _dispatch(
             dimension=args.dimension,
             observer=sink,
             workers=args.workers,
-        distribution=args.distribution,
+            distribution=args.distribution,
+            backend=args.backend,
         )
         rows = [
             [
@@ -778,6 +810,9 @@ def _dispatch(
             )
         )
     elif args.command == "bench":
+        import json
+        import os.path
+
         cells = run_parallel_bench(
             protocols=tuple(args.protocols),
             dimension=args.dimension,
@@ -792,6 +827,15 @@ def _dispatch(
             shard_size=args.shard_size,
             seed=args.seed,
         )
+        kernel_protocols = tuple(
+            p for p in args.protocols if p in KERNEL_BENCH_PROTOCOLS
+        ) or KERNEL_BENCH_PROTOCOLS
+        kernel_cells = run_kernel_bench(
+            protocols=kernel_protocols,
+            dimension=args.dimension,
+            lookups=args.lookups,
+            seed=args.seed,
+        )
         report = bench_report(
             cells,
             dimension=args.dimension,
@@ -800,10 +844,23 @@ def _dispatch(
             shard_size=args.shard_size,
             seed=args.seed,
             clone_cells=clone_cells,
+            kernel_cells=kernel_cells,
         )
+        # Compare against the committed baseline before overwriting it,
+        # so throughput drift is surfaced rather than silently replaced.
+        baseline = None
+        if os.path.exists(args.output):
+            try:
+                with open(args.output, "r", encoding="utf-8") as handle:
+                    baseline = json.load(handle)
+            except (OSError, ValueError):
+                baseline = None
+        for line in compare_to_baseline(report, baseline):
+            print(line, file=sys.stderr)
         write_bench_report(args.output, report)
         _print(format_bench_table(report["cells"], args.workers))
         _print(format_clone_bench_table(report["build_vs_clone"]))
+        _print(format_kernel_bench_table(report["kernel"]))
         print(f"bench report -> {args.output}", file=sys.stderr)
         if not report["all_match"]:
             print(

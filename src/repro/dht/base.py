@@ -312,6 +312,7 @@ class Network(abc.ABC):
         observer: Optional[TraceObserver] = None,
         injector: Optional["FaultInjector"] = None,
         retry_budget: int = 0,
+        backend: str = "object",
     ) -> List[LookupRecord]:
         """Route a batch of ``(source, application key)`` lookups.
 
@@ -321,7 +322,24 @@ class Network(abc.ABC):
         per-hop trace event with lookup ids numbered from 0.  An active
         ``injector`` arms the engine's fault mode with the given
         per-lookup ``retry_budget``.
+
+        ``backend`` selects the execution strategy (DESIGN §S23):
+        ``"object"`` walks the node graph hop-at-a-time via the shared
+        engine; ``"columnar"`` dispatches to the vectorized kernel in
+        :mod:`repro.dht.kernel`, which is bit-identical and falls back
+        to the object engine where required.
         """
+        if backend != "object":
+            from repro.dht.kernel import run_lookup_batch
+
+            return run_lookup_batch(
+                self,
+                pairs,
+                backend=backend,
+                observer=observer,
+                injector=injector,
+                retry_budget=retry_budget,
+            )
         engine = LookupEngine(self, observer, injector, retry_budget)
         key_id = self.key_id
         return [engine.run(source, key_id(key)) for source, key in pairs]
@@ -332,9 +350,22 @@ class Network(abc.ABC):
         observer: Optional[TraceObserver] = None,
         injector: Optional["FaultInjector"] = None,
         retry_budget: int = 0,
+        backend: str = "object",
     ) -> List[LookupRecord]:
         """Route a batch of ``(source, key id)`` lookups (pre-hashed
-        variant of :meth:`lookup_many`)."""
+        variant of :meth:`lookup_many`, same ``backend`` selection)."""
+        if backend != "object":
+            from repro.dht.kernel import run_lookup_batch
+
+            return run_lookup_batch(
+                self,
+                pairs,
+                backend=backend,
+                observer=observer,
+                injector=injector,
+                retry_budget=retry_budget,
+                hashed=True,
+            )
         return LookupEngine(self, observer, injector, retry_budget).run_batch(
             pairs
         )

@@ -1,0 +1,1181 @@
+"""Pluggable lookup execution backends (DESIGN §S23).
+
+Lookup execution is a *backend* choice, selected by name everywhere a
+batch of lookups is routed (``Network.lookup_many`` /
+``Network.route_many``, :func:`repro.experiments.common.run_lookups`,
+:func:`repro.sim.parallel.run_sharded_lookups`, and the ``--backend``
+CLI flag):
+
+* ``object`` — the golden reference: the hop-at-a-time
+  :class:`~repro.dht.routing.LookupEngine` walking the node object
+  graph.  Always available, always exact, and the default.
+* ``columnar`` — this module's vectorized kernel.  A network is
+  *compiled* once per batch into flat numpy int columns — the same
+  node universe :func:`~repro.dht.snapshot.pack_network` enumerates
+  (every live node plus every dead node still referenced by a stale
+  pointer, index-encoded) laid out as per-slot arrays: routing-table
+  columns, leaf-set/successor runs padded to fixed width with ``-1``,
+  and an aliveness mask.  A whole batch of lookups then advances as
+  one *wave* per hop: frontier arrays hold each lookup's current node,
+  hop/timeout counters and per-phase totals, and the protocol's
+  ``next_hop`` preference cascade is expressed as gather/compare/select
+  over the columns — each preference tier becomes a candidate matrix
+  segment, ranked by the same sort keys the object engine uses, and the
+  accepted hop is the first live candidate per row with dead candidates
+  before it each costing one timeout (ranked-alternate fallback as a
+  masked gather).
+
+The acceptance bar is bit-exactness: identical
+:class:`~repro.dht.metrics.LookupStats` digests, per-lookup records,
+and query-load counters, pinned by the kernel parity suite.
+
+**Fallback rules** (documented, deliberate): the columnar path runs
+only for protocols with a registered compiler (Cycloid — both leaf
+radii — and Chord), only without a per-hop trace observer, and only
+when no *active* fault injector is attached.  Fault-mode batches are
+inherently sequential — probe verdicts consume the injector's loss RNG
+in lookup order and ``on_dead_entry`` repairs mutate routing state that
+later lookups in the same shard must see — so they take the object
+engine, which is the same semantics by definition.  Either way the
+caller gets bit-identical records, so ``backend="columnar"`` is always
+safe to request.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple, Type
+
+from repro.dht.metrics import LookupRecord
+from repro.dht.routing import LookupEngine, TraceObserver
+
+try:  # numpy is a hard dependency of the columnar backend only
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised on minimal installs
+    np = None  # type: ignore[assignment]
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
+    from repro.dht.base import Network, Node
+    from repro.sim.faults import FaultInjector
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "check_backend",
+    "columnar_protocols",
+    "supports_columnar",
+    "run_lookup_batch",
+]
+
+#: Selectable lookup execution backends, in preference-free name order.
+BACKENDS: Tuple[str, ...] = ("object", "columnar")
+
+#: The golden reference engine; tier-1 behaviour never changes unless a
+#: caller opts in to another backend.
+DEFAULT_BACKEND = "object"
+
+#: Sentinel larger than any packed sort key (segment keys stay below
+#: 2**60 for every realistic dimension).
+_INF = np.int64(2**62) if np is not None else None
+
+
+def check_backend(backend: str) -> None:
+    """Validate a backend name, mirroring the actionable
+    ``run_sharded_lookups`` distribution error: name the bad value and
+    list the valid choices."""
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+
+
+#: protocol_name -> kernel compiler class.
+_COMPILERS: Dict[str, Type] = {}
+
+
+def _register(protocol_name: str):
+    def decorate(cls):
+        _COMPILERS[protocol_name] = cls
+        return cls
+
+    return decorate
+
+
+def columnar_protocols() -> Tuple[str, ...]:
+    """Protocols with a fully-columnar compiled step function."""
+    return tuple(sorted(_COMPILERS))
+
+
+def supports_columnar(network: "Network") -> bool:
+    """True when ``network``'s protocol compiles to the columnar kernel."""
+    return network.protocol_name in _COMPILERS
+
+
+def run_lookup_batch(
+    network: "Network",
+    pairs: Iterable[Tuple["Node", object]],
+    *,
+    backend: str = DEFAULT_BACKEND,
+    observer: Optional[TraceObserver] = None,
+    injector: Optional["FaultInjector"] = None,
+    retry_budget: int = 0,
+    hashed: bool = False,
+) -> List[LookupRecord]:
+    """Route a batch of lookups through the selected backend.
+
+    ``pairs`` holds ``(source, application key)`` tuples, or
+    ``(source, key id)`` when ``hashed`` is true.  The columnar backend
+    falls back to the object engine per the module-docstring rules;
+    records are bit-identical either way.
+    """
+    check_backend(backend)
+    if retry_budget < 0:
+        raise ValueError("retry_budget must be >= 0")
+    pairs = list(pairs)
+    if backend == "columnar" and pairs:
+        fault_mode = injector is not None and injector.active
+        compiler = _COMPILERS.get(network.protocol_name)
+        if compiler is not None and observer is None and not fault_mode:
+            if np is None:  # pragma: no cover - numpy is baked into CI
+                raise RuntimeError(
+                    "the columnar backend requires numpy; install it or "
+                    "use backend='object'"
+                )
+            sources = [source for source, _ in pairs]
+            if hashed:
+                key_ids = [key for _, key in pairs]
+            else:
+                key_id = network.key_id
+                key_ids = [key_id(key) for _, key in pairs]
+            return compiler(network).run(sources, key_ids)
+    engine = LookupEngine(network, observer, injector, retry_budget)
+    if hashed:
+        return engine.run_batch(pairs)
+    key_id = network.key_id
+    return [engine.run(source, key_id(key)) for source, key in pairs]
+
+
+# ----------------------------------------------------------------------
+# shared compile helpers
+# ----------------------------------------------------------------------
+
+
+def _intern_universe(live_nodes, pointer_slots):
+    """Index the node universe: live nodes first (stable order), then
+    every dead node still referenced by a live node's pointers — the
+    same reachable set ``pack_network`` flattens, because a stale
+    pointer to a departed node is load-bearing state (it is what
+    produces timeouts)."""
+    index: Dict[int, int] = {}
+    nodes: List[object] = []
+    for node in live_nodes:
+        index[id(node)] = len(nodes)
+        nodes.append(node)
+    for node in live_nodes:
+        for target in pointer_slots(node):
+            if target is not None and id(target) not in index:
+                index[id(target)] = len(nodes)
+                nodes.append(target)
+    return nodes, index
+
+
+def _pad_matrix(rows: Sequence[Sequence[int]], width: int):
+    """Stack variable-length index runs into an ``-1``-padded matrix."""
+    out = np.full((len(rows), width), -1, dtype=np.int64)
+    for i, row in enumerate(rows):
+        if row:
+            out[i, : len(row)] = row
+    return out
+
+
+def _msdb(a, b):
+    """Vectorized most-significant-different-bit; ``-1`` when equal.
+
+    ``frexp`` exponents are exact for integers below 2**53, far above
+    any cubical index, and ``frexp(0)`` returns exponent 0 — exactly
+    the ``-1`` convention after the shift."""
+    diff = np.bitwise_xor(a, b)
+    return np.frexp(diff.astype(np.float64))[1].astype(np.int64) - 1
+
+
+def _first_true(mask):
+    """Per-row index of the first True column; ``width`` when none."""
+    width = mask.shape[1]
+    pos = np.argmax(mask, axis=1)
+    return np.where(mask.any(axis=1), pos, width)
+
+
+def _sort_segment(key, *arrays):
+    """Stable per-row sort of a candidate segment by ``key`` (invalid
+    entries carry ``_INF`` and sink to the end); gathers ``arrays``
+    through the same permutation."""
+    order = np.argsort(key, axis=1, kind="stable")
+    return tuple(np.take_along_axis(a, order, axis=1) for a in arrays)
+
+
+class _KernelBase:
+    """Column compiler + wave executor shared bones."""
+
+    #: phase code -> phase label, set by subclasses in template order.
+    PHASES: Tuple[str, ...] = ()
+
+    def _flush_query_counts(self, hop_targets, names, network) -> None:
+        """Replicate ``Network._record_visit`` for every counted hop
+        target (intermediate and final, never the source)."""
+        if hop_targets.size == 0:
+            return
+        counts = np.bincount(hop_targets)
+        query_counts = network._query_counts
+        for node_index in np.flatnonzero(counts):
+            query_counts[names[node_index]] += int(counts[node_index])
+
+    def _build_records(
+        self,
+        sources,
+        key_ids,
+        hops,
+        timeouts,
+        success,
+        phase_counts,
+        final_idx,
+        hop_log,
+        names,
+    ) -> List[LookupRecord]:
+        batch = len(sources)
+        paths: List[List[object]] = [[source.name] for source in sources]
+        for rows, targets, _phases in hop_log:
+            target_names = [names[t] for t in targets.tolist()]
+            for row, target_name in zip(rows.tolist(), target_names):
+                paths[row].append(target_name)
+        phase_labels = self.PHASES
+        hops_l = hops.tolist()
+        touts_l = timeouts.tolist()
+        success_l = success.tolist()
+        final_l = final_idx.tolist()
+        phase_rows = phase_counts.tolist()
+        records = []
+        for b in range(batch):
+            records.append(
+                LookupRecord(
+                    hops=hops_l[b],
+                    success=success_l[b],
+                    timeouts=touts_l[b],
+                    phase_hops=dict(zip(phase_labels, phase_rows[b])),
+                    source=sources[b].name,
+                    key=key_ids[b],
+                    owner=names[final_l[b]],
+                    path=paths[b],
+                    retries=0,
+                )
+            )
+        return records
+
+
+# ----------------------------------------------------------------------
+# Cycloid
+# ----------------------------------------------------------------------
+
+
+@_register("cycloid")
+class CycloidKernel(_KernelBase):
+    """Compiled Cycloid routing (core/network.py's fault-free cascade).
+
+    Memory layout: per-node int64 columns ``cyclic`` / ``cubical`` /
+    ``linear`` and a bool ``alive`` mask; the three routing-table slots
+    as index columns (``-1`` for void); the four leaf-set sides as
+    ``[n, leaf_radius]`` index matrices padded with ``-1``; precomputed
+    outside-arc endpoints per node.  ``alias`` maps every index to the
+    live holder of its identifier (identity for live nodes), so the
+    by-id ``visited`` checks of the object engine translate to plain
+    row gathers.
+    """
+
+    PHASES = ("ascending", "descending", "traverse")
+    _ASC, _DESC, _TRAV = 0, 1, 2
+    #: cascade codes, one per candidate segment in iteration order.
+    _SEG_ASC, _SEG_NB, _SEG_ENT, _SEG_TRV, _SEG_INS, _SEG_TIED = range(6)
+
+    def __init__(self, network) -> None:
+        self.network = network
+        d = network.dimension
+        self.d = d
+        self.modulus = 1 << d
+        self.space = d << d
+        radius = network.leaf_radius
+        self.radius = radius
+
+        def slots(node):
+            yield node.cubical_neighbor
+            yield node.cyclic_larger
+            yield node.cyclic_smaller
+            yield from node.leaf_entries()
+
+        live = list(network.live_nodes())
+        nodes, index = _intern_universe(live, slots)
+        self.nodes = nodes
+        self.index = index
+        self.names = [node.name for node in nodes]
+        count = len(nodes)
+
+        # One extraction pass over the universe — attribute access per
+        # node dominates compile time, so every column is collected in
+        # the same loop.  A dead node is only ever *pointed at* —
+        # routing never departs from it — so its table columns stay
+        # empty; only its identity scalars matter.
+        cyc_l: List[int] = []
+        cub_l: List[int] = []
+        alive_l: List[bool] = []
+        cn_l: List[int] = []
+        cl_l: List[int] = []
+        cs_l: List[int] = []
+        il_rows: List[Sequence[int]] = []
+        ir_rows: List[Sequence[int]] = []
+        ol_rows: List[Sequence[int]] = []
+        or_rows: List[Sequence[int]] = []
+        arc_l_l: List[int] = []
+        arc_r_l: List[int] = []
+        for n in nodes:
+            cubical = n.cubical
+            cyc_l.append(n.cyclic)
+            cub_l.append(cubical)
+            if n.alive:
+                alive_l.append(True)
+                t = n.cubical_neighbor
+                cn_l.append(-1 if t is None else index[id(t)])
+                t = n.cyclic_larger
+                cl_l.append(-1 if t is None else index[id(t)])
+                t = n.cyclic_smaller
+                cs_l.append(-1 if t is None else index[id(t)])
+                il_rows.append([index[id(l)] for l in n.inside_left])
+                ir_rows.append([index[id(l)] for l in n.inside_right])
+                out_side = n.outside_left
+                ol_rows.append([index[id(l)] for l in out_side])
+                # Outside-arc endpoints: the *furthest* outside primary
+                # on each side, or the node's own cycle when empty.
+                arc_l_l.append(out_side[-1].cubical if out_side else cubical)
+                out_side = n.outside_right
+                or_rows.append([index[id(l)] for l in out_side])
+                arc_r_l.append(out_side[-1].cubical if out_side else cubical)
+            else:
+                alive_l.append(False)
+                cn_l.append(-1)
+                cl_l.append(-1)
+                cs_l.append(-1)
+                il_rows.append(())
+                ir_rows.append(())
+                ol_rows.append(())
+                or_rows.append(())
+                arc_l_l.append(cubical)
+                arc_r_l.append(cubical)
+        self.cyc = np.array(cyc_l, dtype=np.int64)
+        self.cub = np.array(cub_l, dtype=np.int64)
+        self.lin = self.cub * d + self.cyc
+        self.alive = np.array(alive_l, dtype=bool)
+        self.cn = np.array(cn_l, dtype=np.int64)
+        self.cl = np.array(cl_l, dtype=np.int64)
+        self.cs = np.array(cs_l, dtype=np.int64)
+        self.il = _pad_matrix(il_rows, radius)
+        self.ir = _pad_matrix(ir_rows, radius)
+        self.ol = _pad_matrix(ol_rows, radius)
+        self.outr = _pad_matrix(or_rows, radius)
+        self.arc_left = np.array(arc_l_l, dtype=np.int64)
+        self.arc_right = np.array(arc_r_l, dtype=np.int64)
+        # alias: by-id lookup (visited is a set of *identifiers*, and a
+        # dead node can share an id with a live one after id reuse).
+        alias = np.arange(count, dtype=np.int64)
+        dead = np.flatnonzero(~self.alive)
+        if dead.size:
+            live_by_linear = {
+                int(self.lin[i]): i for i in range(count) if self.alive[i]
+            }
+            for i in dead.tolist():
+                alias[i] = live_by_linear.get(int(self.lin[i]), i)
+        self.alias = alias
+        self.all_alive = bool(self.alive.all())
+
+        # Precompiled candidate matrices — one row gather per wave
+        # each; every later segment is a column slice of the leaves.
+        self.leaf_all = np.concatenate(
+            [self.il, self.ir, self.ol, self.outr], axis=1
+        )
+        self.ent_all = np.concatenate(
+            [self.cl[:, None], self.cs[:, None], self.il, self.ir], axis=1
+        )
+        # The keep-first dedupe by id only matters when some node's
+        # leaf set actually repeats an identifier (tiny cycles, few
+        # occupied cycles); prove its absence once at compile time.
+        leaf_w = self.leaf_all.shape[1]
+        lid = np.where(
+            self.leaf_all >= 0,
+            self.lin[np.maximum(self.leaf_all, 0)],
+            np.int64(-1),
+        )
+        self.leaf_dup_free = not any(
+            bool(
+                (
+                    (lid[:, :j] == lid[:, j : j + 1])
+                    & (lid[:, j : j + 1] >= 0)
+                ).any()
+            )
+            for j in range(1, leaf_w)
+        )
+
+        # Owner oracle: sorted occupied cycles plus a [cycles, d]
+        # member matrix.  The packed distance's primary component is
+        # the cubical circular distance, so the global argmin lives in
+        # the first occupied cycle at-or-after the key or the first
+        # one before it — every other cycle is strictly farther on
+        # both arcs.
+        live_idx = np.flatnonzero(self.alive)
+        live_cub = self.cub[live_idx]
+        occ = np.unique(live_cub)
+        group = np.searchsorted(occ, live_cub)
+        order = np.argsort(group, kind="stable")
+        grouped = group[order]
+        starts = np.searchsorted(grouped, np.arange(occ.size))
+        rank = np.arange(live_idx.size, dtype=np.int64) - starts[grouped]
+        members = np.full((occ.size, d), -1, dtype=np.int64)
+        members[grouped, rank] = live_idx[order]
+        self.occ_cycles = occ
+        self.cycle_members = members
+
+        # The cascade runs as ONE namespaced sort: every segment key is
+        # offset by `segment code * seg_off`, so a single stable
+        # argsort yields the segments in iteration order, each
+        # internally ranked.  `seg_off` strictly exceeds any
+        # within-segment key (the descending key, the largest, is
+        # bounded by (packed * 2 + 1) * width + width).
+        max_pd = (((self.modulus // 2) * (d + 1) + d) * 2 + 1) * self.space
+        max_pd += self.space
+        max_w = 4 * radius + 3
+        self.seg_off = np.int64(
+            1 << int((max_pd * 2 + 1) * max_w + max_w).bit_length()
+        )
+        self._phase_of_seg = np.array(
+            [self._ASC, self._DESC, self._DESC,
+             self._TRAV, self._TRAV, self._TRAV],
+            dtype=np.int64,
+        )
+
+    # -- distance ------------------------------------------------------
+
+    def _packed_from(self, ncub, ncyc, nlin, kcub, kcyc, klin):
+        """§3.1 closeness as one int64, order-identical to the
+        ``(cube, cyclic, succ_bias, clockwise)`` tuple — strict total
+        order, so min-reduction equals the engine's sequential
+        strict-`<` best updates."""
+        d, modulus, space = self.d, self.modulus, self.space
+        dc = (ncub - kcub) % modulus
+        dc = np.minimum(dc, modulus - dc)
+        dk = (ncyc - kcyc) % d
+        dk = np.minimum(dk, d - dk)
+        cw = (nlin - klin) % space
+        bias = cw > space // 2
+        return ((dc * (d + 1) + dk) * 2 + bias) * space + cw
+
+    def _packed_distance(self, kcub, kcyc, klin, node_idx):
+        return self._packed_from(
+            self.cub[node_idx], self.cyc[node_idx], self.lin[node_idx],
+            kcub, kcyc, klin,
+        )
+
+    def _owners(self, kcub, kcyc, klin):
+        """Per-lookup ground-truth owner index — ``owner_of_id``'s
+        nearest-cubical scan.  The owner is the packed-distance argmin
+        over live nodes, and the candidate cycles bracketing the key
+        (see the compile-time oracle) always contain it, so only their
+        members are ranked: O(batch * 2d) instead of O(batch * n)."""
+        occ = self.occ_cycles
+        pos = np.searchsorted(occ, kcub)
+        cand = np.concatenate(
+            # pos - 1 == -1 wraps to the last occupied cycle.
+            [self.cycle_members[pos % occ.size], self.cycle_members[pos - 1]],
+            axis=1,
+        )
+        safe = np.maximum(cand, 0)
+        dist = np.where(
+            cand >= 0,
+            self._packed_distance(
+                kcub[:, None], kcyc[:, None], klin[:, None], safe
+            ),
+            _INF,
+        )
+        return safe[np.arange(kcub.shape[0]), np.argmin(dist, axis=1)]
+
+    # -- execution -----------------------------------------------------
+
+    def run(self, sources, key_ids) -> List[LookupRecord]:
+        network = self.network
+        # The engine sets this on every run; fault-free batches always
+        # route with dead-entry filtering inside the step function.
+        network.fault_detection = False
+        batch = len(sources)
+        index = self.index
+        cur = np.fromiter(
+            (index[id(source)] for source in sources), np.int64, batch
+        )
+        if not bool(self.alive[cur].all()):
+            raise ValueError("lookup source must be alive")
+        kcyc = np.fromiter((k.cyclic for k in key_ids), np.int64, batch)
+        kcub = np.fromiter((k.cubical for k in key_ids), np.int64, batch)
+        klin = kcub * self.d + kcyc
+
+        owners = self._owners(kcub, kcyc, klin)
+        count = len(self.nodes)
+        visited = np.zeros((batch, count), dtype=bool)
+        explored = np.zeros((batch, self.modulus), dtype=bool)
+        # begin_route observes the source.
+        best_key = self._packed_distance(kcub, kcyc, klin, cur)
+        best_idx = cur.copy()
+        hops = np.zeros(batch, dtype=np.int64)
+        timeouts = np.zeros(batch, dtype=np.int64)
+        phase_counts = np.zeros((batch, 3), dtype=np.int64)
+        done = np.zeros(batch, dtype=bool)
+        hop_log: List[Tuple] = []
+        hop_limit = network.HOP_LIMIT
+
+        while True:
+            active = ~done & (hops < hop_limit)
+            rows = np.flatnonzero(active)
+            if rows.size == 0:
+                break
+            current = cur[rows]
+            exact = self.lin[current] == klin[rows]
+            if exact.any():
+                done[rows[exact]] = True
+                rows = rows[~exact]
+                if rows.size == 0:
+                    continue
+                current = cur[rows]
+            visited[rows, current] = True
+            nxt, pcode, wave_touts = self._decide(
+                rows, current, kcub[rows], kcyc[rows], klin[rows],
+                visited, explored, best_key, best_idx,
+            )
+            timeouts[rows] += wave_touts
+            forwarded = nxt >= 0
+            go = rows[forwarded]
+            targets = nxt[forwarded]
+            cur[go] = targets
+            hops[go] += 1
+            phase_counts[go, pcode[forwarded]] += 1
+            hop_log.append((go, targets, pcode[forwarded]))
+            done[rows[~forwarded]] = True
+
+        # finish_route: one delivery hop to the best-observed node when
+        # the walk stopped elsewhere (best is always set — the source
+        # was observed — and alive, the network being static here).
+        deliver = best_idx != cur
+        final_idx = np.where(deliver, best_idx, cur)
+        hops = hops + deliver
+        phase_counts[:, self._TRAV] += deliver
+        deliver_rows = np.flatnonzero(deliver)
+        if deliver_rows.size:
+            hop_log.append(
+                (
+                    deliver_rows,
+                    final_idx[deliver_rows],
+                    np.full(deliver_rows.size, self._TRAV, dtype=np.int64),
+                )
+            )
+
+        success = final_idx == owners  # Cycloid walks never dead-end
+        all_targets = (
+            np.concatenate([targets for _, targets, _ in hop_log])
+            if hop_log
+            else np.empty(0, dtype=np.int64)
+        )
+        self._flush_query_counts(all_targets, self.names, network)
+        return self._build_records(
+            sources, key_ids, hops, timeouts, success, phase_counts,
+            final_idx, hop_log, self.names,
+        )
+
+    def _decide(
+        self, rows, current, kcub, kcyc, klin, visited, explored,
+        best_key, best_idx,
+    ):
+        """One vectorized `_choose_next` wave.
+
+        The preference cascade becomes six candidate-matrix segments in
+        iteration order — ascending outside leaves, the cubical
+        neighbour, the descending cyclic/inside candidates, the
+        traverse-closer leaves, the last-mile inside-unvisited leaves
+        and the last-mile tied-cycle primaries — each ranked by the
+        object engine's own sort key.  The accepted hop is the first
+        live, unvisited (unless the segment allows revisits) candidate;
+        dead candidates at earlier positions cost one timeout each,
+        deduplicated by identifier exactly like ``dead_tried``.
+        """
+        d, modulus = self.d, self.modulus
+        m = rows.size
+        radius = self.radius
+        all_alive = self.all_alive
+        cur_cub = self.cub[current]
+        cur_cyc = self.cyc[current]
+        cur_cube = (cur_cub - kcub) % modulus
+        cur_cube = np.minimum(cur_cube, modulus - cur_cube)
+        cur_bit = _msdb(cur_cub, kcub)
+        cur_dist = self._packed_from(
+            cur_cub, cur_cyc, self.lin[current], kcub, kcyc, klin
+        )
+        col = current[:, None]
+        kcub_c = kcub[:, None]
+        kcyc_c = kcyc[:, None]
+        klin_c = klin[:, None]
+
+        # Leaf matrix in leaf_entries() order ([IL, IR, OL, OR]),
+        # keep-first deduped by id (the `_unique_leaves` list), self
+        # excluded by identity.  The inside/outside segments below are
+        # column slices of it, so node attributes and packed distances
+        # are gathered once here.
+        leaves = self.leaf_all[current]
+        leaf_w = 4 * radius
+        half = 2 * radius
+        leaf_safe = np.maximum(leaves, 0)
+        leaf_ok = (leaves >= 0) & (leaves != col)
+        leaf_cub = self.cub[leaf_safe]
+        leaf_cyc = self.cyc[leaf_safe]
+        leaf_cube = (leaf_cub - kcub_c) % modulus
+        leaf_cube = np.minimum(leaf_cube, modulus - leaf_cube)
+        leaf_pd = self._packed_from(
+            leaf_cub, leaf_cyc, self.lin[leaf_safe], kcub_c, kcyc_c, klin_c
+        )
+        if self.leaf_dup_free:
+            leaf_uniq = leaf_ok
+        else:
+            leaf_id = np.where(leaf_ok, self.lin[leaf_safe], -1)
+            leaf_uniq = leaf_ok.copy()
+            for j in range(1, leaf_w):
+                dup = (leaf_id[:, :j] == leaf_id[:, j : j + 1]).any(axis=1)
+                leaf_uniq[:, j] &= ~dup
+
+        # Observe every (unique) leaf before the cascade runs.
+        if all_alive:
+            leaf_is_alive = None
+            leaf_obs = leaf_uniq
+        else:
+            leaf_is_alive = self.alive[leaf_safe]
+            leaf_obs = leaf_uniq & leaf_is_alive
+        self._observe(rows, leaf_obs, leaf_pd, leaf_safe, best_key, best_idx)
+
+        # Traverse trigger: key's cubical index inside the outside arc.
+        arc_l = self.arc_left[current]
+        arc_r = self.arc_right[current]
+        traversing = np.where(
+            arc_l == arc_r,
+            kcub == arc_l,
+            ((kcub - arc_l) % modulus) <= ((arc_r - arc_l) % modulus),
+        )
+        ascending = ~traversing & (cur_cyc < cur_bit)
+        desc_eq = ~traversing & (cur_cyc == cur_bit)
+        desc_gt = ~traversing & (cur_cyc > cur_bit)
+
+        # Segments are assembled dynamically: one with no eligible row
+        # contributes no valid candidate, so it is dropped outright —
+        # a wave mid-descent never pays for the ascending or last-mile
+        # machinery.  Each included segment appends (candidates,
+        # validity, within-segment key, packed distances) plus its
+        # cascade code; the codes namespace one shared sort below.
+        parts_cand: List = []
+        parts_valid: List = []
+        parts_key: List = []
+        parts_pd: List = []
+        parts_code: List[int] = []
+
+        def push(code, cand_m, valid_m, rank_key, pd_m) -> None:
+            w = cand_m.shape[1]
+            key = np.where(
+                valid_m,
+                rank_key + np.arange(w, dtype=np.int64),
+                _INF,
+            )
+            parts_cand.append(cand_m)
+            parts_valid.append(valid_m)
+            parts_key.append(key)
+            parts_pd.append(pd_m)
+            parts_code.extend([code] * w)
+
+        outside = leaves[:, half:]
+        out_w = half
+        out_cub = leaf_cub[:, half:]
+        out_cube = leaf_cube[:, half:]
+        out_real = leaf_ok[:, half:]
+        out_pd = leaf_pd[:, half:]
+
+        # Segment 1 — ascending via raw outside leaves (the trailing
+        # [OL, OR] leaf columns), sorted by (cubical distance, -cyclic,
+        # cubical).
+        if ascending.any():
+            asc_valid = (
+                ascending[:, None] & out_real & (out_cube < cur_cube[:, None])
+            )
+            asc_rank = (
+                out_cube * d + (d - 1 - leaf_cyc[:, half:])
+            ) * modulus + out_cub
+            push(self._SEG_ASC, outside, asc_valid, asc_rank * out_w, out_pd)
+
+        # Segment 2 — the cubical neighbour (descending, k == MSDB),
+        # gated by the φ convergence criterion (strict).
+        if desc_eq.any():
+            neighbor = self.cn[current]
+            nb_safe = np.maximum(neighbor, 0)
+            nb_cub = self.cub[nb_safe]
+            nb_m = _msdb(nb_cub, kcub)
+            nb_cube = (nb_cub - kcub) % modulus
+            nb_cube = np.minimum(nb_cube, modulus - nb_cube)
+            nb_valid = (
+                desc_eq
+                & (neighbor >= 0)
+                & (
+                    (nb_m < cur_bit)
+                    | ((nb_m == cur_bit) & (nb_cube < cur_cube))
+                )
+            )
+            nb_pd = self._packed_distance(kcub, kcyc, klin, nb_safe)
+            push(
+                self._SEG_NB,
+                neighbor[:, None],
+                nb_valid[:, None],
+                np.int64(0),
+                nb_pd[:, None],
+            )
+
+        # Segment 3 — descending (k > MSDB) via cyclic neighbours and
+        # inside leaves, ranked by (distance, side-preference).  The
+        # inside-leaf distances are leaf columns; only the two cyclic
+        # neighbours need fresh gathers.
+        if desc_gt.any():
+            entries = self.ent_all[current]
+            ent_w = 2 + half
+            ent_safe = np.maximum(entries, 0)
+            ent_cyc = self.cyc[ent_safe]
+            ent_cub = self.cub[ent_safe]
+            ent_m = _msdb(ent_cub, kcub_c)
+            ent_cube = (ent_cub - kcub_c) % modulus
+            ent_cube = np.minimum(ent_cube, modulus - ent_cube)
+            phi_ok = (ent_m < cur_bit[:, None]) | (
+                (ent_m == cur_bit[:, None]) & (ent_cube <= cur_cube[:, None])
+            )
+            ent_valid = (
+                desc_gt[:, None]
+                & (entries >= 0)
+                & (entries != col)
+                & (cur_bit[:, None] <= ent_cyc)
+                & (ent_cyc < cur_cyc[:, None])
+                & phi_ok
+            )
+            ent_pd = np.concatenate(
+                [
+                    self._packed_distance(
+                        kcub_c, kcyc_c, klin_c, ent_safe[:, :2]
+                    ),
+                    leaf_pd[:, :half],
+                ],
+                axis=1,
+            )
+            prefer_larger = ((kcub - cur_cub) % modulus) <= modulus // 2
+            larger_side = ent_cub >= cur_cub[:, None]
+            side_flag = (larger_side != prefer_larger[:, None]).astype(
+                np.int64
+            )
+            push(
+                self._SEG_ENT,
+                entries,
+                ent_valid,
+                (ent_pd * 2 + side_flag) * ent_w,
+                ent_pd,
+            )
+
+        # Segment 4 — traverse fallback: unique leaves strictly closer
+        # to the key, sorted by distance (no phase gate).
+        trv_valid = leaf_uniq & (leaf_pd < cur_dist[:, None])
+        push(self._SEG_TRV, leaves, trv_valid, leaf_pd * leaf_w, leaf_pd)
+
+        # Last-mile gate: no live outside primary is cubically closer.
+        live_out = (
+            out_real if all_alive else out_real & leaf_is_alive[:, half:]
+        )
+        locally_minimal = ~(live_out & (out_cube < cur_cube[:, None])).any(
+            axis=1
+        )
+        if locally_minimal.any():
+            # Segment 5 — last-mile inside leaves (the leading [IL, IR]
+            # leaf columns) not yet visited (by id; dead entries
+            # included, costing timeouts), sorted by distance.
+            inside = leaves[:, :half]
+            ins_safe = leaf_safe[:, :half]
+            ins_alias = ins_safe if all_alive else self.alias[ins_safe]
+            ins_unvisited = ~visited[rows[:, None], ins_alias]
+            ins_valid = (
+                locally_minimal[:, None] & leaf_ok[:, :half] & ins_unvisited
+            )
+            ins_pd = leaf_pd[:, :half]
+            push(self._SEG_INS, inside, ins_valid, ins_pd * half, ins_pd)
+
+            # Segment 6 — last-mile tied-cycle primaries (live outside
+            # leaves at equal cubical distance, unexplored cycles),
+            # sorted by distance; revisits allowed.
+            tied_valid = (
+                locally_minimal[:, None]
+                & live_out
+                & (out_cube == cur_cube[:, None])
+                & ~explored[rows[:, None], out_cub]
+            )
+            push(self._SEG_TIED, outside, tied_valid, out_pd * out_w, out_pd)
+
+        # One namespaced stable sort yields the full cascade: valid
+        # candidates appear in (segment, within-segment rank) order —
+        # the exact iteration sequence of the object engine, merely
+        # compacted past the invalid entries, which never accept, never
+        # time out and are never observed.
+        code_cols = np.array(parts_code, dtype=np.int64)
+        key_all = np.concatenate(parts_key, axis=1) + code_cols * self.seg_off
+        order = np.argsort(key_all, axis=1, kind="stable")
+        cand = np.take_along_axis(
+            np.concatenate(parts_cand, axis=1), order, axis=1
+        )
+        valid = np.take_along_axis(
+            np.concatenate(parts_valid, axis=1), order, axis=1
+        )
+        cand_pd = np.take_along_axis(
+            np.concatenate(parts_pd, axis=1), order, axis=1
+        )
+        code = code_cols[order]
+        width = cand.shape[1]
+        positions = np.arange(width, dtype=np.int64)
+
+        cand_safe = np.maximum(cand, 0)
+        cand_alive = valid if all_alive else valid & self.alive[cand_safe]
+        cand_alias = cand_safe if all_alive else self.alias[cand_safe]
+        cand_visited = visited[rows[:, None], cand_alias]
+        acceptable = cand_alive & (
+            (code == self._SEG_TIED) | ~cand_visited
+        )
+        accept_pos = _first_true(acceptable)
+
+        # Timeouts: dead candidates iterated before the accepted one,
+        # deduplicated by identifier (`dead_tried`); a fully-live
+        # universe has none.
+        if all_alive:
+            wave_touts = np.zeros(m, dtype=np.int64)
+        else:
+            cand_id = np.where(valid, self.lin[cand_safe], -1)
+            cand_dead = valid & ~self.alive[cand_safe]
+            dup = np.zeros_like(cand_dead)
+            for j in range(1, width):
+                dup[:, j] = (
+                    (cand_id[:, :j] == cand_id[:, j : j + 1])
+                    & cand_dead[:, :j]
+                ).any(axis=1)
+            wave_touts = (
+                cand_dead & ~dup & (positions[None, :] < accept_pos[:, None])
+            ).sum(axis=1)
+
+        # Observe routing-table candidates actually iterated (segments
+        # 2 and 3; every other segment is a leaf subset, observed
+        # above).  `try_candidates` observes live candidates up to and
+        # including the accepted position.
+        if desc_eq.any() or desc_gt.any():
+            rt_obs = (
+                ((code == self._SEG_NB) | (code == self._SEG_ENT))
+                & cand_alive
+                & (positions[None, :] <= accept_pos[:, None])
+            )
+            self._observe(
+                rows, rt_obs, cand_pd, cand_safe, best_key, best_idx
+            )
+
+        accepted = accept_pos < width
+        gather = np.minimum(accept_pos, width - 1)
+        row_arange = np.arange(m)
+        accept_code = code[row_arange, gather]
+
+        # explored_cycles.add(current.cubical) fires whenever the walk
+        # is locally minimal and the inside attempt found nothing —
+        # i.e. the cascade accepted in the tied segment or nothing at
+        # all.
+        mark = locally_minimal & (
+            ~accepted | (accept_code == self._SEG_TIED)
+        )
+        if mark.any():
+            explored[rows[mark], cur_cub[mark]] = True
+
+        nxt = np.where(accepted, cand[row_arange, gather], -1)
+        pcode = self._phase_of_seg[accept_code]
+        return nxt, pcode, wave_touts
+
+    @staticmethod
+    def _observe(rows, mask, packed, cand_safe, best_key, best_idx):
+        """Fold observed candidates into the best-seen trackers.  The
+        packed distance is a strict total order, so the masked row
+        minimum reproduces the engine's sequential strict-`<` updates
+        regardless of observation order."""
+        keyed = np.where(mask, packed, _INF)
+        m = keyed.shape[0]
+        jmin = np.argmin(keyed, axis=1)
+        row_arange = np.arange(m)
+        row_min = keyed[row_arange, jmin]
+        update = row_min < best_key[rows]
+        target_rows = rows[update]
+        best_key[target_rows] = row_min[update]
+        best_idx[target_rows] = cand_safe[row_arange[update], jmin[update]]
+
+
+# ----------------------------------------------------------------------
+# Chord
+# ----------------------------------------------------------------------
+
+
+@_register("chord")
+class ChordKernel(_KernelBase):
+    """Compiled Chord routing (chord/network.py's fault-free cascade).
+
+    Memory layout: per-node int64 ``ids`` plus a bool ``alive`` mask;
+    the finger table as an ``[n, bits]`` index matrix (``-1`` for
+    stale-void entries); the successor list as an ``[n, r]`` run padded
+    with ``-1``; the predecessor as one index column.  The owner oracle
+    is a ``searchsorted`` over the sorted live identifiers — the ring's
+    successor scan."""
+
+    PHASES = ("finger", "successor")
+    _FINGER, _SUCC = 0, 1
+
+    def __init__(self, network) -> None:
+        self.network = network
+        self.modulus = network.ring.modulus
+
+        def slots(node):
+            yield from node.fingers
+            yield from node.successors
+            yield node.predecessor
+
+        live = list(network.live_nodes())
+        nodes, index = _intern_universe(live, slots)
+        self.nodes = nodes
+        self.index = index
+        self.names = [node.name for node in nodes]
+        count = len(nodes)
+        self.ids = np.fromiter((n.id for n in nodes), np.int64, count)
+        self.alive = np.fromiter((n.alive for n in nodes), bool, count)
+
+        def ref(target) -> int:
+            return -1 if target is None else index[id(target)]
+
+        bits = network.bits
+        # Dead nodes are pointed at, never routed from: empty columns.
+        self.fingers = _pad_matrix(
+            [[ref(f) for f in n.fingers] if n.alive else [] for n in nodes],
+            bits,
+        )
+        succ_width = max(
+            (len(n.successors) for n in nodes if n.alive), default=1
+        )
+        succ_width = max(succ_width, 1)
+        self.successors = _pad_matrix(
+            [
+                [index[id(s)] for s in n.successors] if n.alive else []
+                for n in nodes
+            ],
+            succ_width,
+        )
+        self.succ_len = np.fromiter(
+            (len(n.successors) if n.alive else 0 for n in nodes),
+            np.int64,
+            count,
+        )
+        self.pred = np.fromiter(
+            (ref(n.predecessor) if n.alive else -1 for n in nodes),
+            np.int64,
+            count,
+        )
+        order = np.argsort(self.ids[self.alive], kind="stable")
+        live_idx = np.flatnonzero(self.alive)
+        self.live_sorted_ids = self.ids[self.alive][order]
+        self.live_sorted_idx = live_idx[order]
+        self.all_alive = bool(self.alive.all())
+        self.ptr_phase_row = np.concatenate(
+            [
+                np.full(bits, self._FINGER, dtype=np.int64),
+                np.full(succ_width, self._SUCC, dtype=np.int64),
+            ]
+        )
+
+    def _in_interval(self, x, left, right):
+        """Vectorized ``(left, right]`` clockwise membership; a
+        degenerate interval covers the whole ring."""
+        modulus = self.modulus
+        dx = (x - left) % modulus
+        dr = (right - left) % modulus
+        return (left == right) | ((0 < dx) & (dx <= dr))
+
+    def run(self, sources, key_ids) -> List[LookupRecord]:
+        network = self.network
+        network.fault_detection = False
+        batch = len(sources)
+        index = self.index
+        cur = np.fromiter(
+            (index[id(source)] for source in sources), np.int64, batch
+        )
+        if not bool(self.alive[cur].all()):
+            raise ValueError("lookup source must be alive")
+        keys = np.fromiter(key_ids, np.int64, batch)
+
+        # Ground truth: the key's live successor.
+        slot = np.searchsorted(self.live_sorted_ids, keys)
+        slot[slot == self.live_sorted_ids.size] = 0
+        owners = self.live_sorted_idx[slot]
+
+        hops = np.zeros(batch, dtype=np.int64)
+        timeouts = np.zeros(batch, dtype=np.int64)
+        phase_counts = np.zeros((batch, 2), dtype=np.int64)
+        done = np.zeros(batch, dtype=bool)
+        failed = np.zeros(batch, dtype=bool)
+        hop_log: List[Tuple] = []
+        hop_limit = network.HOP_LIMIT
+        bits = network.bits
+        succ_width = self.successors.shape[1]
+
+        while True:
+            active = ~done & (hops < hop_limit)
+            rows = np.flatnonzero(active)
+            if rows.size == 0:
+                break
+            current = cur[rows]
+            cur_id = self.ids[current]
+            key = keys[rows]
+
+            # Terminate when the node believes it is responsible.
+            pred = self.pred[current]
+            pred_id = self.ids[np.maximum(pred, 0)]
+            believes = np.where(
+                pred < 0,
+                self.succ_len[current] == 0,
+                self._in_interval(key, pred_id, cur_id),
+            )
+            # Singleton / orphaned node: _choose_next returns `current`
+            # and the engine terminates on the spot.
+            stop = (cur_id == key) | believes | (self.succ_len[current] == 0)
+            if stop.any():
+                done[rows[stop]] = True
+                rows = rows[~stop]
+                if rows.size == 0:
+                    continue
+                current = cur[rows]
+                cur_id = self.ids[current]
+                key = keys[rows]
+
+            m = rows.size
+            succ = self.successors[current]
+            succ_safe = np.maximum(succ, 0)
+            succ_id = self.ids[succ_safe]
+            believed_id = succ_id[:, 0]  # succ_len >= 1 here
+            delivering = self._in_interval(key, cur_id, believed_id)
+
+            # Segment A — the believed-successor walk (delivery step).
+            seg_a_valid = delivering[:, None] & (succ >= 0)
+
+            # Segment B — closest preceding pointers, fingers before
+            # successors, sorted by clockwise distance descending.
+            pointers = np.concatenate(
+                [self.fingers[current], succ], axis=1
+            )
+            ptr_w = bits + succ_width
+            ptr_safe = np.maximum(pointers, 0)
+            ptr_id = self.ids[ptr_safe]
+            ptr_valid = (
+                ~delivering[:, None]
+                & (pointers >= 0)
+                & (ptr_id != cur_id[:, None])
+                & self._in_interval(ptr_id, cur_id[:, None], key[:, None])
+            )
+            distance = (ptr_id - cur_id[:, None]) % self.modulus
+            ptr_key = np.where(
+                ptr_valid,
+                (self.modulus - distance) * ptr_w
+                + np.arange(ptr_w, dtype=np.int64),
+                _INF,
+            )
+            ptr_phase = np.broadcast_to(self.ptr_phase_row, (m, ptr_w))
+            seg_b, seg_b_valid, seg_b_phase = _sort_segment(
+                ptr_key, pointers, ptr_valid, ptr_phase
+            )
+
+            # Segment C — the last-resort live-successor delivery (no
+            # timeout accounting on this walk).
+            seg_c_valid = ~delivering[:, None] & (succ >= 0)
+
+            cand = np.concatenate([succ, seg_b, succ], axis=1)
+            valid = np.concatenate(
+                [seg_a_valid, seg_b_valid, seg_c_valid], axis=1
+            )
+            width = cand.shape[1]
+            positions = np.arange(width, dtype=np.int64)
+            c_start = succ_width + ptr_w
+            cand_safe = np.maximum(cand, 0)
+            acceptable = (
+                valid if self.all_alive else valid & self.alive[cand_safe]
+            )
+            accept_pos = _first_true(acceptable)
+
+            # A fully-live universe forwards on the first valid
+            # candidate and never times out.
+            if not self.all_alive:
+                cand_id = np.where(valid, self.ids[cand_safe], -1)
+                cand_dead = (
+                    valid
+                    & ~self.alive[cand_safe]
+                    & (positions[None, :] < c_start)
+                )
+                dup = np.zeros_like(cand_dead)
+                for j in range(1, c_start):
+                    dup[:, j] = (
+                        (cand_id[:, :j] == cand_id[:, j : j + 1])
+                        & cand_dead[:, :j]
+                    ).any(axis=1)
+                timeouts[rows] += (
+                    cand_dead
+                    & ~dup
+                    & (positions[None, :] < accept_pos[:, None])
+                ).sum(axis=1)
+
+            accepted = accept_pos < width
+            gather = np.minimum(accept_pos, width - 1)
+            row_arange = np.arange(m)
+            targets = cand[row_arange, gather]
+            # Phase: segment A and C are successor steps; segment B
+            # carries per-candidate labels through the sort.
+            in_b = (accept_pos >= succ_width) & (accept_pos < c_start)
+            pcode = np.where(
+                in_b,
+                seg_b_phase[
+                    row_arange,
+                    np.minimum(
+                        np.maximum(gather - succ_width, 0), ptr_w - 1
+                    ),
+                ],
+                self._SUCC,
+            )
+            terminal = accepted & ~in_b  # segments A and C deliver
+
+            go = accepted
+            go_rows = rows[go]
+            cur[go_rows] = targets[go]
+            hops[go_rows] += 1
+            phase_counts[go_rows, pcode[go]] += 1
+            hop_log.append((go_rows, targets[go], pcode[go]))
+            done[rows[terminal]] = True
+            dead_end = ~accepted
+            done[rows[dead_end]] = True
+            failed[rows[dead_end]] = True
+
+        success = ~failed & (cur == owners)
+        all_targets = (
+            np.concatenate([targets for _, targets, _ in hop_log])
+            if hop_log
+            else np.empty(0, dtype=np.int64)
+        )
+        self._flush_query_counts(all_targets, self.names, network)
+        return self._build_records(
+            sources, key_ids, hops, timeouts, success, phase_counts,
+            cur, hop_log, self.names,
+        )

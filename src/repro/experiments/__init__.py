@@ -50,8 +50,11 @@ from repro.experiments.maintenance import (
 )
 from repro.experiments.bench import (
     BenchCell,
+    KernelBenchCell,
     bench_report,
+    compare_to_baseline,
     run_clone_bench,
+    run_kernel_bench,
     run_parallel_bench,
     validate_net_report,
     write_bench_report,
@@ -86,9 +89,12 @@ __all__ = [
     "MaintenancePoint",
     "run_maintenance_experiment",
     "BenchCell",
+    "KernelBenchCell",
     "run_parallel_bench",
     "run_clone_bench",
+    "run_kernel_bench",
     "bench_report",
+    "compare_to_baseline",
     "write_bench_report",
     "validate_net_report",
 ]

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from functools import partial
 from typing import Dict, List, Sequence, Tuple
 
+from repro.dht.metrics import LookupStats
 from repro.experiments.registry import build_complete_network
 from repro.sim.parallel import (
     DEFAULT_SHARD_SIZE,
@@ -29,16 +30,22 @@ from repro.sim.parallel import (
     plain_setup,
     run_sharded_lookups,
 )
+from repro.sim.workload import lookup_workload
+from repro.util.rng import make_rng
 
 __all__ = [
     "BenchCell",
     "CloneBenchCell",
+    "KernelBenchCell",
     "run_parallel_bench",
     "run_clone_bench",
+    "run_kernel_bench",
     "bench_report",
     "write_bench_report",
+    "compare_to_baseline",
     "validate_net_report",
     "DEFAULT_BENCH_PROTOCOLS",
+    "KERNEL_BENCH_PROTOCOLS",
 ]
 
 DEFAULT_BENCH_PROTOCOLS: Tuple[str, ...] = (
@@ -47,6 +54,11 @@ DEFAULT_BENCH_PROTOCOLS: Tuple[str, ...] = (
     "koorde",
     "viceroy",
 )
+
+#: Protocols with a fully-columnar compiled kernel (DESIGN §S23) — the
+#: only ones where object-vs-columnar timing measures the kernel rather
+#: than the fallback.
+KERNEL_BENCH_PROTOCOLS: Tuple[str, ...] = ("cycloid", "chord")
 
 
 @dataclass(frozen=True)
@@ -243,6 +255,112 @@ def run_clone_bench(
     return cells
 
 
+@dataclass(frozen=True)
+class KernelBenchCell:
+    """Object-vs-columnar timing of one overlay's lookup batch (§S23).
+
+    Both backends route the *identical* materialised workload on the
+    same network; ``digest_match`` confirms the kernel changed nothing
+    before the speedup means anything.  Timings are best-of-``repeats``
+    (the low-noise estimator for micro-timings).
+    """
+
+    protocol: str
+    lookups: int
+    object_seconds: float
+    columnar_seconds: float
+    digest: str
+    digest_match: bool
+
+    @property
+    def object_lookups_per_s(self) -> float:
+        if self.object_seconds == 0:
+            return 0.0
+        return self.lookups / self.object_seconds
+
+    @property
+    def columnar_lookups_per_s(self) -> float:
+        if self.columnar_seconds == 0:
+            return 0.0
+        return self.lookups / self.columnar_seconds
+
+    @property
+    def speedup(self) -> float:
+        if self.columnar_seconds == 0:
+            return 0.0
+        return self.object_seconds / self.columnar_seconds
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "protocol": self.protocol,
+            "lookups": self.lookups,
+            "object_seconds": self.object_seconds,
+            "columnar_seconds": self.columnar_seconds,
+            "object_lookups_per_s": self.object_lookups_per_s,
+            "columnar_lookups_per_s": self.columnar_lookups_per_s,
+            "speedup": self.speedup,
+            "digest": self.digest,
+            "digest_match": self.digest_match,
+        }
+
+
+def run_kernel_bench(
+    protocols: Sequence[str] = KERNEL_BENCH_PROTOCOLS,
+    dimension: int = 8,
+    lookups: int = 2000,
+    seed: int = 42,
+    repeats: int = 5,
+) -> List[KernelBenchCell]:
+    """Time the object engine against the columnar kernel, digest-checked.
+
+    One complete network per protocol, one materialised ``(source,
+    key)`` workload, ``repeats`` timed runs per backend (best kept).
+    The digests of the two record streams must match bit for bit — a
+    fast kernel that drifts is a bug, not a speedup.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    cells: List[KernelBenchCell] = []
+    for protocol in protocols:
+        network = build_complete_network(protocol, dimension, seed=seed)
+        pairs = list(
+            lookup_workload(network, lookups, make_rng(seed + dimension))
+        )
+
+        def best_of(backend: str):
+            best = None
+            records = None
+            for _ in range(repeats):
+                start = time.perf_counter()
+                result = network.lookup_many(pairs, backend=backend)
+                elapsed = time.perf_counter() - start
+                if best is None or elapsed < best:
+                    best = elapsed
+                    records = result
+            return best, records
+
+        object_seconds, object_records = best_of("object")
+        columnar_seconds, columnar_records = best_of("columnar")
+
+        def digest_of(records) -> str:
+            stats = LookupStats()
+            stats.extend(records)
+            return stats.digest()
+
+        object_digest = digest_of(object_records)
+        cells.append(
+            KernelBenchCell(
+                protocol=protocol,
+                lookups=lookups,
+                object_seconds=object_seconds,
+                columnar_seconds=columnar_seconds,
+                digest=object_digest,
+                digest_match=object_digest == digest_of(columnar_records),
+            )
+        )
+    return cells
+
+
 def bench_report(
     cells: Sequence[BenchCell],
     dimension: int,
@@ -251,11 +369,13 @@ def bench_report(
     shard_size: int,
     seed: int,
     clone_cells: Sequence[CloneBenchCell] = (),
+    kernel_cells: Sequence[KernelBenchCell] = (),
 ) -> Dict[str, object]:
     """The JSON document ``bench`` writes to ``BENCH_parallel.json``.
 
     ``all_match`` covers every digest comparison in the report: the
-    serial-vs-parallel cells *and* the snapshot-vs-rebuild clone cells.
+    serial-vs-parallel cells, the snapshot-vs-rebuild clone cells *and*
+    the object-vs-columnar kernel cells.
     """
     return {
         "config": {
@@ -268,9 +388,54 @@ def bench_report(
         },
         "cells": [cell.as_dict() for cell in cells],
         "build_vs_clone": [cell.as_dict() for cell in clone_cells],
+        "kernel": [cell.as_dict() for cell in kernel_cells],
         "all_match": all(cell.digest_match for cell in cells)
-        and all(cell.digest_match for cell in clone_cells),
+        and all(cell.digest_match for cell in clone_cells)
+        and all(cell.digest_match for cell in kernel_cells),
     }
+
+
+def compare_to_baseline(
+    report: Dict[str, object],
+    baseline: object,
+    threshold: float = 0.2,
+) -> List[str]:
+    """Describe this report's kernel throughput against a committed one.
+
+    Returns one line per kernel cell that also exists in ``baseline``
+    (the previously committed ``BENCH_parallel.json``), so the bench
+    surfaces drift instead of silently overwriting the file.  A cell
+    whose columnar lookups/sec fell more than ``threshold`` below the
+    baseline gets a ``warning:`` prefix.
+    """
+    lines: List[str] = []
+    if not isinstance(baseline, dict):
+        return lines
+    committed = {
+        cell.get("protocol"): cell
+        for cell in baseline.get("kernel", ())
+        if isinstance(cell, dict)
+    }
+    for cell in report.get("kernel", ()):
+        base = committed.get(cell["protocol"])
+        if base is None:
+            continue
+        new_rate = float(cell.get("columnar_lookups_per_s") or 0.0)
+        old_rate = float(base.get("columnar_lookups_per_s") or 0.0)
+        if old_rate <= 0.0:
+            continue
+        ratio = new_rate / old_rate
+        line = (
+            f"kernel {cell['protocol']}: columnar {new_rate:,.0f} "
+            f"lookups/s vs committed {old_rate:,.0f} ({ratio:.2f}x)"
+        )
+        if ratio < 1.0 - threshold:
+            line = (
+                f"warning: {line} — regression exceeds "
+                f"{threshold:.0%} of the committed baseline"
+            )
+        lines.append(line)
+    return lines
 
 
 def write_bench_report(path: str, report: Dict[str, object]) -> None:

@@ -49,6 +49,7 @@ def run_phase_breakdown_experiment(
     observer: Optional[TraceObserver] = None,
     workers: int = 1,
     distribution: str = "snapshot",
+    backend: str = "object",
 ) -> List[BreakdownPoint]:
     """Fig. 7(a)-(c): phase breakdown on complete networks."""
     points: List[BreakdownPoint] = []
@@ -67,6 +68,7 @@ def run_phase_breakdown_experiment(
                 workers=workers,
                 distribution=distribution,
                 observer=observer,
+                backend=backend,
             ).stats
             breakdown = stats.phase_breakdown()
             points.append(
@@ -92,6 +94,7 @@ def run_koorde_sparsity_breakdown(
     observer: Optional[TraceObserver] = None,
     workers: int = 1,
     distribution: str = "snapshot",
+    backend: str = "object",
 ) -> List[BreakdownPoint]:
     """Fig. 14: Koorde's de Bruijn vs successor hop split vs sparsity.
 
@@ -119,6 +122,7 @@ def run_koorde_sparsity_breakdown(
             workers=workers,
             distribution=distribution,
             observer=observer,
+            backend=backend,
         ).stats
         breakdown = stats.phase_breakdown()
         points.append(

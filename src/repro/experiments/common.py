@@ -7,6 +7,7 @@ from functools import partial
 from typing import Callable, Optional, Sequence
 
 from repro.dht.base import Network
+from repro.dht.kernel import DEFAULT_BACKEND, check_backend
 from repro.dht.metrics import LookupStats
 from repro.dht.routing import TraceObserver
 from repro.sim.faults import FaultInjector
@@ -27,6 +28,7 @@ def run_lookups(
     retry_budget: int = 0,
     rng_factory: Optional[Callable[[int], random.Random]] = None,
     shard_size: int = DEFAULT_SHARD_SIZE,
+    backend: str = DEFAULT_BACKEND,
 ) -> LookupStats:
     """Execute ``count`` random lookups on ``network`` and gather records.
 
@@ -53,7 +55,10 @@ def run_lookups(
     switch the engine into fault mode (see :mod:`repro.sim.faults`);
     each shard draws message-loss verdicts from the injector's
     per-shard stream (:meth:`~repro.sim.faults.FaultInjector.for_shard`).
+    ``backend`` selects the lookup execution strategy (``"object"`` or
+    the bit-identical vectorized ``"columnar"`` kernel, DESIGN §S23).
     """
+    check_backend(backend)
     if rng_factory is not None and seed is not None:
         raise TypeError("pass either seed or rng_factory, not both")
     if rng_factory is None:
@@ -81,6 +86,7 @@ def run_lookups(
                 observer=observer,
                 injector=shard_injector,
                 retry_budget=retry_budget,
+                backend=backend,
             )
         )
         if shard_injector is not None:

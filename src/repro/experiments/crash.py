@@ -110,6 +110,7 @@ def run_crash_experiment(
     observer: Optional[TraceObserver] = None,
     workers: int = 1,
     distribution: str = "snapshot",
+    backend: str = "object",
 ) -> List[CrashPoint]:
     """Sweep graceful/crash/crash+retry over every overlay.
 
@@ -161,6 +162,7 @@ def run_crash_experiment(
                     distribution=distribution,
                     retry_budget=budget,
                     observer=observer,
+                    backend=backend,
                 )
                 stats = merged.stats
                 departed = (

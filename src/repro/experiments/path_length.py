@@ -41,6 +41,7 @@ def run_path_length_experiment(
     observer: Optional[TraceObserver] = None,
     workers: int = 1,
     distribution: str = "snapshot",
+    backend: str = "object",
 ) -> List[PathLengthPoint]:
     """Measure mean lookup path length for every protocol and dimension.
 
@@ -48,7 +49,8 @@ def run_path_length_experiment(
     dimension; both read off the same points.  Each (protocol,
     dimension) cell runs as deterministic shards fanned out over
     ``workers`` processes (:mod:`repro.sim.parallel`) — the points are
-    bit-identical for every worker count.  ``observer`` receives the
+    bit-identical for every worker count, and for either lookup
+    execution ``backend`` (DESIGN §S23).  ``observer`` receives the
     per-hop trace of every lookup across the whole sweep (and forces
     in-process execution).
     """
@@ -69,6 +71,7 @@ def run_path_length_experiment(
                 workers=workers,
                 distribution=distribution,
                 observer=observer,
+                backend=backend,
             )
             stats = merged.stats
             points.append(

@@ -73,6 +73,7 @@ from typing import (
     TypeVar,
 )
 
+from repro.dht.kernel import DEFAULT_BACKEND, check_backend
 from repro.dht.metrics import LookupRecord, LookupStats
 from repro.dht.snapshot import NetworkSnapshot, pack_network, unpack_network
 from repro.sim.faults import FaultState
@@ -205,6 +206,7 @@ class ShardTask:
     retry_budget: int = 0
     snapshot: Optional[NetworkSnapshot] = None
     faults: Optional[FaultState] = None
+    backend: str = DEFAULT_BACKEND
 
     def __post_init__(self) -> None:
         if (self.setup is None) == (self.snapshot is None):
@@ -288,6 +290,7 @@ def execute_shard(
         observer=observer,
         injector=shard_injector,
         retry_budget=task.retry_budget,
+        backend=task.backend,
     )
     live = network.live_nodes()
     return ShardResult(
@@ -359,13 +362,16 @@ def run_sharded_lookups(
     retry_budget: int = 0,
     observer: Optional["TraceObserver"] = None,
     distribution: str = "snapshot",
+    backend: str = DEFAULT_BACKEND,
 ) -> MergedRun:
     """Execute one cell's lookup workload as deterministic shards.
 
     The result is a pure function of ``(setup, count, seed, shard_size,
-    keys, retry_budget)`` — ``workers`` only chooses the fan-out and
+    keys, retry_budget)`` — ``workers`` only chooses the fan-out,
     ``distribution`` only chooses how each shard obtains its fresh
-    network: ``"snapshot"`` builds once and hands every shard a
+    network, and ``backend`` only chooses each shard's lookup execution
+    strategy (``"object"`` or the bit-identical ``"columnar"`` kernel,
+    DESIGN §S23).  ``"snapshot"`` builds once and hands every shard a
     restored copy (clones in-process, pickled bytes across the pool);
     ``"rebuild"`` re-runs ``setup`` per shard.  Both are bit-identical.
     ``workers=1`` (or a non-picklable ``observer``, or a single-shard
@@ -379,6 +385,7 @@ def run_sharded_lookups(
             f"unknown distribution {distribution!r}; "
             f"expected one of {DISTRIBUTIONS}"
         )
+    check_backend(backend)
     specs = plan_shards(count, shard_size)
     serial = workers == 1 or observer is not None or len(specs) <= 1
     if distribution == "rebuild":
@@ -389,6 +396,7 @@ def run_sharded_lookups(
                 seed=seed,
                 keys=tuple(keys),
                 retry_budget=retry_budget,
+                backend=backend,
             )
             for spec in specs
         ]
@@ -411,7 +419,7 @@ def run_sharded_lookups(
         # so a single-shard plan packs nothing at all.
         packed = pack_network(network) if len(specs) > 1 else None
         results = []
-        for task in _snapshot_tasks(specs, seed, keys, retry_budget):
+        for task in _snapshot_tasks(specs, seed, keys, retry_budget, backend):
             prepared = (
                 (network, injector)
                 if task.spec is specs[-1]
@@ -429,6 +437,7 @@ def run_sharded_lookups(
             retry_budget=retry_budget,
             snapshot=snapshot,
             faults=faults,
+            backend=backend,
         )
         for spec in specs
     ]
@@ -442,6 +451,7 @@ def _snapshot_tasks(
     seed: int,
     keys: Sequence[object],
     retry_budget: int,
+    backend: str = DEFAULT_BACKEND,
 ) -> List[ShardTask]:
     """Placeholder tasks for the in-process snapshot path.
 
@@ -456,6 +466,7 @@ def _snapshot_tasks(
             seed=seed,
             keys=tuple(keys),
             retry_budget=retry_budget,
+            backend=backend,
         )
         for spec in specs
     ]

@@ -1,0 +1,360 @@
+"""Backend parity: ``backend="columnar"`` bit-agrees with the object engine.
+
+The contract of DESIGN §S23 is that the execution backend is invisible
+in the results: the columnar kernel (:mod:`repro.dht.kernel`) must
+produce byte-identical :class:`LookupRecord` streams, digests and
+query-count tallies for every overlay configuration — natively compiled
+for Cycloid and Chord, via the documented object-engine fallback
+everywhere else (other protocols, trace observers, active fault
+plans).  These tests pin that equivalence across the full registry,
+worker counts, fault plans and a hypothesis sweep of seeds, batch
+sizes and worker counts, plus the actionable-error contract of the
+``backend`` selector.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import build_parser
+from repro.dht.kernel import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    check_backend,
+    columnar_protocols,
+    run_lookup_batch,
+    supports_columnar,
+)
+from repro.dht.routing import RecordingTracer
+from repro.experiments.bench import compare_to_baseline, run_kernel_bench
+from repro.experiments.common import run_lookups
+from repro.experiments.registry import ALL_PROTOCOLS, build_complete_network
+from repro.sim.faults import FaultInjector, FaultPlan
+from repro.sim.parallel import plain_setup, run_sharded_lookups
+from repro.sim.workload import lookup_workload
+from repro.util.rng import make_rng
+
+#: Mirrors tests/sim/test_parallel_parity.py — four non-trivial shards.
+LOOKUPS = 120
+SHARD_SIZE = 30
+SEED = 42
+DIMENSION = 4
+
+FAULT_PLAN = FaultPlan(seed=SEED + 30, crash_probability=0.3, message_loss=0.05)
+
+
+def _setup(protocol: str, dimension: int = DIMENSION):
+    return partial(
+        plain_setup, build_complete_network, protocol, dimension, seed=SEED
+    )
+
+
+def _fault_setup(protocol: str):
+    network = build_complete_network(protocol, DIMENSION, seed=SEED)
+    injector = FaultInjector(FAULT_PLAN)
+    injector.crash_nodes(network)
+    network.route_repairs = 0
+    return network, injector
+
+
+def _departed(network):
+    """Gracefully depart ~20% of nodes (seeded), no re-stabilisation —
+    the resulting stale pointers exercise the kernel's dead-node
+    columns, timeout accounting and by-id visited tracking."""
+    rng = make_rng(SEED + 13)
+    victims = [n for n in network.live_nodes() if rng.random() < 0.2]
+    for node in victims:
+        if network.size <= 1:
+            break
+        network.leave(node)
+    return network
+
+
+def _assert_same_merged(obj, col):
+    assert obj.stats.digest() == col.stats.digest()
+    assert obj.stats.records == col.stats.records
+    assert obj.query_counts == col.query_counts
+    assert obj.route_repairs == col.route_repairs
+    assert obj.dropped_messages == col.dropped_messages
+    assert obj.crashed == col.crashed
+    assert obj.population == col.population
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+def test_columnar_matches_object_sharded(protocol, workers):
+    """Every overlay config, every worker count: identical digests."""
+    obj = run_sharded_lookups(
+        _setup(protocol),
+        LOOKUPS,
+        SEED + DIMENSION,
+        workers=workers,
+        shard_size=SHARD_SIZE,
+        backend="object",
+    )
+    col = run_sharded_lookups(
+        _setup(protocol),
+        LOOKUPS,
+        SEED + DIMENSION,
+        workers=workers,
+        shard_size=SHARD_SIZE,
+        backend="columnar",
+    )
+    _assert_same_merged(obj, col)
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+def test_columnar_matches_object_under_faults(protocol, workers):
+    """An active FaultPlan routes through the object-engine fallback —
+    crashes, loss streams and lazy repair must replay identically."""
+    setup = partial(_fault_setup, protocol)
+    obj = run_sharded_lookups(
+        setup,
+        LOOKUPS,
+        SEED,
+        workers=workers,
+        shard_size=SHARD_SIZE,
+        retry_budget=6,
+        backend="object",
+    )
+    col = run_sharded_lookups(
+        setup,
+        LOOKUPS,
+        SEED,
+        workers=workers,
+        shard_size=SHARD_SIZE,
+        retry_budget=6,
+        backend="columnar",
+    )
+    _assert_same_merged(obj, col)
+    assert obj.crashed > 0  # the plan actually fired
+
+
+def _lookup_many_records(build, backend, count=80):
+    network = build()
+    pairs = list(lookup_workload(network, count, make_rng(SEED + 2)))
+    records = network.lookup_many(pairs, backend=backend)
+    return records, dict(network._query_counts)
+
+
+#: Direct (unsharded) record equality, including departed networks
+#: whose stale pointers produce timeouts on the compiled protocols.
+DIRECT_CONFIGS = {
+    "cycloid": lambda: build_complete_network("cycloid", DIMENSION, seed=SEED),
+    "cycloid-11": lambda: build_complete_network(
+        "cycloid-11", DIMENSION, seed=SEED
+    ),
+    "chord": lambda: build_complete_network("chord", DIMENSION, seed=SEED),
+    "cycloid-departures": lambda: _departed(
+        build_complete_network("cycloid", DIMENSION, seed=SEED)
+    ),
+    "chord-departures": lambda: _departed(
+        build_complete_network("chord", DIMENSION, seed=SEED)
+    ),
+}
+
+
+@pytest.mark.parametrize("config", sorted(DIRECT_CONFIGS))
+def test_lookup_many_records_identical(config):
+    build = DIRECT_CONFIGS[config]
+    obj_records, obj_counts = _lookup_many_records(build, "object")
+    col_records, col_counts = _lookup_many_records(build, "columnar")
+    assert obj_records == col_records
+    assert obj_counts == col_counts
+
+
+def test_departed_networks_produce_timeouts():
+    """The departure configs actually exercise the timeout path."""
+    records, _ = _lookup_many_records(
+        DIRECT_CONFIGS["cycloid-departures"], "columnar"
+    )
+    assert sum(record.timeouts for record in records) > 0
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    protocol=st.sampled_from(("cycloid", "chord")),
+    seed=st.integers(min_value=0, max_value=2**16),
+    count=st.integers(min_value=1, max_value=60),
+    workers=st.sampled_from((1, 2, 4)),
+)
+def test_backend_parity_property(protocol, seed, count, workers):
+    """Property: backend choice never shows up in the merged results,
+    whatever the seed, batch size or worker count."""
+    obj = run_sharded_lookups(
+        _setup(protocol, 3),
+        count,
+        seed,
+        workers=workers,
+        shard_size=16,
+        backend="object",
+    )
+    col = run_sharded_lookups(
+        _setup(protocol, 3),
+        count,
+        seed,
+        workers=workers,
+        shard_size=16,
+        backend="columnar",
+    )
+    _assert_same_merged(obj, col)
+
+
+def test_observer_forces_object_fallback_bit_exact():
+    """A trace observer needs per-hop callbacks, so the columnar
+    backend hands the batch to the object engine — same records, same
+    event stream."""
+    results = []
+    for backend in BACKENDS:
+        network = build_complete_network("cycloid", DIMENSION, seed=SEED)
+        pairs = list(lookup_workload(network, 30, make_rng(7)))
+        tracer = RecordingTracer()
+        records = network.lookup_many(pairs, observer=tracer, backend=backend)
+        results.append((records, tracer))
+    (obj_records, obj_tracer), (col_records, col_tracer) = results
+    assert obj_records == col_records
+    assert obj_tracer.starts == col_tracer.starts
+    assert obj_tracer.events == col_tracer.events
+    assert obj_tracer.records == col_tracer.records
+    assert col_tracer.events  # the observer really ran
+
+
+def test_columnar_protocol_registry():
+    assert columnar_protocols() == ("chord", "cycloid")
+    assert supports_columnar(
+        build_complete_network("cycloid", 3, seed=SEED)
+    )
+    # The 11-entry variant shares protocol_name "cycloid" and compiles.
+    assert supports_columnar(
+        build_complete_network("cycloid-11", 3, seed=SEED)
+    )
+    assert not supports_columnar(
+        build_complete_network("koorde", 3, seed=SEED)
+    )
+
+
+class TestBackendErrors:
+    """The unknown-``backend`` error names the bad value and lists the
+    valid choices, mirroring the distribution error."""
+
+    def test_default_backend_is_object(self):
+        assert DEFAULT_BACKEND == "object"
+        assert BACKENDS == ("object", "columnar")
+        check_backend("object")
+        check_backend("columnar")
+
+    def test_check_backend_message(self):
+        with pytest.raises(ValueError) as excinfo:
+            check_backend("bogus")
+        message = str(excinfo.value)
+        assert "bogus" in message
+        assert "object" in message and "columnar" in message
+
+    def test_lookup_many_rejects_unknown_backend(self):
+        network = build_complete_network("cycloid", 3, seed=SEED)
+        pairs = list(lookup_workload(network, 2, make_rng(1)))
+        with pytest.raises(ValueError, match="unknown backend 'bogus'"):
+            network.lookup_many(pairs, backend="bogus")
+
+    def test_run_lookup_batch_rejects_unknown_backend(self):
+        network = build_complete_network("cycloid", 3, seed=SEED)
+        with pytest.raises(ValueError, match="expected one of"):
+            run_lookup_batch(network, [], backend="bogus")
+
+    def test_run_lookups_rejects_unknown_backend(self):
+        network = build_complete_network("cycloid", 3, seed=SEED)
+        with pytest.raises(ValueError, match="unknown backend"):
+            run_lookups(network, 4, seed=1, backend="bogus")
+
+    def test_run_sharded_lookups_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            run_sharded_lookups(
+                _setup("cycloid", 3),
+                8,
+                SEED,
+                workers=1,
+                shard_size=4,
+                backend="bogus",
+            )
+
+    def test_cli_rejects_unknown_backend(self, capsys):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig5", "--backend", "bogus"])
+        err = capsys.readouterr().err
+        assert "invalid choice: 'bogus'" in err
+        assert "object" in err and "columnar" in err
+
+    def test_cli_accepts_both_backends(self):
+        parser = build_parser()
+        for backend in BACKENDS:
+            args = parser.parse_args(["fig5", "--backend", backend])
+            assert args.backend == backend
+
+
+class TestKernelBench:
+    def test_kernel_bench_cells_digest_checked(self):
+        (cell,) = run_kernel_bench(
+            protocols=("cycloid",), dimension=3, lookups=30, seed=5, repeats=1
+        )
+        assert cell.protocol == "cycloid"
+        assert cell.lookups == 30
+        assert cell.digest_match
+        assert cell.speedup > 0
+        payload = cell.as_dict()
+        for key in (
+            "protocol",
+            "lookups",
+            "object_seconds",
+            "columnar_seconds",
+            "object_lookups_per_s",
+            "columnar_lookups_per_s",
+            "speedup",
+            "digest",
+            "digest_match",
+        ):
+            assert key in payload
+
+    def test_compare_to_baseline_warns_on_regression(self):
+        baseline = {
+            "kernel": [
+                {"protocol": "cycloid", "columnar_lookups_per_s": 1000.0}
+            ]
+        }
+        slow = {
+            "kernel": [
+                {"protocol": "cycloid", "columnar_lookups_per_s": 700.0}
+            ]
+        }
+        (line,) = compare_to_baseline(slow, baseline)
+        assert line.startswith("warning:")
+        assert "regression" in line
+
+    def test_compare_to_baseline_accepts_small_drift(self):
+        baseline = {
+            "kernel": [
+                {"protocol": "cycloid", "columnar_lookups_per_s": 1000.0}
+            ]
+        }
+        steady = {
+            "kernel": [
+                {"protocol": "cycloid", "columnar_lookups_per_s": 950.0}
+            ]
+        }
+        (line,) = compare_to_baseline(steady, baseline)
+        assert not line.startswith("warning:")
+        assert "0.95x" in line
+
+    def test_compare_to_baseline_without_baseline(self):
+        report = {
+            "kernel": [
+                {"protocol": "cycloid", "columnar_lookups_per_s": 1000.0}
+            ]
+        }
+        assert compare_to_baseline(report, None) == []
+        assert compare_to_baseline(report, {"kernel": []}) == []
