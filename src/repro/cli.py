@@ -16,6 +16,7 @@ Usage::
     python -m repro.cli bench [--workers N] [--output BENCH_parallel.json]
     python -m repro.cli serve [--protocol P] [--dimension D] [--servers N]
     python -m repro.cli loadgen [--clients N] [--lookups N] [--puts N]
+    python -m repro.cli churnstorm [--replicas R] [--kills N] [--rate R]
 
 Each command prints the reproduced table; the heavier sweeps accept
 size knobs so a laptop run can be scaled down.
@@ -49,6 +50,14 @@ on loopback (DESIGN S22) and writes an attachable spec file;
 digest-checked ``BENCH_net.json``.  On ``loadgen``, ``--trace``
 captures the *live* per-RPC hop stream (the engine's JSONL hop schema
 plus ``rpc`` and ``latency_ms`` fields).
+
+``churnstorm`` (DESIGN S24) boots a replicated cluster and batters it:
+an open-loop Poisson/Zipf workload fired at scheduled times
+(coordinated-omission-free latency) while a seeded churn plan crashes
+and rejoins virtual nodes mid-run; afterwards every acknowledged PUT is
+read back and the command exits non-zero if any acknowledged key was
+lost.  With ``--replicas >= 2`` the acceptance bar is a survival rate
+of exactly 1.0.
 """
 
 from __future__ import annotations
@@ -341,6 +350,76 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: BENCH_net.json)",
     )
 
+    churnstorm = sub.add_parser(
+        "churnstorm",
+        help="open-loop churn harness: kill/rejoin nodes mid-load and "
+        "verify zero acknowledged-write loss",
+    )
+    _add_build(churnstorm)
+    churnstorm.add_argument(
+        "--replicas",
+        type=int,
+        default=2,
+        metavar="R",
+        help="leaf-set replication factor of the data plane "
+        "(default: 2; zero-loss bar needs >= 2)",
+    )
+    churnstorm.add_argument(
+        "--rate",
+        type=float,
+        default=200.0,
+        metavar="OPS_PER_S",
+        help="open-loop Poisson arrival rate (default: 200)",
+    )
+    churnstorm.add_argument(
+        "--ops",
+        type=int,
+        default=400,
+        metavar="N",
+        help="operations in the open-loop storm (default: 400)",
+    )
+    churnstorm.add_argument(
+        "--clients",
+        type=int,
+        default=8,
+        metavar="N",
+        help="client connections the dispatcher round-robins over "
+        "(default: 8)",
+    )
+    churnstorm.add_argument(
+        "--kills",
+        type=int,
+        default=3,
+        metavar="N",
+        help="virtual nodes to crash mid-run (default: 3)",
+    )
+    churnstorm.add_argument(
+        "--no-rejoin",
+        action="store_true",
+        help="crash only — do not rejoin the victims afterwards",
+    )
+    churnstorm.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="per-RPC reply timeout (default: 5.0)",
+    )
+    churnstorm.add_argument(
+        "--retry-budget",
+        type=int,
+        default=8,
+        metavar="N",
+        help="attempts after the first, per operation (default: 8)",
+    )
+    churnstorm.add_argument(
+        "--output",
+        metavar="PATH",
+        default="BENCH_net.json",
+        help="where to write the churn bench report "
+        "(default: BENCH_net.json)",
+    )
+
     sub.add_parser("table1", help="architecture comparison")
     return parser
 
@@ -501,6 +580,12 @@ def _run_loadgen(args: argparse.Namespace) -> int:
         )
     )
     print(f"net bench report -> {args.output}", file=sys.stderr)
+    if not report.get("complete", True):
+        print(
+            "note: run was interrupted — the report is partial "
+            '("complete": false)',
+            file=sys.stderr,
+        )
     if args.trace is not None:
         print(
             f"trace: {report['trace']['lines']} hop events -> {args.trace}",
@@ -510,6 +595,76 @@ def _run_loadgen(args: argparse.Namespace) -> int:
         print(
             "error: live run had failures or diverged from the "
             "in-memory engine",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _run_churnstorm(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.net.loadgen import run_churnstorm
+    from repro.sim.faults import ChurnPlan, RetryPolicy
+
+    build = _build_recipe(args)
+    report = run_churnstorm(
+        build,
+        servers=args.servers,
+        replicas=args.replicas,
+        rate=args.rate,
+        operations=args.ops,
+        churn=ChurnPlan(
+            seed=args.seed, kills=args.kills, rejoin=not args.no_rejoin
+        ),
+        seed=args.seed,
+        retry=RetryPolicy(budget=args.retry_budget),
+        timeout=args.timeout,
+        clients=args.clients,
+    )
+    validate_net_report(report)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    ops = report["ops"]
+    churn = report["churn"]
+    open_loop = report["open_loop"]["latency_ms"]["all"]
+    rows = [
+        ["ops", ops["total"]],
+        ["failures", ops["failures"]],
+        ["client retries", ops["retries"]],
+        ["crashes / joins", f"{churn['crashes']} / {churn['joins']}"],
+        ["acked writes", churn["acked_writes"]],
+        ["lost acked keys", churn["lost_acked_keys"]],
+        ["survival rate", f"{churn['survival_rate']:.4f}"],
+        [
+            "under-replication (ms, max)",
+            f"{churn['under_replication_ms']['max']:.1f}",
+        ],
+        ["open-loop p50 (ms)", f"{open_loop['p50']:.2f}"],
+        ["open-loop p95 (ms)", f"{open_loop['p95']:.2f}"],
+        ["open-loop p99 (ms)", f"{open_loop['p99']:.2f}"],
+    ]
+    _print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            f"churnstorm — {build['protocol']}, replicas={args.replicas}, "
+            f"{args.kills} kills",
+        )
+    )
+    print(f"churn bench report -> {args.output}", file=sys.stderr)
+    if not report.get("complete", True):
+        print(
+            "note: run was interrupted — the report is partial "
+            '("complete": false)',
+            file=sys.stderr,
+        )
+    if churn["lost_acked_keys"]:
+        print(
+            f"error: {churn['lost_acked_keys']} acknowledged key(s) were "
+            "lost to churn — the zero-loss bar failed",
             file=sys.stderr,
         )
         return 1
@@ -873,6 +1028,8 @@ def _dispatch(
         return _run_serve(args)
     elif args.command == "loadgen":
         return _run_loadgen(args)
+    elif args.command == "churnstorm":
+        return _run_churnstorm(args)
     elif args.command == "table1":
         rows = [
             [

@@ -23,7 +23,50 @@ from typing import Dict, List, Optional, Tuple
 from repro.dht.base import Network, Node
 from repro.dht.metrics import LookupRecord
 
-__all__ = ["KeyValueStore", "StoreResult", "StorageShard"]
+__all__ = [
+    "KeyValueStore",
+    "StoreResult",
+    "StorageShard",
+    "closeness",
+    "replica_set",
+]
+
+
+def closeness(network: Network, key_id: object, node: Node) -> object:
+    """Distance of ``node`` to ``key_id`` in the overlay's own metric."""
+    node_id = node.node_id
+    distance = getattr(key_id, "distance_to", None)
+    if distance is not None:  # Cycloid's composite metric
+        return distance(node_id)
+    # Ring DHTs: clockwise distance from key to node.
+    modulus = getattr(network, "ring", None)
+    if modulus is not None:
+        return (node_id - key_id) % network.ring.modulus
+    raise TypeError(f"unsupported network {type(network).__name__}")
+
+
+def replica_set(network: Network, key: object, replicas: int) -> List[Node]:
+    """The key's owner plus its ``replicas - 1`` closest live peers.
+
+    One definition shared by the in-memory :class:`KeyValueStore` and
+    the live serving path (:mod:`repro.net.server`), so a wire replica
+    push lands on exactly the nodes the in-memory store would choose.
+    The owner is always a member; ties are broken by the overlay's own
+    closeness metric over its live population.
+    """
+    key_id = network.key_id(key)
+    owner = network.owner_of_id(key_id)
+    if replicas == 1:
+        return [owner]
+    ranked: List[Tuple[object, Node]] = [
+        (closeness(network, key_id, node), node)
+        for node in network.live_nodes()
+    ]
+    ranked.sort(key=lambda item: item[0])
+    chosen = [node for _, node in ranked[:replicas]]
+    if owner not in chosen:
+        chosen[-1] = owner
+    return chosen
 
 
 class StorageShard:
@@ -56,6 +99,17 @@ class StorageShard:
 
     def keys_on(self, node_name: str) -> List[str]:
         return list(self._shelves.get(node_name, {}))
+
+    def drop_pair(self, node_name: str, key: str) -> bool:
+        """Discard one pair from ``node_name``'s shelf (rereplication
+        moved it elsewhere); returns whether it was present."""
+        shelf = self._shelves.get(node_name)
+        if shelf is None or key not in shelf:
+            return False
+        del shelf[key]
+        if not shelf:
+            del self._shelves[node_name]
+        return True
 
     def drop_node(self, node_name: str) -> int:
         """Discard a departed node's shelf; returns the pair count."""
@@ -233,27 +287,8 @@ class KeyValueStore:
 
     def _replica_set(self, key: object) -> List[Node]:
         """The key's owner plus its ``replicas - 1`` closest live peers."""
-        owner = self.network.owner_of_id(self.network.key_id(key))
-        if self.replicas == 1:
-            return [owner]
-        ranked: List[Tuple[object, Node]] = []
-        key_id = self.network.key_id(key)
-        for node in self.network.live_nodes():
-            ranked.append((self._closeness(key_id, node), node))
-        ranked.sort(key=lambda item: item[0])
-        chosen = [node for _, node in ranked[: self.replicas]]
-        if owner not in chosen:
-            chosen[-1] = owner
-        return chosen
+        return replica_set(self.network, key, self.replicas)
 
     def _closeness(self, key_id: object, node: Node) -> object:
         """Distance of ``node`` to ``key_id`` in the overlay's own metric."""
-        node_id = node.node_id
-        distance = getattr(key_id, "distance_to", None)
-        if distance is not None:  # Cycloid's composite metric
-            return distance(node_id)
-        # Ring DHTs: clockwise distance from key to node.
-        modulus = getattr(self.network, "ring", None)
-        if modulus is not None:
-            return (node_id - key_id) % self.network.ring.modulus
-        raise TypeError(f"unsupported network {type(self.network).__name__}")
+        return closeness(self.network, key_id, node)

@@ -460,15 +460,44 @@ _NET_REPORT_KEYS = (
 _NET_OPS_KEYS = ("total", "completed", "lookups", "puts", "gets", "failures")
 _NET_LATENCY_KEYS = ("mean", "p50", "p95", "p99", "max")
 _NET_DIGEST_KEYS = ("live", "expected", "match")
+#: Extra required shape of the ``"open-churn"`` mode (``repro
+#: churnstorm``): the digest section is replaced by the open/closed
+#: loop split and the churn ledger with its survival verdict.
+_NET_CHURN_REPORT_KEYS = (
+    "schema",
+    "build",
+    "clients",
+    "seed",
+    "ops",
+    "latency_ms",
+    "throughput_ops_per_s",
+    "open_loop",
+    "closed_loop",
+    "churn",
+)
+_NET_CHURN_KEYS = (
+    "plan",
+    "events",
+    "crashes",
+    "joins",
+    "acked_writes",
+    "acked_keys",
+    "lost_acked_keys",
+    "survival_rate",
+    "under_replication_ms",
+)
 
 
 def validate_net_report(report: Dict[str, object]) -> None:
     """Schema-guard a ``BENCH_net.json`` loadgen report.
 
-    Raises ``ValueError`` naming the first violation: wrong/missing
-    schema tag, missing sections, malformed digests, or a digest
-    ``match`` flag inconsistent with the live/expected hashes it
-    summarises.
+    Two report modes share the schema tag: the default closed-loop
+    parity report (``"mode"`` absent or ``"closed-loop"``) must carry a
+    consistent engine-parity ``digest``; an ``"open-churn"`` report
+    (``repro churnstorm``) instead carries the open/closed loop split
+    plus a ``churn`` section whose ``survival_rate`` must agree with
+    its lost-key count.  Raises ``ValueError`` naming the first
+    violation.
     """
     from repro.net.loadgen import NET_BENCH_SCHEMA
 
@@ -479,6 +508,12 @@ def validate_net_report(report: Dict[str, object]) -> None:
             f"net report schema is {report.get('schema')!r}, "
             f"expected {NET_BENCH_SCHEMA!r}"
         )
+    mode = report.get("mode", "closed-loop")
+    if mode not in ("closed-loop", "open-churn"):
+        raise ValueError(f"net report mode {mode!r} is unknown")
+    if mode == "open-churn":
+        _validate_churn_report(report)
+        return
     for key in _NET_REPORT_KEYS:
         if key not in report:
             raise ValueError(f"net report is missing {key!r}")
@@ -510,4 +545,40 @@ def validate_net_report(report: Dict[str, object]) -> None:
     if bool(digest["match"]) != expected_match:
         raise ValueError(
             "net report digest.match is inconsistent with the digests"
+        )
+
+
+def _validate_churn_report(report: Dict[str, object]) -> None:
+    for key in _NET_CHURN_REPORT_KEYS:
+        if key not in report:
+            raise ValueError(f"churn report is missing {key!r}")
+    for section, keys in (
+        ("ops", _NET_OPS_KEYS),
+        ("latency_ms", _NET_LATENCY_KEYS),
+        ("churn", _NET_CHURN_KEYS),
+    ):
+        block = report[section]
+        if not isinstance(block, dict):
+            raise ValueError(f"churn report {section!r} must be an object")
+        for key in keys:
+            if key not in block:
+                raise ValueError(
+                    f"churn report {section!r} is missing {key!r}"
+                )
+    churn = report["churn"]
+    survival = churn["survival_rate"]
+    if not isinstance(survival, (int, float)) or not 0.0 <= survival <= 1.0:
+        raise ValueError(
+            "churn report survival_rate must be a number in [0, 1]"
+        )
+    lost = churn["lost_acked_keys"]
+    if (survival == 1.0) != (lost == 0):
+        raise ValueError(
+            "churn report survival_rate is inconsistent with "
+            "lost_acked_keys"
+        )
+    window = churn["under_replication_ms"]
+    if not isinstance(window, dict) or not {"mean", "max"} <= set(window):
+        raise ValueError(
+            "churn report under_replication_ms needs 'mean' and 'max'"
         )

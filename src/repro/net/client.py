@@ -26,6 +26,7 @@ from repro.net.codec import (
     FrameError,
     MAX_PAYLOAD,
     MessageType,
+    error_is_retryable,
     read_frame,
     write_frame,
 )
@@ -37,7 +38,23 @@ Address = Tuple[str, int]
 
 
 class ClusterError(RuntimeError):
-    """A cluster operation failed (server error, or retry budget spent)."""
+    """A cluster operation failed (server error, or retry budget spent).
+
+    ``code`` is the server's machine-readable classification
+    (:data:`repro.net.codec.ERROR_CODES`); ``transport`` marks the two
+    client-side exhaustion cases (``rpc_failed`` after the retry budget,
+    ``unknown_node`` from a directory miss).  ``retryable`` says whether
+    re-issuing the operation could succeed — churn-aware callers branch
+    on it instead of string-matching the message.
+    """
+
+    def __init__(self, message: str, code: str = "rpc_failed") -> None:
+        super().__init__(message)
+        self.code = code
+
+    @property
+    def retryable(self) -> bool:
+        return error_is_retryable(self.code)
 
 
 class RpcConnection:
@@ -184,7 +201,9 @@ class ClusterClient:
         try:
             host, port = self.directory[name]
         except KeyError:
-            raise ClusterError(f"no server hosts node {name!r}") from None
+            raise ClusterError(
+                f"no server hosts node {name!r}", code="unknown_node"
+            ) from None
         return str(host), int(port)
 
     def addresses(self) -> Tuple[Address, ...]:
@@ -228,16 +247,27 @@ class ClusterClient:
                     raise ClusterError(
                         f"{kind.name} to {address[0]}:{address[1]} failed "
                         f"after {attempt + 1} attempts "
-                        f"(retry budget {self.retry.budget}): {exc}"
+                        f"(retry budget {self.retry.budget}): {exc}",
+                        code="rpc_failed",
                     ) from exc
                 await asyncio.sleep(self.retry.delay(attempt))
                 attempt += 1
                 self.retries += 1
                 continue
             if frame.kind == MessageType.ERROR:
-                raise ClusterError(
-                    str(frame.payload.get("error", "unspecified server error"))
+                code = str(frame.payload.get("code", "internal"))
+                message = str(
+                    frame.payload.get("error", "unspecified server error")
                 )
+                # A *retryable* coded error (e.g. step_failed while a
+                # peer's crash is being repaired) spends retry budget
+                # like a transport failure; fatal codes fail at once.
+                if error_is_retryable(code) and attempt < self.retry.budget:
+                    await asyncio.sleep(self.retry.delay(attempt))
+                    attempt += 1
+                    self.retries += 1
+                    continue
+                raise ClusterError(message, code=code)
             result = dict(frame.payload)
             result["rpc"] = frame.rpc
             return result
@@ -292,6 +322,22 @@ class ClusterClient:
         """Gracefully retire the virtual node ``name`` from its server."""
         return await self._request(
             self.address_of(name), MessageType.LEAVE, {"name": name}
+        )
+
+    async def crash(self, name: str) -> Dict[str, object]:
+        """Ungracefully kill the virtual node ``name`` (S24): no
+        notifications, no data handover — the churn harness's kill
+        switch.  The reply carries the repair telemetry (lost pairs,
+        route repairs, rereplication pushes, repair window)."""
+        return await self._request(
+            self.address_of(name), MessageType.CRASH, {"name": name}
+        )
+
+    async def repair(self, address: Address) -> Dict[str, object]:
+        """Ask one server to rescan its shard and re-push
+        under-replicated pairs (active rereplication, S24)."""
+        return await self._request(
+            (str(address[0]), int(address[1])), MessageType.REPAIR, {}
         )
 
     async def close(self) -> None:

@@ -52,9 +52,12 @@ class LocalCluster:
         max_payload: int = MAX_PAYLOAD,
         timeout: float = 10.0,
         build: Optional[Dict[str, object]] = None,
+        replicas: int = 1,
     ) -> None:
         if servers < 1:
             raise ValueError("a cluster needs at least one server")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
         names = [str(node.name) for node in network.live_nodes()]
         if not names:
             raise ValueError("network has no live nodes to serve")
@@ -64,6 +67,7 @@ class LocalCluster:
             partitions[index % servers].append(name)
         self.network = network
         self.build = dict(build) if build else {}
+        self.replicas = replicas
         #: node name -> [host, port]; one dict shared by every service.
         self.directory: Dict[str, Sequence[object]] = {}
         self.services: List[NodeService] = [
@@ -73,6 +77,7 @@ class LocalCluster:
                 host,
                 max_payload=max_payload,
                 timeout=timeout,
+                replicas=replicas,
             )
             for partition in partitions
         ]
@@ -134,6 +139,7 @@ class LocalCluster:
             "schema": SPEC_SCHEMA,
             "build": dict(self.build),
             "servers": len(self.services),
+            "replicas": self.replicas,
             "nodes": len(self.directory),
             "directory": {
                 name: list(address)

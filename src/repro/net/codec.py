@@ -16,13 +16,21 @@ offset  size  field
 ======  ====  =====================================================
 
 Client-facing request types are ``JOIN``, ``LOOKUP``, ``PUT``, ``GET``,
-``PING`` and ``LEAVE``; servers forward in-flight lookups to each other
-with ``STEP`` continuations and answer everything with ``REPLY`` or
+``PING``, ``LEAVE`` and ``CRASH`` (ungraceful kill of one hosted
+virtual node, S24); servers forward in-flight lookups to each other
+with ``STEP`` continuations, move replica copies with ``REPLICATE`` /
+``FETCH`` direct-shelf operations, trigger each other's rereplication
+scans with ``REPAIR``, and answer everything with ``REPLY`` or
 ``ERROR``.  Anything that violates the frame contract — wrong magic,
 unknown version or type, a payload longer than ``max_payload``, bytes
 that are not JSON, or JSON that is not an object — raises
 :class:`FrameError` with a human-readable reason; servers reject the
 frame (and close the now-unsynchronised connection) without crashing.
+
+``ERROR`` payloads carry a human-readable ``error`` string **and** a
+machine-readable ``code`` drawn from :data:`ERROR_CODES`, so clients
+can tell a retryable condition (a ``step_failed`` mid-churn) from a
+fatal one (``unknown_node``) without string-matching.
 """
 
 from __future__ import annotations
@@ -40,6 +48,8 @@ __all__ = [
     "HEADER_SIZE",
     "MAX_PAYLOAD",
     "MessageType",
+    "ERROR_CODES",
+    "error_is_retryable",
     "FrameError",
     "Frame",
     "encode_frame",
@@ -77,6 +87,52 @@ class MessageType(enum.IntEnum):
     STEP = 7
     REPLY = 8
     ERROR = 9
+    #: ungraceful kill of one hosted virtual node (no notifications, no
+    #: data handover) — the churn harness's kill switch (S24).
+    CRASH = 10
+    #: server-to-server direct store on a named node's shelf (replica
+    #: push); deliberately bypasses routing.
+    REPLICATE = 11
+    #: server-to-server direct read of a named node's shelf (replica
+    #: probe for read-repair); deliberately bypasses routing.
+    FETCH = 12
+    #: ask a server to scan its shard and re-push under-replicated
+    #: pairs to the current replica sets (active rereplication).
+    REPAIR = 13
+
+
+#: Machine-readable ``code`` values an ``ERROR`` payload may carry.
+#: ``retryable`` marks the transient subset: re-sending the same
+#: request may succeed once membership/repair catches up, so clients
+#: spend retry budget on them instead of failing the operation.
+ERROR_CODES: Dict[str, bool] = {
+    # the connection's byte stream violated the frame contract
+    "bad_frame": False,
+    # the named virtual node is unknown, dead, or unhosted anywhere
+    "unknown_node": False,
+    # the named node exists but is not hosted by the addressed server
+    "not_hosted": False,
+    # a STEP continuation landed on a server that does not host it
+    "misrouted": True,
+    # a STEP/REPLICATE/FETCH forward to a peer server failed (the peer
+    # may have just crashed; lazy repair reroutes on retry)
+    "step_failed": True,
+    # the routing walk exhausted Network.HOP_LIMIT
+    "hop_limit": False,
+    # a STEP continuation named an operation this server cannot run
+    "unknown_operation": False,
+    # the request payload is well-framed but semantically invalid
+    "bad_request": False,
+    # the overlay's join/leave/fail protocol itself refused
+    "membership_failed": False,
+    # an unexpected exception; the server survived, the request did not
+    "internal": False,
+}
+
+
+def error_is_retryable(code: object) -> bool:
+    """Whether an ``ERROR`` payload ``code`` marks a transient failure."""
+    return bool(ERROR_CODES.get(str(code), False))
 
 
 class FrameError(ValueError):

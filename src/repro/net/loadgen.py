@@ -26,6 +26,20 @@ trace as JSON lines in the ``--trace`` format of the simulated engine
 live-only fields ``rpc`` (the winning attempt's rpc id) and
 ``latency_ms`` (the operation's wall-clock latency) — the presence of
 ``rpc`` is what distinguishes a live trace line from a simulated one.
+
+A SIGINT mid-run no longer discards everything: the workers drain, the
+partial results are flushed into a report marked ``"complete": false``.
+
+**The churn harness (S24)** is the open-loop counterpart behind
+``repro churnstorm``: operations arrive on a seeded Poisson clock with
+Zipf key popularity and are fired *at their scheduled time* regardless
+of how earlier operations fared, with latency measured from the
+scheduled send instant — the coordinated-omission-free methodology —
+while a seeded :class:`~repro.sim.faults.ChurnPlan` kills and rejoins
+virtual nodes mid-run through live ``CRASH``/``JOIN`` RPCs.  After the
+storm, every key whose PUT was acknowledged is read back (closed-loop)
+and the report's ``churn`` section states the acknowledged-write
+survival rate — the acceptance bar is 1.0 with ``replicas >= 2``.
 """
 
 from __future__ import annotations
@@ -34,6 +48,7 @@ import asyncio
 import collections
 import hashlib
 import json
+import signal
 import time
 from typing import Dict, List, Optional, Sequence
 
@@ -44,7 +59,7 @@ from repro.experiments.registry import (
 )
 from repro.net.client import ClusterClient, ClusterError
 from repro.net.cluster import LocalCluster
-from repro.sim.faults import RetryPolicy
+from repro.sim.faults import ChurnPlan, RetryPolicy
 from repro.sim.workload import random_keys
 from repro.util.rng import derive_rng, make_rng
 from repro.util.stats import mean, percentile
@@ -53,9 +68,11 @@ __all__ = [
     "NET_BENCH_SCHEMA",
     "build_from_recipe",
     "make_operations",
+    "make_open_operations",
     "expected_results",
     "results_digest",
     "run_loadgen",
+    "run_churnstorm",
 ]
 
 #: Schema tag of the ``BENCH_net.json`` report.
@@ -199,8 +216,14 @@ async def _run_clients(
     clients: int,
     retry: RetryPolicy,
     timeout: float,
+    stop: Optional[asyncio.Event] = None,
 ) -> Dict[str, object]:
-    """Drive the workload closed-loop; returns results + telemetry."""
+    """Drive the workload closed-loop; returns results + telemetry.
+
+    ``stop`` (set by the SIGINT handler) makes every worker finish its
+    in-flight operation and drain, so an interrupted run still yields
+    a partial result set instead of nothing.
+    """
     results: List[Dict[str, object]] = []
     failures = 0
     errors: List[str] = []
@@ -217,6 +240,8 @@ async def _run_clients(
     async def worker(client: ClusterClient, queue) -> None:
         nonlocal failures
         while queue:
+            if stop is not None and stop.is_set():
+                return
             op = queue.popleft()
             started = time.perf_counter()
             try:
@@ -266,6 +291,8 @@ async def _run_clients(
     started = time.perf_counter()
     try:
         for phase_ops in phases:
+            if stop is not None and stop.is_set():
+                break
             if not phase_ops:
                 continue
             queue = collections.deque(phase_ops)
@@ -282,6 +309,7 @@ async def _run_clients(
         "errors": errors,
         "elapsed_s": elapsed,
         "retries": sum(client.retries for client in pool),
+        "interrupted": stop is not None and stop.is_set(),
     }
 
 
@@ -338,11 +366,16 @@ async def _loadgen(
             str(name): list(address)
             for name, address in spec["directory"].items()
         }
+    # A SIGINT sets ``stop`` instead of tearing the loop down, so the
+    # run flushes a partial report (marked incomplete) on the way out.
+    stop = asyncio.Event()
+    restore_sigint = _install_sigint(stop)
     try:
         outcome = await _run_clients(
-            directory, operations, clients, retry, timeout
+            directory, operations, clients, retry, timeout, stop
         )
     finally:
+        restore_sigint()
         if cluster is not None:
             await cluster.stop()
 
@@ -357,6 +390,8 @@ async def _loadgen(
     )
     report: Dict[str, object] = {
         "schema": NET_BENCH_SCHEMA,
+        "mode": "closed-loop",
+        "complete": complete and not outcome["interrupted"],
         "build": dict(build),
         "servers": servers if cluster is not None else spec.get("servers"),
         "attached": cluster is None,
@@ -401,6 +436,28 @@ async def _loadgen(
     return report
 
 
+def _install_sigint(stop: asyncio.Event):
+    """Route SIGINT into ``stop`` for the duration of a run.
+
+    Returns a zero-argument restore callable.  Where signal handlers
+    cannot be installed (non-main thread, non-unix loop) the run keeps
+    the default KeyboardInterrupt behaviour.
+    """
+    loop = asyncio.get_running_loop()
+    try:
+        loop.add_signal_handler(signal.SIGINT, stop.set)
+    except (NotImplementedError, ValueError, RuntimeError):
+        return lambda: None
+
+    def restore() -> None:
+        try:
+            loop.remove_signal_handler(signal.SIGINT)
+        except (NotImplementedError, ValueError, RuntimeError):
+            pass
+
+    return restore
+
+
 def run_loadgen(
     build: Dict[str, object],
     servers: int = 4,
@@ -434,5 +491,366 @@ def run_loadgen(
             timeout,
             spec,
             trace_path,
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# the open-loop churn harness (S24)
+# ----------------------------------------------------------------------
+
+def make_open_operations(
+    count: int,
+    seed: int,
+    rate: float,
+    key_universe: int = 64,
+    put_fraction: float = 0.5,
+    zipf_s: float = 1.1,
+) -> List[Dict[str, object]]:
+    """A seeded open-loop workload: Poisson arrivals, Zipf keys.
+
+    Inter-arrival times are exponential with ``rate`` ops/s (a Poisson
+    process); each operation is a PUT with probability ``put_fraction``
+    else a GET, over a ``key_universe``-key corpus with Zipf(``zipf_s``)
+    popularity — the head keys take most of the traffic, as real
+    caches see.  ``scheduled`` is the operation's ideal send time in
+    seconds from run start: the open-loop driver fires each operation
+    at that instant no matter how earlier ones fared, and latency is
+    measured **from the scheduled time**, so queueing delay the system
+    causes is charged to the system (no coordinated omission).
+
+    ``source_pick`` is a seeded uniform draw the driver maps onto the
+    *currently alive* node list at fire time — baked names would die
+    with their nodes mid-churn.
+    """
+    if count < 0:
+        raise ValueError("operation count must be non-negative")
+    if rate <= 0:
+        raise ValueError("arrival rate must be positive")
+    if key_universe < 1:
+        raise ValueError("key universe must hold at least one key")
+    if not 0.0 <= put_fraction <= 1.0:
+        raise ValueError("put_fraction must be within [0, 1]")
+    rng = make_rng(seed)
+    keys = random_keys(key_universe, derive_rng(rng, 1), prefix="zipf")
+    weights = [1.0 / (rank + 1) ** zipf_s for rank in range(key_universe)]
+    operations: List[Dict[str, object]] = []
+    clock = 0.0
+    for index in range(count):
+        clock += rng.expovariate(rate)
+        op = "put" if rng.random() < put_fraction else "get"
+        entry: Dict[str, object] = {
+            "index": index,
+            "op": op,
+            "key": rng.choices(keys, weights=weights, k=1)[0],
+            "scheduled": clock,
+            "source_pick": rng.random(),
+        }
+        if op == "put":
+            entry["value"] = f"value-{index}"
+        operations.append(entry)
+    return operations
+
+
+def _latency_block(latencies: Sequence[float]) -> Dict[str, float]:
+    return {
+        "mean": mean(latencies),
+        "p50": percentile(latencies, 50.0),
+        "p95": percentile(latencies, 95.0),
+        "p99": percentile(latencies, 99.0),
+        "max": max(latencies) if latencies else 0.0,
+    }
+
+
+async def _churnstorm(
+    build: Dict[str, object],
+    servers: int,
+    replicas: int,
+    rate: float,
+    count: int,
+    churn: ChurnPlan,
+    seed: int,
+    retry: RetryPolicy,
+    timeout: float,
+    clients: int,
+    key_universe: int,
+    put_fraction: float,
+) -> Dict[str, object]:
+    network = build_from_recipe(build)
+    operations = make_open_operations(
+        count, seed, rate, key_universe, put_fraction
+    )
+    duration = operations[-1]["scheduled"] if operations else 1.0
+    cluster = LocalCluster(
+        network, servers=servers, build=build, replicas=replicas
+    )
+    await cluster.start()
+    directory = cluster.directory
+    events = churn.schedule(sorted(directory), duration)
+
+    pool = [
+        ClusterClient(directory, retry=retry, timeout=timeout)
+        for _ in range(max(1, clients))
+    ]
+    control = ClusterClient(directory, retry=retry, timeout=timeout)
+    results: List[Dict[str, object]] = []
+    churn_log: List[Dict[str, object]] = []
+    errors: List[str] = []
+    failures = 0
+    #: keys whose PUT the cluster acknowledged — the zero-loss ledger.
+    acked: Dict[str, int] = {}
+
+    started = time.perf_counter()
+
+    def now() -> float:
+        return time.perf_counter() - started
+
+    def alive_source(pick: float, salt: int = 0) -> str:
+        names = sorted(directory)
+        if not names:
+            raise ClusterError("no live nodes left", code="unknown_node")
+        return names[(int(pick * len(names)) + salt) % len(names)]
+
+    async def run_op(op: Dict[str, object], client: ClusterClient) -> None:
+        nonlocal failures
+        for attempt in range(4):
+            source = alive_source(op["source_pick"], attempt)
+            try:
+                if op["op"] == "put":
+                    reply = await client.put(op["key"], op["value"], source)
+                else:
+                    reply = await client.get(op["key"], source)
+            except ClusterError as exc:
+                # A dead source or a mid-repair route: pick another
+                # source and go again; anything else is a failure.
+                if exc.code in ("unknown_node", "not_hosted") and attempt < 3:
+                    continue
+                failures += 1
+                errors.append(
+                    f"op {op['index']} ({op['op']}): [{exc.code}] {exc}"
+                )
+                return
+            break
+        latency_ms = (now() - op["scheduled"]) * 1000.0
+        record = {
+            "index": op["index"],
+            "op": op["op"],
+            "key": op["key"],
+            "source": source,
+            "scheduled_s": op["scheduled"],
+            "latency_ms": latency_ms,
+            "success": bool(reply.get("success")),
+            "hops": int(reply.get("hops", -1)),
+        }
+        if op["op"] == "put":
+            stored = bool(reply.get("stored"))
+            record["acked"] = stored
+            record["replicas"] = int(reply.get("replicas", 1))
+            if stored:
+                acked[op["key"]] = acked.get(op["key"], 0) + 1
+        else:
+            record["found"] = bool(reply.get("found"))
+        results.append(record)
+
+    async def dispatch() -> None:
+        tasks = []
+        for index, op in enumerate(operations):
+            delay = op["scheduled"] - now()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            tasks.append(
+                asyncio.create_task(run_op(op, pool[index % len(pool)]))
+            )
+        if tasks:
+            await asyncio.gather(*tasks)
+
+    async def drive_churn() -> None:
+        for event in events:
+            delay = event.time - now()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            entry: Dict[str, object] = {
+                "scheduled_s": event.time,
+                "action": event.action,
+                "node": event.node,
+            }
+            try:
+                if event.action == "crash":
+                    if event.node not in directory:
+                        entry["skipped"] = "not in directory"
+                    else:
+                        reply = await control.crash(event.node)
+                        entry.update(
+                            lost_pairs=reply.get("lost_pairs"),
+                            route_repairs=reply.get("route_repairs"),
+                            repushed_pairs=reply.get("repushed_pairs"),
+                            repair_ms=reply.get("repair_ms"),
+                        )
+                else:
+                    via = sorted(directory)[0]
+                    reply = await control.join(event.node, via)
+                    entry.update(
+                        repushed_pairs=reply.get("repushed_pairs"),
+                    )
+            except ClusterError as exc:
+                entry["skipped"] = f"[{exc.code}] {exc}"
+            churn_log.append(entry)
+
+    try:
+        await asyncio.gather(dispatch(), drive_churn())
+        open_elapsed = now()
+
+        # ----------------------------------------------------------
+        # verification sweep: every acknowledged PUT must be readable
+        # (directly or via read-repair) — the zero-loss acceptance bar.
+        # ----------------------------------------------------------
+        verify_latencies: List[float] = []
+        lost_keys: List[str] = []
+        for index, key in enumerate(sorted(acked)):
+            t0 = time.perf_counter()
+            try:
+                reply = await control.get(key, alive_source(0.0, index))
+            except ClusterError as exc:
+                lost_keys.append(key)
+                errors.append(f"verify {key}: [{exc.code}] {exc}")
+                continue
+            verify_latencies.append((time.perf_counter() - t0) * 1000.0)
+            if not reply.get("found"):
+                lost_keys.append(key)
+    finally:
+        await control.close()
+        for client in pool:
+            await client.close()
+        await cluster.stop()
+
+    open_latencies = [r["latency_ms"] for r in results]
+    put_latencies = [r["latency_ms"] for r in results if r["op"] == "put"]
+    get_latencies = [r["latency_ms"] for r in results if r["op"] == "get"]
+    crashes = [e for e in churn_log if e["action"] == "crash"]
+    executed = [e for e in crashes if "repair_ms" in e]
+    repair_windows = [float(e["repair_ms"]) for e in executed]
+    acked_writes = sum(acked.values())
+    puts = sum(1 for op in operations if op["op"] == "put")
+    report: Dict[str, object] = {
+        "schema": NET_BENCH_SCHEMA,
+        "mode": "open-churn",
+        "complete": len(results) + failures == len(operations),
+        "build": dict(build),
+        "servers": servers,
+        "replicas": replicas,
+        "clients": len(pool),
+        "seed": seed,
+        "retry": {
+            "budget": retry.budget,
+            "base_delay": retry.base_delay,
+            "multiplier": retry.multiplier,
+            "max_delay": retry.max_delay,
+        },
+        "timeout_s": timeout,
+        "ops": {
+            "total": len(operations),
+            "completed": len(results),
+            "lookups": 0,
+            "puts": puts,
+            "gets": len(operations) - puts,
+            "failures": failures,
+            "retries": (
+                sum(client.retries for client in pool) + control.retries
+            ),
+        },
+        "latency_ms": _latency_block(open_latencies),
+        "open_loop": {
+            "rate_target_ops_per_s": rate,
+            "rate_achieved_ops_per_s": (
+                len(results) / open_elapsed if open_elapsed > 0 else 0.0
+            ),
+            "duration_s": open_elapsed,
+            "key_universe": key_universe,
+            "put_fraction": put_fraction,
+            "latency_ms": {
+                "all": _latency_block(open_latencies),
+                "put": _latency_block(put_latencies),
+                "get": _latency_block(get_latencies),
+            },
+        },
+        "closed_loop": {
+            "verification_gets": len(acked),
+            "latency_ms": _latency_block(verify_latencies),
+        },
+        "throughput_ops_per_s": (
+            len(results) / open_elapsed if open_elapsed > 0 else 0.0
+        ),
+        "elapsed_s": open_elapsed,
+        "churn": {
+            "plan": {
+                "seed": churn.seed,
+                "kills": churn.kills,
+                "rejoin": churn.rejoin,
+                "start": churn.start,
+                "end": churn.end,
+            },
+            "events": churn_log,
+            "crashes": len(executed),
+            "joins": sum(
+                1
+                for e in churn_log
+                if e["action"] == "join" and "skipped" not in e
+            ),
+            "skipped": sum(1 for e in churn_log if "skipped" in e),
+            "acked_writes": acked_writes,
+            "acked_keys": len(acked),
+            "lost_acked_keys": len(lost_keys),
+            "lost_keys": lost_keys[:20],
+            "survival_rate": (
+                1.0 - len(lost_keys) / len(acked) if acked else 1.0
+            ),
+            "under_replication_ms": {
+                "mean": mean(repair_windows),
+                "max": max(repair_windows) if repair_windows else 0.0,
+            },
+        },
+        "errors": errors[:20],
+    }
+    return report
+
+
+def run_churnstorm(
+    build: Dict[str, object],
+    servers: int = 4,
+    replicas: int = 2,
+    rate: float = 200.0,
+    operations: int = 400,
+    churn: Optional[ChurnPlan] = None,
+    seed: int = 42,
+    retry: Optional[RetryPolicy] = None,
+    timeout: float = 5.0,
+    clients: int = 8,
+    key_universe: int = 64,
+    put_fraction: float = 0.5,
+) -> Dict[str, object]:
+    """Run one open-loop churn scenario and return the bench report.
+
+    Boots a private :class:`LocalCluster` with ``replicas``-way
+    leaf-set replication, drives ``operations`` Poisson-scheduled
+    PUT/GET operations at ``rate`` ops/s while the ``churn`` plan
+    kills and rejoins virtual nodes mid-run, then reads back every
+    acknowledged key.  The ``churn`` report section carries the
+    survival rate (1.0 = zero acknowledged writes lost) and the
+    under-replication windows of each crash.
+    """
+    return asyncio.run(
+        _churnstorm(
+            build,
+            servers,
+            replicas,
+            rate,
+            operations,
+            churn if churn is not None else ChurnPlan(seed=seed),
+            seed,
+            retry if retry is not None else RetryPolicy(),
+            timeout,
+            clients,
+            key_universe,
+            put_fraction,
         )
     )

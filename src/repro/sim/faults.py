@@ -30,14 +30,21 @@ bit-exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, FrozenSet, Set, Tuple
+from typing import TYPE_CHECKING, FrozenSet, List, Sequence, Set, Tuple
 
 from repro.util.rng import derive_rng, make_rng
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
     from repro.dht.base import Network, Node
 
-__all__ = ["FaultPlan", "FaultInjector", "FaultState", "RetryPolicy"]
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "FaultState",
+    "RetryPolicy",
+    "ChurnEvent",
+    "ChurnPlan",
+]
 
 
 def _check_probability(name: str, value: float) -> None:
@@ -83,6 +90,89 @@ class FaultPlan:
             or self.message_loss > 0.0
             or self.flaky_fraction > 0.0
         )
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One scheduled membership change of a live churn run (S24)."""
+
+    #: seconds after the run's start at which the event fires.
+    time: float
+    #: ``"crash"`` (ungraceful kill) or ``"join"`` (rejoin of a victim).
+    action: str
+    #: the virtual node the event targets.
+    node: str
+
+
+@dataclass(frozen=True)
+class ChurnPlan:
+    """A seeded kill/rejoin schedule for the live churn harness (S24).
+
+    Like :class:`FaultPlan`, the plan is pure configuration with a
+    mandatory ``seed``: :meth:`schedule` is a pure function of
+    ``(plan, names, duration)``, so two churn runs over the same
+    cluster replay byte-identical membership timelines — which is what
+    makes the zero-acknowledged-write-loss acceptance test
+    deterministic.
+    """
+
+    seed: int
+    #: how many distinct victims are ungracefully crashed.
+    kills: int = 3
+    #: whether each victim rejoins (same name, fresh join protocol)
+    #: midway between its kill and the next one.
+    rejoin: bool = True
+    #: fraction of the run duration where the first kill fires.
+    start: float = 0.2
+    #: fraction of the run duration where churn ends.
+    end: float = 0.8
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.seed, int):
+            raise TypeError("ChurnPlan.seed must be an int")
+        if self.kills < 0:
+            raise ValueError("kills must be >= 0")
+        if not 0.0 <= self.start < self.end <= 1.0:
+            raise ValueError(
+                "churn window must satisfy 0 <= start < end <= 1, got "
+                f"[{self.start}, {self.end}]"
+            )
+
+    def schedule(
+        self, names: Sequence[str], duration: float
+    ) -> List[ChurnEvent]:
+        """The deterministic event timeline for one run.
+
+        Victims are a seeded sample of ``names`` (at most
+        ``len(names) - 1`` — someone must survive); kills are spread
+        evenly across the ``[start, end]`` window with seeded jitter,
+        and each rejoin fires halfway to the next kill so the
+        population recovers between blows.
+        """
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        pool = sorted(str(name) for name in names)
+        kills = min(self.kills, max(0, len(pool) - 1))
+        if not kills:
+            return []
+        rng = make_rng(self.seed)
+        victims = rng.sample(pool, kills)
+        window = (self.end - self.start) * duration
+        spacing = window / kills
+        events: List[ChurnEvent] = []
+        for index, victim in enumerate(victims):
+            jitter = (rng.random() - 0.5) * 0.2 * spacing
+            at = self.start * duration + index * spacing + jitter
+            at = min(max(at, 0.0), duration)
+            events.append(ChurnEvent(at, "crash", victim))
+            if self.rejoin:
+                events.append(
+                    ChurnEvent(
+                        min(at + 0.5 * spacing, duration), "join", victim
+                    )
+                )
+        events.sort(key=lambda event: (event.time, event.action, event.node))
+        return events
 
 
 @dataclass(frozen=True)

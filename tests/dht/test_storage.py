@@ -206,3 +206,71 @@ class TestStorageShard:
         assert shard.drop_node("n1") == 3
         assert shard.drop_node("n1") == 0
         assert shard.total_pairs() == 1
+
+    def test_drop_pair_accounting(self):
+        shard = StorageShard()
+        shard.put("n1", "a", 1)
+        shard.put("n1", "b", 2)
+        assert shard.drop_pair("n1", "a") is True
+        # Gone means gone: a second drop reports absence.
+        assert shard.drop_pair("n1", "a") is False
+        assert shard.drop_pair("n1", "missing") is False
+        assert shard.drop_pair("ghost", "a") is False
+        assert shard.get("n1", "b") == (True, 2)
+        assert shard.total_pairs() == 1
+        # Dropping the last pair removes the shelf entirely.
+        assert shard.drop_pair("n1", "b") is True
+        assert shard.keys_on("n1") == []
+        assert shard.total_pairs() == 0
+
+
+class TestTripleReplicaLossPath:
+    """The replicas=3 loss ledger the churn harness (S24) relies on:
+    a pair dies only when *all three* holders fail before any
+    rereplication; any single survivor recovers the full set."""
+
+    def make(self, seed=13):
+        net = CycloidNetwork.with_random_ids(60, 5, seed=seed)
+        store = KeyValueStore(net, replicas=3)
+        source = net.live_nodes()[0]
+        store.put(source, "triple", "payload")
+        holders = [
+            node
+            for node in net.live_nodes()
+            if "triple" in store.keys_on(node)
+        ]
+        assert len(holders) == 3  # owner + two neighbour replicas
+        return net, store, holders
+
+    def test_all_three_holders_crashing_loses_the_pair(self):
+        net, store, holders = self.make()
+        for index, victim in enumerate(holders):
+            net.fail(victim)
+            lost = store.on_silent_failure(victim)
+            assert lost == (1 if index == 2 else 0)
+        net.stabilize()
+        reader = next(
+            node for node in net.live_nodes() if node not in holders
+        )
+        assert store.get(reader, "triple").found is False
+
+    @pytest.mark.parametrize("survivor_index", [0, 1, 2])
+    def test_any_single_survivor_recovers_the_pair(self, survivor_index):
+        net, store, holders = self.make()
+        for index, victim in enumerate(holders):
+            if index == survivor_index:
+                continue
+            net.fail(victim)
+            assert store.on_silent_failure(victim) == 0
+        net.stabilize()
+        # Rereplication off the survivor restores three live copies.
+        assert store.rereplicate() > 0
+        reader = net.live_nodes()[0]
+        result = store.get(reader, "triple")
+        assert result.found and result.value == "payload"
+        live_holders = [
+            node
+            for node in net.live_nodes()
+            if "triple" in store.keys_on(node)
+        ]
+        assert len(live_holders) == 3

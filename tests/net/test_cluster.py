@@ -225,3 +225,53 @@ class TestBadFrames:
                 assert "JSON" in reply.payload["error"]
 
         run(go())
+
+
+class TestReplicasThreading:
+    """``replicas`` flows cluster -> every service -> spec (S24)."""
+
+    def test_replicas_reach_every_service_and_the_spec(self):
+        async def go():
+            network = CycloidNetwork.complete(3)
+            async with LocalCluster(
+                network, servers=3, replicas=2
+            ) as cluster:
+                assert cluster.replicas == 2
+                assert all(
+                    service.replicas == 2 for service in cluster.services
+                )
+                assert cluster.spec()["replicas"] == 2
+
+        run(go())
+
+    def test_default_is_unreplicated(self):
+        async def go():
+            async with small_cluster() as cluster:
+                assert cluster.spec()["replicas"] == 1
+                assert all(
+                    service.replicas == 1 for service in cluster.services
+                )
+
+        run(go())
+
+    def test_invalid_replicas_rejected(self):
+        with pytest.raises(ValueError):
+            LocalCluster(CycloidNetwork.complete(3), replicas=0)
+
+    def test_ping_reports_replication_telemetry(self):
+        async def go():
+            network = CycloidNetwork.complete(3)
+            async with LocalCluster(
+                network, servers=2, replicas=2
+            ) as cluster:
+                async with cluster.client() as client:
+                    source = sorted(cluster.directory)[0]
+                    await client.put("telemetry", 1, source)
+                    pongs = [
+                        await client.ping(tuple(address))
+                        for address in cluster.addresses
+                    ]
+                    assert all(p["replicas"] == 2 for p in pongs)
+                    assert sum(p["replica_pushes"] for p in pongs) >= 1
+
+        run(go())

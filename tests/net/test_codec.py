@@ -149,3 +149,38 @@ class TestStreamReading:
         data = frame_bytes(payload={"k": "v" * 64})
         with pytest.raises(FrameError, match="exceeds"):
             self.read(data, max_payload=8)
+
+
+class TestErrorCodes:
+    """Machine-readable ERROR classification (S24)."""
+
+    def test_known_codes_classify(self):
+        from repro.net.codec import ERROR_CODES, error_is_retryable
+
+        assert error_is_retryable("step_failed") is True
+        assert error_is_retryable("misrouted") is True
+        for fatal in (
+            "bad_frame",
+            "unknown_node",
+            "not_hosted",
+            "hop_limit",
+            "unknown_operation",
+            "bad_request",
+            "membership_failed",
+            "internal",
+        ):
+            assert error_is_retryable(fatal) is False
+            assert fatal in ERROR_CODES
+
+    def test_unknown_code_defaults_to_fatal(self):
+        from repro.net.codec import error_is_retryable
+
+        assert error_is_retryable("made-up-code") is False
+        assert error_is_retryable("rpc_failed") is False
+
+    def test_data_plane_types_are_pinned(self):
+        # Wire compatibility: the S24 frame types keep their values.
+        assert MessageType.CRASH == 10
+        assert MessageType.REPLICATE == 11
+        assert MessageType.FETCH == 12
+        assert MessageType.REPAIR == 13

@@ -165,3 +165,142 @@ class TestSchemaGuard:
         report["digest"]["live"] = "not-a-hash"
         with pytest.raises(ValueError, match="sha256"):
             validate_net_report(report)
+
+
+class TestChurnSchemaGuard:
+    """The ``"open-churn"`` report mode of the same schema tag."""
+
+    def make_report(self):
+        from repro.net.loadgen import run_churnstorm
+        from repro.sim.faults import ChurnPlan
+
+        return run_churnstorm(
+            {"protocol": "cycloid", "dimension": 3, "seed": 1},
+            servers=2,
+            replicas=2,
+            rate=300.0,
+            operations=60,
+            churn=ChurnPlan(seed=5, kills=2),
+            seed=9,
+            clients=4,
+        )
+
+    def test_valid_churn_report_passes(self):
+        report = self.make_report()
+        assert report["mode"] == "open-churn"
+        assert report["complete"] is True
+        validate_net_report(report)
+
+    def test_churn_report_needs_no_digest(self):
+        report = self.make_report()
+        assert "digest" not in report
+        validate_net_report(report)
+
+    def test_missing_churn_section_rejected(self):
+        report = self.make_report()
+        del report["churn"]
+        with pytest.raises(ValueError, match="churn"):
+            validate_net_report(report)
+
+    def test_missing_survival_rate_rejected(self):
+        report = self.make_report()
+        del report["churn"]["survival_rate"]
+        with pytest.raises(ValueError, match="survival_rate"):
+            validate_net_report(report)
+
+    def test_inconsistent_survival_rate_rejected(self):
+        report = self.make_report()
+        report["churn"]["survival_rate"] = 0.5  # but nothing was lost
+        with pytest.raises(ValueError, match="survival_rate"):
+            validate_net_report(report)
+
+    def test_unknown_mode_rejected(self):
+        report = self.make_report()
+        report["mode"] = "sideways"
+        with pytest.raises(ValueError, match="mode"):
+            validate_net_report(report)
+
+    def test_closed_loop_report_is_marked_complete(self):
+        report = run_loadgen(
+            {"protocol": "cycloid", "dimension": 3, "seed": 1},
+            servers=2,
+            clients=4,
+            lookups=4,
+            puts=2,
+            seed=3,
+        )
+        assert report["mode"] == "closed-loop"
+        assert report["complete"] is True
+
+
+class TestInterruptedRun:
+    """SIGINT flushes a partial report instead of discarding the run."""
+
+    def test_preset_stop_event_drains_without_work(self):
+        import asyncio
+
+        from repro.net.cluster import LocalCluster
+        from repro.net.loadgen import _run_clients
+        from repro.sim.faults import RetryPolicy
+
+        async def go():
+            network = build_from_recipe(
+                {"protocol": "cycloid", "dimension": 3, "seed": 1}
+            )
+            operations = make_operations(network, 20, 0, seed=2)
+            async with LocalCluster(network, servers=2) as cluster:
+                stop = asyncio.Event()
+                stop.set()
+                outcome = await _run_clients(
+                    cluster.directory,
+                    operations,
+                    2,
+                    RetryPolicy(),
+                    5.0,
+                    stop,
+                )
+                assert outcome["interrupted"] is True
+                assert outcome["results"] == []
+                assert outcome["failures"] == 0
+
+        asyncio.run(go())
+
+    def test_sigint_mid_run_flushes_partial_report(self, tmp_path):
+        import os
+        import pathlib
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        root = pathlib.Path(__file__).parents[2]
+        out = tmp_path / "partial.json"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(root / "src")
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "loadgen",
+                "--protocol", "cycloid", "--dimension", "3",
+                "--servers", "2", "--clients", "2",
+                "--lookups", "20000", "--puts", "0",
+                "--output", str(out),
+            ],
+            cwd=root,
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            time.sleep(2.5)
+            process.send_signal(signal.SIGINT)
+            process.wait(timeout=120)
+        finally:
+            if process.poll() is None:
+                process.kill()
+        report = json.loads(out.read_text())
+        if report["complete"]:  # pragma: no cover - very fast machine
+            pytest.skip("run finished before SIGINT landed")
+        assert report["complete"] is False
+        assert report["ops"]["completed"] < report["ops"]["total"]
+        # The partial report still passes the schema guard.
+        validate_net_report(report)

@@ -388,3 +388,52 @@ class TestServeLoadgenCommands:
             == 2
         )
         assert "cannot load cluster spec" in capsys.readouterr().err
+
+
+class TestChurnstormCli:
+    def test_churnstorm_defaults(self):
+        args = build_parser().parse_args(["churnstorm"])
+        assert args.command == "churnstorm"
+        assert args.replicas == 2
+        assert args.rate == 200.0
+        assert args.ops == 400
+        assert args.clients == 8
+        assert args.kills == 3
+        assert args.no_rejoin is False
+        assert args.timeout == 5.0
+        assert args.retry_budget == 8
+        assert args.output == "BENCH_net.json"
+
+    def test_churnstorm_rejects_unknown_protocol(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["churnstorm", "--protocol", "gnutella"]
+            )
+
+    def test_churnstorm_writes_survival_checked_report(
+        self, capsys, tmp_path
+    ):
+        out_path = tmp_path / "BENCH_net.json"
+        assert (
+            main(
+                [
+                    "churnstorm",
+                    "--protocol", "cycloid",
+                    "--dimension", "3",
+                    "--servers", "2",
+                    "--replicas", "2",
+                    "--ops", "60",
+                    "--rate", "300",
+                    "--kills", "2",
+                    "--output", str(out_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "churnstorm — cycloid, replicas=2, 2 kills" in out
+        assert "survival rate" in out
+        report = json.loads(out_path.read_text())
+        assert report["mode"] == "open-churn"
+        assert report["churn"]["lost_acked_keys"] == 0
+        assert report["churn"]["survival_rate"] == 1.0
