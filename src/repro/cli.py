@@ -11,6 +11,7 @@ Usage::
     python -m repro.cli fig13
     python -m repro.cli fig14
     python -m repro.cli fig-crash [--crash-prob 0.1 0.3] [--msg-loss P]
+    python -m repro.cli fig-latency [--dimension D] [--latency-seed S]
     python -m repro.cli maint [--lookups N]
     python -m repro.cli table1
     python -m repro.cli bench [--workers N] [--output BENCH_parallel.json]
@@ -139,6 +140,58 @@ def _add_backend(subparser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_latency_model(
+    subparser: argparse.ArgumentParser, default_seed: Optional[int]
+) -> None:
+    """The §S25 link-model knobs.
+
+    With ``default_seed=None`` the model is opt-in (``serve`` /
+    ``loadgen`` run without one unless ``--latency-seed`` is given);
+    ``fig-latency`` defaults it on.
+    """
+    subparser.add_argument(
+        "--latency-seed",
+        type=int,
+        default=default_seed,
+        metavar="SEED",
+        help="seed of the link delay model"
+        + (
+            " (default: off — hops take no modeled time)"
+            if default_seed is None
+            else f" (default: {default_seed})"
+        ),
+    )
+    subparser.add_argument("--regions", type=int, default=4, metavar="N")
+    subparser.add_argument(
+        "--intra-ms", type=float, default=5.0, metavar="MS"
+    )
+    subparser.add_argument(
+        "--inter-min-ms", type=float, default=40.0, metavar="MS"
+    )
+    subparser.add_argument(
+        "--inter-max-ms", type=float, default=160.0, metavar="MS"
+    )
+    subparser.add_argument(
+        "--jitter-ms", type=float, default=10.0, metavar="MS"
+    )
+
+
+def _latency_model(args: argparse.Namespace):
+    """The LatencyModel the args describe, or None when opted out."""
+    if args.latency_seed is None:
+        return None
+    from repro.sim.latency import LatencyModel
+
+    return LatencyModel(
+        seed=args.latency_seed,
+        regions=args.regions,
+        intra_ms=args.intra_ms,
+        inter_min_ms=args.inter_min_ms,
+        inter_max_ms=args.inter_max_ms,
+        jitter_ms=args.jitter_ms,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -215,6 +268,28 @@ def build_parser() -> argparse.ArgumentParser:
     crash.add_argument("--retry-budget", type=int, default=8)
     crash.add_argument("--dimension", type=int, default=8)
 
+    fig_latency = sub.add_parser(
+        "fig-latency",
+        help="end-to-end lookup milliseconds under a seeded link model, "
+        "with Cycloid proximity-vs-random leaf selection (DESIGN S25)",
+    )
+    fig_latency.add_argument("--lookups", type=int, default=2000)
+    fig_latency.add_argument(
+        "--dimension",
+        type=int,
+        default=8,
+        help="Cycloid dimension of the complete overlays (default: 8, "
+        "i.e. n = 2048)",
+    )
+    _add_latency_model(fig_latency, default_seed=7)
+    fig_latency.add_argument(
+        "--output",
+        metavar="PATH",
+        default="BENCH_latency.json",
+        help="where to write the JSON latency report "
+        "(default: BENCH_latency.json)",
+    )
+
     maint = sub.add_parser(
         "maint", help="maintenance fan-out + post-departure lookup probe"
     )
@@ -223,16 +298,19 @@ def build_parser() -> argparse.ArgumentParser:
     maint.add_argument("--lookups", type=int, default=1000)
 
     for figure in (
-        fig5, fig6, fig7, fig10, fig11, fig12, fig13, fig14, crash, maint
+        fig5, fig6, fig7, fig10, fig11, fig12, fig13, fig14, crash,
+        fig_latency, maint,
     ):
         _add_workers(figure)
     # The run_sharded_lookups-driven commands also choose a shard
     # network distribution; fig12/maint run whole cells, fig8/9 assign
     # keys without routing, so the knob does not apply to them.
-    for figure in (fig5, fig6, fig7, fig10, fig11, fig13, fig14, crash):
+    for figure in (
+        fig5, fig6, fig7, fig10, fig11, fig13, fig14, crash, fig_latency
+    ):
         _add_distribution(figure)
     # The pure-lookup cells additionally choose an execution backend.
-    for figure in (fig5, fig6, fig7, fig14, crash):
+    for figure in (fig5, fig6, fig7, fig14, crash, fig_latency):
         _add_backend(figure)
 
     bench = sub.add_parser(
@@ -291,6 +369,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a built overlay as a live cluster of node servers",
     )
     _add_build(serve)
+    _add_latency_model(serve, default_seed=None)
     serve.add_argument(
         "--cluster-file",
         metavar="PATH",
@@ -311,6 +390,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="drive a live cluster closed-loop and write BENCH_net.json",
     )
     _add_build(loadgen)
+    _add_latency_model(loadgen, default_seed=None)
     loadgen.add_argument(
         "--cluster-file",
         metavar="PATH",
@@ -442,6 +522,7 @@ TRACEABLE_COMMANDS = (
     "fig13",
     "fig14",
     "fig-crash",
+    "fig-latency",
     "maint",
 )
 
@@ -496,9 +577,13 @@ def _run_serve(args: argparse.Namespace) -> int:
 
     build = _build_recipe(args)
 
+    latency = _latency_model(args)
+
     async def _serve() -> None:
         network = build_from_recipe(build)
-        cluster = LocalCluster(network, servers=args.servers, build=build)
+        cluster = LocalCluster(
+            network, servers=args.servers, build=build, latency=latency
+        )
         await cluster.start()
         try:
             if args.cluster_file is not None:
@@ -553,6 +638,7 @@ def _run_loadgen(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         spec=spec,
         trace_path=args.trace,
+        latency=_latency_model(args),
     )
     validate_net_report(report)
     with open(args.output, "w", encoding="utf-8") as handle:
@@ -572,6 +658,12 @@ def _run_loadgen(args: argparse.Namespace) -> int:
         ["p99 latency (ms)", f"{latency['p99']:.2f}"],
         ["engine parity", "match" if digest["match"] else "MISMATCH"],
     ]
+    if "model_ms" in report:
+        model = report["model_ms"]
+        rows.append(["modeled p50 (ms)", f"{model['p50']:.2f}"])
+        rows.append(
+            ["model parity (max |diff| ms)", f"{model['max_abs_diff_ms']:.6f}"]
+        )
     _print(
         format_table(
             ["metric", "value"],
@@ -930,6 +1022,78 @@ def _dispatch(
                 "Crash resilience — graceful vs ungraceful failures",
             )
         )
+    elif args.command == "fig-latency":
+        import json
+
+        from repro.experiments import (
+            latency_report,
+            run_latency_experiment,
+            validate_latency_report,
+        )
+
+        model = _latency_model(args)
+        points = run_latency_experiment(
+            dimension=args.dimension,
+            lookups=args.lookups,
+            seed=args.seed,
+            model=model,
+            observer=sink,
+            workers=args.workers,
+            distribution=args.distribution,
+            backend=args.backend,
+        )
+        report = latency_report(
+            points,
+            dimension=args.dimension,
+            lookups=args.lookups,
+            seed=args.seed,
+            model=model,
+            workers=args.workers,
+        )
+        validate_latency_report(report)
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        rows = [
+            [
+                p.label,
+                f"{p.mean_ms:.2f}",
+                f"{p.p50_ms:.2f}",
+                f"{p.p95_ms:.2f}",
+                f"{p.p99_ms:.2f}",
+                f"{p.mean_path_length:.2f}",
+                p.digest[:12],
+            ]
+            for p in points
+        ]
+        _print(
+            format_table(
+                [
+                    "overlay",
+                    "mean ms",
+                    "p50",
+                    "p95",
+                    "p99",
+                    "mean hops",
+                    "digest",
+                ],
+                rows,
+                f"fig-latency — modeled milliseconds, n = {points[0].size}",
+            )
+        )
+        proximity = report.get("proximity")
+        if proximity is not None:
+            verdict = (
+                "wins" if proximity["proximity_wins"] else "DOES NOT WIN"
+            )
+            print(
+                f"proximity selection {verdict}: "
+                f"{proximity['proximity_mean_ms']:.2f} ms vs "
+                f"{proximity['random_mean_ms']:.2f} ms random "
+                f"({proximity['improvement_ms']:+.2f} ms)"
+            )
+            print()
+        print(f"latency report -> {args.output}", file=sys.stderr)
     elif args.command == "maint":
         points = run_maintenance_experiment(
             population=args.population,

@@ -34,10 +34,19 @@ from repro.dht.base import Network
 from repro.dht.hashing import hash_to_cycloid
 from repro.dht.identifiers import CycloidId, cycloid_space_size
 from repro.dht.routing import RoutingDecision
+from repro.sim.latency import LatencyModel, stable_unit
 from repro.util.bitops import circular_distance, clockwise_distance, msdb
 from repro.util.rng import make_rng
 
-__all__ = ["CycloidNetwork"]
+__all__ = ["CycloidNetwork", "LEAF_SELECTIONS"]
+
+#: How a node picks its outside-leaf representative of a remote cycle
+#: (DESIGN §S25).  ``"primary"`` is the paper's rule (largest cyclic
+#: index) and the bit-exact default; ``"random"`` picks a deterministic
+#: stable-hash member (the proximity baseline); ``"proximity"`` picks
+#: the member with the lowest modeled RTT from the observer (requires a
+#: :class:`~repro.sim.latency.LatencyModel`).
+LEAF_SELECTIONS = ("primary", "random", "proximity")
 
 PHASE_ASCENDING = "ascending"
 PHASE_DESCENDING = "descending"
@@ -84,6 +93,15 @@ class CycloidNetwork(Network):
 
     ``leaf_radius=1`` gives the seven-entry DHT of the paper's §3;
     ``leaf_radius=2`` the eleven-entry variant evaluated alongside it.
+
+    ``leaf_selection`` chooses which member of a remote cycle each
+    outside-leaf slot points at (:data:`LEAF_SELECTIONS`); the paper's
+    ``"primary"`` rule is the default, and everything else about
+    routing is member-invariant (the traverse-arc test and the
+    ascending cube-distance metric consult only the cubical index), so
+    non-default selections change which links the ascent rides, never
+    whether lookups resolve.  ``"proximity"`` requires ``latency``, the
+    :class:`~repro.sim.latency.LatencyModel` whose RTTs it minimises.
     """
 
     protocol_name = "cycloid"
@@ -94,12 +112,26 @@ class CycloidNetwork(Network):
         dimension: int,
         leaf_radius: int = 1,
         seed: Optional[int] = None,
+        leaf_selection: str = "primary",
+        latency: Optional[LatencyModel] = None,
     ) -> None:
         super().__init__()
         if leaf_radius < 1:
             raise ValueError("leaf_radius must be >= 1")
+        if leaf_selection not in LEAF_SELECTIONS:
+            raise ValueError(
+                f"unknown leaf_selection {leaf_selection!r}; "
+                f"expected one of {LEAF_SELECTIONS}"
+            )
+        if leaf_selection == "proximity" and latency is None:
+            raise ValueError(
+                "leaf_selection='proximity' needs a LatencyModel to "
+                "rank neighbours by"
+            )
         self.dimension = dimension
         self.leaf_radius = leaf_radius
+        self.leaf_selection = leaf_selection
+        self.latency = latency
         self.topology = CycloidTopology(dimension)
         self._rng = make_rng(seed)
 
@@ -114,9 +146,11 @@ class CycloidNetwork(Network):
         dimension: int,
         leaf_radius: int = 1,
         seed: Optional[int] = None,
+        leaf_selection: str = "primary",
+        latency: Optional[LatencyModel] = None,
     ) -> "CycloidNetwork":
         """Build a fully-stabilised network containing ``node_ids``."""
-        network = cls(dimension, leaf_radius, seed)
+        network = cls(dimension, leaf_radius, seed, leaf_selection, latency)
         for node_id in node_ids:
             node = CycloidNode(f"n{node_id.linear}", node_id)
             network.topology.add(node_id, node)
@@ -130,6 +164,8 @@ class CycloidNetwork(Network):
         dimension: int,
         leaf_radius: int = 1,
         seed: Optional[int] = None,
+        leaf_selection: str = "primary",
+        latency: Optional[LatencyModel] = None,
     ) -> "CycloidNetwork":
         """``count`` distinct uniformly-random identifiers."""
         space = cycloid_space_size(dimension)
@@ -140,16 +176,25 @@ class CycloidNetwork(Network):
             CycloidId.from_linear(value, dimension)
             for value in rng.sample(range(space), count)
         ]
-        return cls.with_ids(ids, dimension, leaf_radius, seed)
+        return cls.with_ids(
+            ids, dimension, leaf_radius, seed, leaf_selection, latency
+        )
 
     @classmethod
     def complete(
-        cls, dimension: int, leaf_radius: int = 1
+        cls,
+        dimension: int,
+        leaf_radius: int = 1,
+        leaf_selection: str = "primary",
+        latency: Optional[LatencyModel] = None,
     ) -> "CycloidNetwork":
         """The complete CCC: all ``d * 2^d`` identifiers occupied."""
         space = cycloid_space_size(dimension)
         ids = (CycloidId.from_linear(value, dimension) for value in range(space))
-        return cls.with_ids(ids, dimension, leaf_radius)
+        return cls.with_ids(
+            ids, dimension, leaf_radius, leaf_selection=leaf_selection,
+            latency=latency,
+        )
 
     # ------------------------------------------------------------------
     # Network interface
@@ -700,11 +745,11 @@ class CycloidNetwork(Network):
                 for i in range(take)
             ]  # type: ignore[assignment]
         node.outside_left = [
-            self.topology.primary_of(c)  # type: ignore[misc]
+            self._outside_pick(node, c)
             for c in self.topology.preceding_cycles(node.cubical, radius)
         ]
         node.outside_right = [
-            self.topology.primary_of(c)  # type: ignore[misc]
+            self._outside_pick(node, c)
             for c in self.topology.succeeding_cycles(node.cubical, radius)
         ]
         after = (
@@ -714,6 +759,42 @@ class CycloidNetwork(Network):
             [n.id for n in node.outside_right],
         )
         return before != after
+
+    def _outside_pick(self, node: CycloidNode, cubical: int) -> CycloidNode:
+        """The outside-leaf representative of remote cycle ``cubical``
+        as seen by ``node`` (:data:`LEAF_SELECTIONS`).
+
+        All three rules are pure functions of the live membership (plus
+        the observer's name and the latency seed), never of an RNG
+        stream — re-wiring after churn reproduces the same choices, and
+        snapshot restores re-derive nothing.
+        """
+        selection = self.leaf_selection
+        if selection == "primary":
+            return self.topology.primary_of(cubical)  # type: ignore[return-value]
+        members = self.topology.cycle_members(cubical)
+        if selection == "random":
+            # Stable-hash pick, keyed per (observer, cycle): arbitrary
+            # but deterministic, and independent of any latency model —
+            # the fair baseline proximity selection is measured against.
+            pick = int(
+                stable_unit(0, "leaf-pick", str(node.name), cubical)
+                * len(members)
+            )
+            return self.topology.get(members[pick], cubical)  # type: ignore[return-value]
+        # "proximity": the member with the lowest modeled RTT from the
+        # observer; ties (same link delay never happens, but be exact)
+        # fall back to the paper's primary preference (highest cyclic).
+        delay_ms = self.latency.delay_ms
+        name = node.name
+        best = None
+        best_key = None
+        for cyclic in members:
+            member = self.topology.get(cyclic, cubical)
+            key = (delay_ms(name, member.name), -cyclic)
+            if best_key is None or key < best_key:
+                best, best_key = member, key
+        return best  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     # invariants

@@ -38,6 +38,7 @@ from repro.dht.snapshot import (
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
     from repro.sim.faults import FaultInjector
+    from repro.sim.latency import LatencyModel
 
 __all__ = ["LookupOutcome", "Node", "Network"]
 
@@ -313,6 +314,7 @@ class Network(abc.ABC):
         injector: Optional["FaultInjector"] = None,
         retry_budget: int = 0,
         backend: str = "object",
+        latency: Optional["LatencyModel"] = None,
     ) -> List[LookupRecord]:
         """Route a batch of ``(source, application key)`` lookups.
 
@@ -328,6 +330,11 @@ class Network(abc.ABC):
         engine; ``"columnar"`` dispatches to the vectorized kernel in
         :mod:`repro.dht.kernel`, which is bit-identical and falls back
         to the object engine where required.
+
+        ``latency`` attaches a :class:`~repro.sim.latency.LatencyModel`
+        so each record carries the modeled end-to-end ``latency_ms``
+        (DESIGN §S25); ``None`` keeps records bit-identical to the
+        latency-free engine.
         """
         if backend != "object":
             from repro.dht.kernel import run_lookup_batch
@@ -339,8 +346,9 @@ class Network(abc.ABC):
                 observer=observer,
                 injector=injector,
                 retry_budget=retry_budget,
+                latency=latency,
             )
-        engine = LookupEngine(self, observer, injector, retry_budget)
+        engine = LookupEngine(self, observer, injector, retry_budget, latency)
         key_id = self.key_id
         return [engine.run(source, key_id(key)) for source, key in pairs]
 
@@ -351,9 +359,11 @@ class Network(abc.ABC):
         injector: Optional["FaultInjector"] = None,
         retry_budget: int = 0,
         backend: str = "object",
+        latency: Optional["LatencyModel"] = None,
     ) -> List[LookupRecord]:
         """Route a batch of ``(source, key id)`` lookups (pre-hashed
-        variant of :meth:`lookup_many`, same ``backend`` selection)."""
+        variant of :meth:`lookup_many`, same ``backend`` and ``latency``
+        selection)."""
         if backend != "object":
             from repro.dht.kernel import run_lookup_batch
 
@@ -365,10 +375,11 @@ class Network(abc.ABC):
                 injector=injector,
                 retry_budget=retry_budget,
                 hashed=True,
+                latency=latency,
             )
-        return LookupEngine(self, observer, injector, retry_budget).run_batch(
-            pairs
-        )
+        return LookupEngine(
+            self, observer, injector, retry_budget, latency
+        ).run_batch(pairs)
 
     def assign_keys(self, keys: Iterable[object]) -> Dict[Node, int]:
         """Distribute a key corpus; returns keys-per-node counts (Figs 8-9).

@@ -56,6 +56,7 @@ except ImportError:  # pragma: no cover - exercised on minimal installs
 if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
     from repro.dht.base import Network, Node
     from repro.sim.faults import FaultInjector
+    from repro.sim.latency import LatencyModel
 
 __all__ = [
     "BACKENDS",
@@ -64,6 +65,7 @@ __all__ = [
     "columnar_protocols",
     "supports_columnar",
     "run_lookup_batch",
+    "annotate_latency",
 ]
 
 #: Selectable lookup execution backends, in preference-free name order.
@@ -119,6 +121,7 @@ def run_lookup_batch(
     injector: Optional["FaultInjector"] = None,
     retry_budget: int = 0,
     hashed: bool = False,
+    latency: Optional["LatencyModel"] = None,
 ) -> List[LookupRecord]:
     """Route a batch of lookups through the selected backend.
 
@@ -126,6 +129,11 @@ def run_lookup_batch(
     ``(source, key id)`` when ``hashed`` is true.  The columnar backend
     falls back to the object engine per the module-docstring rules;
     records are bit-identical either way.
+
+    A ``latency`` model is applied *after* the columnar walk: the total
+    is a pure function of the record's path, so annotating each record
+    with the left-to-right sum of per-link delays reproduces the object
+    engine's floats bit-exactly (same addition order).
     """
     check_backend(backend)
     if retry_budget < 0:
@@ -146,12 +154,34 @@ def run_lookup_batch(
             else:
                 key_id = network.key_id
                 key_ids = [key_id(key) for _, key in pairs]
-            return compiler(network).run(sources, key_ids)
-    engine = LookupEngine(network, observer, injector, retry_budget)
+            records = compiler(network).run(sources, key_ids)
+            if latency is not None:
+                annotate_latency(records, latency)
+            return records
+    engine = LookupEngine(network, observer, injector, retry_budget, latency)
     if hashed:
         return engine.run_batch(pairs)
     key_id = network.key_id
     return [engine.run(source, key_id(key)) for source, key in pairs]
+
+
+def annotate_latency(
+    records: List[LookupRecord], latency: "LatencyModel"
+) -> None:
+    """Charge ``latency`` onto ``records`` from their paths, in place.
+
+    Sums each record's consecutive-pair link delays left to right —
+    the exact float-addition order of
+    :meth:`repro.dht.routing.LookupEngine.run` — so columnar records
+    digest identically to object-engine records under the same model.
+    """
+    delay_ms = latency.delay_ms
+    for record in records:
+        path = record.path
+        total_ms = 0.0
+        for index in range(len(path) - 1):
+            total_ms += delay_ms(path[index], path[index + 1])
+        record.latency_ms = total_ms
 
 
 # ----------------------------------------------------------------------

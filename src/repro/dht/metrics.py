@@ -14,7 +14,13 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional
 
-from repro.util.stats import DistributionSummary, PhaseBreakdown, summarize
+from repro.util.stats import (
+    DistributionSummary,
+    PhaseBreakdown,
+    mean,
+    percentile,
+    summarize,
+)
 
 __all__ = ["LookupRecord", "LookupStats"]
 
@@ -34,6 +40,12 @@ class LookupRecord:
     ``retries`` counts the engine's fault-mode probe continuations
     (re-sends after lost messages plus fallbacks past dead targets); it
     is always 0 on the fault-free path.
+
+    ``latency_ms`` is the modeled end-to-end milliseconds of the lookup
+    when the run was driven with a :class:`repro.sim.latency.LatencyModel`
+    attached — the sum of the model's per-link delays along ``path``.
+    It stays ``None`` on latency-free runs, keeping those records (and
+    their digests) bit-identical to the pre-latency engine.
     """
 
     hops: int
@@ -45,6 +57,7 @@ class LookupRecord:
     owner: Optional[object] = None
     path: List[object] = field(default_factory=list)
     retries: int = 0
+    latency_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.hops < 0:
@@ -63,6 +76,8 @@ class LookupRecord:
                 f"path of {len(self.path)} entries does not match "
                 f"{self.hops} hops"
             )
+        if self.latency_ms is not None and self.latency_ms < 0.0:
+            raise ValueError("latency_ms must be non-negative")
 
 
 @dataclass
@@ -105,23 +120,29 @@ class LookupStats:
         order*, so two runs agree iff they produced bit-identical
         records in the same sequence — the equality the parallel-parity
         tests and the ``bench`` command assert between worker counts.
+        A record that carries a modeled ``latency_ms`` appends it (the
+        exact float ``repr``) to its tuple; latency-free records keep
+        the original 9-tuple shape so the committed golden baselines
+        stay valid verbatim.
         """
-        blob = repr(
-            [
-                (
-                    r.hops,
-                    r.timeouts,
-                    r.success,
-                    r.retries,
-                    sorted(r.phase_hops.items()),
-                    str(r.source),
-                    str(r.key),
-                    str(r.owner),
-                    [str(node) for node in r.path],
-                )
-                for r in self.records
-            ]
-        ).encode()
+
+        def canonical(r: LookupRecord) -> tuple:
+            parts = (
+                r.hops,
+                r.timeouts,
+                r.success,
+                r.retries,
+                sorted(r.phase_hops.items()),
+                str(r.source),
+                str(r.key),
+                str(r.owner),
+                [str(node) for node in r.path],
+            )
+            if r.latency_ms is not None:
+                parts += (r.latency_ms,)
+            return parts
+
+        blob = repr([canonical(r) for r in self.records]).encode()
         return hashlib.sha256(blob).hexdigest()
 
     def __len__(self) -> int:
@@ -157,6 +178,31 @@ class LookupStats:
     def retry_summary(self) -> DistributionSummary:
         """Distribution of per-lookup retry counts (crash experiment)."""
         return summarize([r.retries for r in self.records])
+
+    def latencies_ms(self) -> List[float]:
+        """The modeled per-lookup milliseconds, for records that have
+        them (latency-free records are simply absent)."""
+        return [
+            r.latency_ms for r in self.records if r.latency_ms is not None
+        ]
+
+    @property
+    def mean_latency_ms(self) -> float:
+        """Mean modeled lookup latency; 0.0 when nothing was modeled."""
+        return mean(self.latencies_ms())
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        """The milliseconds distribution the fig-latency experiment
+        reports: mean plus p50/p95/p99 (linear interpolation, matching
+        :func:`repro.util.stats.percentile`).  All zeros when no record
+        carries a modeled latency."""
+        values = self.latencies_ms()
+        return {
+            "mean": mean(values),
+            "p50": percentile(values, 50.0),
+            "p95": percentile(values, 95.0),
+            "p99": percentile(values, 99.0),
+        }
 
     def phase_breakdown(self) -> PhaseBreakdown:
         """Per-phase hop shares across all lookups (Figs 7 and 14)."""

@@ -61,6 +61,7 @@ from repro.dht.metrics import LookupRecord
 if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
     from repro.dht.base import Network, Node
     from repro.sim.faults import FaultInjector
+    from repro.sim.latency import LatencyModel
 
 __all__ = [
     "RoutingDecision",
@@ -177,6 +178,12 @@ class TraceEvent:
     ``"retry"`` (the message to a live target was lost; the engine
     re-probes it while retry budget remains).  Failed-probe events
     never count as hops.
+
+    ``latency_ms`` is this hop's modeled link delay when the engine was
+    built with a :class:`~repro.sim.latency.LatencyModel`; it stays
+    ``None`` on latency-free runs and on failed-probe events (latency is
+    charged only on counted hops, so a record's total always equals the
+    sum over its path).
     """
 
     lookup_id: int
@@ -185,6 +192,7 @@ class TraceEvent:
     phase: str
     timeouts: int
     kind: str = "hop"
+    latency_ms: Optional[float] = None
 
 
 class TraceObserver:
@@ -212,7 +220,9 @@ class JsonlTraceSink(TraceObserver):
     and ids are stringified so any overlay's identifiers serialise.
     Failed-probe events (fault mode only) additionally carry a ``kind``
     key (``"timeout"`` or ``"retry"``); plain hops omit it, keeping the
-    fault-free line format unchanged.
+    fault-free line format unchanged.  Likewise a hop routed under a
+    latency model carries its modeled ``latency_ms``, and latency-free
+    hops omit the key.
     """
 
     def __init__(self, stream: IO[str]) -> None:
@@ -229,6 +239,8 @@ class JsonlTraceSink(TraceObserver):
         }
         if event.kind != "hop":
             line["kind"] = event.kind
+        if event.latency_ms is not None:
+            line["latency_ms"] = event.latency_ms
         self.stream.write(json.dumps(line))
         self.stream.write("\n")
         self.events_written += 1
@@ -296,6 +308,15 @@ class LookupEngine:
     ``injector`` + ``retry_budget`` arm fault mode (see the module
     docstring); with the default ``injector=None`` the engine is the
     bit-exact fault-free driver.
+
+    ``latency`` attaches a :class:`~repro.sim.latency.LatencyModel`:
+    every counted hop is then charged the model's link delay, traced on
+    its :class:`TraceEvent`, and summed into the record's
+    ``latency_ms``.  The total is a pure function of the record's
+    ``path``, so any executor that reproduces the path (the columnar
+    kernel, the live cluster) reproduces the milliseconds bit-exactly.
+    With the default ``latency=None`` records carry ``latency_ms=None``
+    and are bit-identical to the pre-latency engine.
     """
 
     __slots__ = (
@@ -303,6 +324,7 @@ class LookupEngine:
         "observer",
         "injector",
         "retry_budget",
+        "latency",
         "_fault_mode",
         "_next_id",
         "_phase_template",
@@ -314,6 +336,7 @@ class LookupEngine:
         observer: Optional[TraceObserver] = None,
         injector: Optional["FaultInjector"] = None,
         retry_budget: int = 0,
+        latency: Optional["LatencyModel"] = None,
     ) -> None:
         if retry_budget < 0:
             raise ValueError("retry_budget must be >= 0")
@@ -321,6 +344,7 @@ class LookupEngine:
         self.observer = observer
         self.injector = injector
         self.retry_budget = retry_budget
+        self.latency = latency
         self._fault_mode = injector is not None and injector.active
         self._next_id = 0
         self._phase_template = dict.fromkeys(network.ROUTING_PHASES, 0)
@@ -379,6 +403,8 @@ class LookupEngine:
         network = self.network
         observer = self.observer
         fault_mode = self._fault_mode
+        latency = self.latency
+        total_ms = 0.0
         # Step functions consult this flag to decide whether to filter
         # dead entries themselves (fault-free) or hand the engine an
         # unfiltered primary plus alternates (fault mode).  Set on every
@@ -425,6 +451,10 @@ class LookupEngine:
                     # stuck at ``current`` and the lookup fails.
                     failed = True
                     break
+            hop_ms = None
+            if latency is not None:
+                hop_ms = latency.delay_ms(current.name, node.name)
+                total_ms += hop_ms
             current = node
             hops += 1
             phases[phase] += 1
@@ -438,6 +468,7 @@ class LookupEngine:
                         node.name,
                         phase,
                         decision.timeouts,
+                        latency_ms=hop_ms,
                     )
                 )
             if decision.terminal:
@@ -459,6 +490,10 @@ class LookupEngine:
                 timeouts += probe_timeouts
                 retries += probe_retries
             if node is not None:
+                hop_ms = None
+                if latency is not None:
+                    hop_ms = latency.delay_ms(current.name, node.name)
+                    total_ms += hop_ms
                 current = node
                 hops += 1
                 phases[phase] += 1
@@ -472,6 +507,7 @@ class LookupEngine:
                             current.name,
                             phase,
                             final.timeouts,
+                            latency_ms=hop_ms,
                         )
                     )
 
@@ -489,6 +525,7 @@ class LookupEngine:
             owner=current.name,
             path=path,
             retries=retries,
+            latency_ms=total_ms if latency is not None else None,
         )
         if observer is not None:
             observer.on_lookup_end(lookup_id, record)
@@ -509,8 +546,9 @@ def execute_lookup(
     observer: Optional[TraceObserver] = None,
     injector: Optional["FaultInjector"] = None,
     retry_budget: int = 0,
+    latency: Optional["LatencyModel"] = None,
 ) -> LookupRecord:
     """Convenience wrapper: route a single lookup through a fresh engine."""
-    return LookupEngine(network, observer, injector, retry_budget).run(
+    return LookupEngine(network, observer, injector, retry_budget, latency).run(
         source, key_id
     )

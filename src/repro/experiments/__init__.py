@@ -48,6 +48,12 @@ from repro.experiments.maintenance import (
     MaintenancePoint,
     run_maintenance_experiment,
 )
+from repro.experiments.fig_latency import (
+    LatencyPoint,
+    latency_report,
+    run_latency_experiment,
+    validate_latency_report,
+)
 from repro.experiments.bench import (
     BenchCell,
     KernelBenchCell,
@@ -88,6 +94,10 @@ __all__ = [
     "architecture_table",
     "MaintenancePoint",
     "run_maintenance_experiment",
+    "LatencyPoint",
+    "run_latency_experiment",
+    "latency_report",
+    "validate_latency_report",
     "BenchCell",
     "KernelBenchCell",
     "run_parallel_bench",

@@ -449,6 +449,7 @@ def write_bench_report(path: str, report: Dict[str, object]) -> None:
 #: machine-compared across commits without schema drift.
 _NET_REPORT_KEYS = (
     "schema",
+    "mode",
     "build",
     "clients",
     "seed",
@@ -465,6 +466,7 @@ _NET_DIGEST_KEYS = ("live", "expected", "match")
 #: loop split and the churn ledger with its survival verdict.
 _NET_CHURN_REPORT_KEYS = (
     "schema",
+    "mode",
     "build",
     "clients",
     "seed",
@@ -491,9 +493,9 @@ _NET_CHURN_KEYS = (
 def validate_net_report(report: Dict[str, object]) -> None:
     """Schema-guard a ``BENCH_net.json`` loadgen report.
 
-    Two report modes share the schema tag: the default closed-loop
-    parity report (``"mode"`` absent or ``"closed-loop"``) must carry a
-    consistent engine-parity ``digest``; an ``"open-churn"`` report
+    Two report modes share the schema tag, and every report must name
+    its ``"mode"`` explicitly: a ``"closed-loop"`` parity report must
+    carry a consistent engine-parity ``digest``; an ``"open-churn"`` report
     (``repro churnstorm``) instead carries the open/closed loop split
     plus a ``churn`` section whose ``survival_rate`` must agree with
     its lost-key count.  Raises ``ValueError`` naming the first
@@ -508,7 +510,12 @@ def validate_net_report(report: Dict[str, object]) -> None:
             f"net report schema is {report.get('schema')!r}, "
             f"expected {NET_BENCH_SCHEMA!r}"
         )
-    mode = report.get("mode", "closed-loop")
+    # ``mode`` is required: a very-early SIGINT once produced a partial
+    # report without it, which this validator silently took for a
+    # closed-loop run — never default a discriminator.
+    if "mode" not in report:
+        raise ValueError("net report is missing 'mode'")
+    mode = report["mode"]
     if mode not in ("closed-loop", "open-churn"):
         raise ValueError(f"net report mode {mode!r} is unknown")
     if mode == "open-churn":

@@ -11,6 +11,7 @@ from repro.dht.kernel import DEFAULT_BACKEND, check_backend
 from repro.dht.metrics import LookupStats
 from repro.dht.routing import TraceObserver
 from repro.sim.faults import FaultInjector
+from repro.sim.latency import LatencyModel
 from repro.sim.parallel import DEFAULT_SHARD_SIZE, plan_shards
 from repro.sim.workload import lookup_workload
 from repro.util.rng import shard_rng
@@ -29,6 +30,7 @@ def run_lookups(
     rng_factory: Optional[Callable[[int], random.Random]] = None,
     shard_size: int = DEFAULT_SHARD_SIZE,
     backend: str = DEFAULT_BACKEND,
+    latency: Optional[LatencyModel] = None,
 ) -> LookupStats:
     """Execute ``count`` random lookups on ``network`` and gather records.
 
@@ -57,6 +59,8 @@ def run_lookups(
     per-shard stream (:meth:`~repro.sim.faults.FaultInjector.for_shard`).
     ``backend`` selects the lookup execution strategy (``"object"`` or
     the bit-identical vectorized ``"columnar"`` kernel, DESIGN §S23).
+    ``latency`` attaches a :class:`~repro.sim.latency.LatencyModel` so
+    every record carries its modeled end-to-end milliseconds (§S25).
     """
     check_backend(backend)
     if rng_factory is not None and seed is not None:
@@ -87,6 +91,11 @@ def run_lookups(
                 injector=shard_injector,
                 retry_budget=retry_budget,
                 backend=backend,
+                latency=(
+                    latency.for_shard(spec.index)
+                    if latency is not None
+                    else None
+                ),
             )
         )
         if shard_injector is not None:

@@ -28,6 +28,7 @@ from repro.dht.base import Network
 from repro.net.client import ClusterClient, MAX_PAYLOAD
 from repro.net.server import NodeService
 from repro.sim.faults import RetryPolicy
+from repro.sim.latency import LatencyModel
 
 __all__ = ["SPEC_SCHEMA", "LocalCluster", "load_spec", "serve_forever"]
 
@@ -53,6 +54,7 @@ class LocalCluster:
         timeout: float = 10.0,
         build: Optional[Dict[str, object]] = None,
         replicas: int = 1,
+        latency: Optional[LatencyModel] = None,
     ) -> None:
         if servers < 1:
             raise ValueError("a cluster needs at least one server")
@@ -68,6 +70,8 @@ class LocalCluster:
         self.network = network
         self.build = dict(build) if build else {}
         self.replicas = replicas
+        #: the shared link-delay model every service sleeps by (§S25).
+        self.latency = latency
         #: node name -> [host, port]; one dict shared by every service.
         self.directory: Dict[str, Sequence[object]] = {}
         self.services: List[NodeService] = [
@@ -78,6 +82,7 @@ class LocalCluster:
                 max_payload=max_payload,
                 timeout=timeout,
                 replicas=replicas,
+                latency=latency,
             )
             for partition in partitions
         ]
@@ -135,7 +140,7 @@ class LocalCluster:
         """The attachable description of this running cluster."""
         if not self._started:
             raise RuntimeError("cluster is not started")
-        return {
+        spec: Dict[str, object] = {
             "schema": SPEC_SCHEMA,
             "build": dict(self.build),
             "servers": len(self.services),
@@ -146,6 +151,9 @@ class LocalCluster:
                 for name, address in sorted(self.directory.items())
             },
         }
+        if self.latency is not None:
+            spec["latency"] = self.latency.to_config()
+        return spec
 
     def write_spec(self, path: str) -> None:
         with open(path, "w", encoding="utf-8") as stream:

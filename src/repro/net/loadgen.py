@@ -60,6 +60,7 @@ from repro.experiments.registry import (
 from repro.net.client import ClusterClient, ClusterError
 from repro.net.cluster import LocalCluster
 from repro.sim.faults import ChurnPlan, RetryPolicy
+from repro.sim.latency import LatencyModel
 from repro.sim.workload import random_keys
 from repro.util.rng import derive_rng, make_rng
 from repro.util.stats import mean, percentile
@@ -71,6 +72,7 @@ __all__ = [
     "make_open_operations",
     "expected_results",
     "results_digest",
+    "partial_report",
     "run_loadgen",
     "run_churnstorm",
 ]
@@ -156,34 +158,41 @@ def make_operations(
 
 
 def expected_results(
-    network: Network, operations: Sequence[Dict[str, object]]
+    network: Network,
+    operations: Sequence[Dict[str, object]],
+    latency: Optional[LatencyModel] = None,
 ) -> List[Dict[str, object]]:
     """What the in-memory engine routes for each operation.
 
     Runs every op's lookup through :meth:`Network.lookup_many` on a
     pristine **clone** (so neither the served overlay's query-load
     telemetry nor the caller's network is disturbed) and returns one
-    canonical result dict per op — the parity baseline.
+    canonical result dict per op — the parity baseline.  With a
+    ``latency`` model each result additionally carries ``model_ms``,
+    the engine-predicted end-to-end modeled milliseconds; the live
+    servers must report the same totals for the same model (§S25).
     """
     reference = network.clone()
     by_name = {str(node.name): node for node in reference.live_nodes()}
     records = reference.lookup_many(
-        (by_name[str(op["source"])], op["key"]) for op in operations
+        ((by_name[str(op["source"])], op["key"]) for op in operations),
+        latency=latency,
     )
     results = []
     for op, record in zip(operations, records):
-        results.append(
-            {
-                "index": op["index"],
-                "op": op["op"],
-                "key": op["key"],
-                "source": op["source"],
-                "path": [str(name) for name in record.path],
-                "hops": record.hops,
-                "timeouts": record.timeouts,
-                "success": record.success,
-            }
-        )
+        result = {
+            "index": op["index"],
+            "op": op["op"],
+            "key": op["key"],
+            "source": op["source"],
+            "path": [str(name) for name in record.path],
+            "hops": record.hops,
+            "timeouts": record.timeouts,
+            "success": record.success,
+        }
+        if latency is not None:
+            result["model_ms"] = record.latency_ms
+        results.append(result)
     return results
 
 
@@ -272,21 +281,22 @@ async def _run_clients(
                     f"success={reply.get('success')} "
                     f"found={reply.get('found')}"
                 )
-            results.append(
-                {
-                    "index": op["index"],
-                    "op": op["op"],
-                    "key": op["key"],
-                    "source": op["source"],
-                    "path": list(reply.get("path", [])),
-                    "hops": int(reply.get("hops", -1)),
-                    "timeouts": int(reply.get("timeouts", -1)),
-                    "success": bool(reply.get("success")),
-                    "rpc": int(reply.get("rpc", 0)),
-                    "latency_ms": latency_ms,
-                    "trace": reply.get("trace", []),
-                }
-            )
+            result = {
+                "index": op["index"],
+                "op": op["op"],
+                "key": op["key"],
+                "source": op["source"],
+                "path": list(reply.get("path", [])),
+                "hops": int(reply.get("hops", -1)),
+                "timeouts": int(reply.get("timeouts", -1)),
+                "success": bool(reply.get("success")),
+                "rpc": int(reply.get("rpc", 0)),
+                "latency_ms": latency_ms,
+                "trace": reply.get("trace", []),
+            }
+            if "model_ms" in reply:
+                result["model_ms"] = float(reply["model_ms"])
+            results.append(result)
 
     started = time.perf_counter()
     try:
@@ -322,19 +332,18 @@ def _write_trace(
     with open(trace_path, "w", encoding="utf-8") as stream:
         for result in sorted(results, key=lambda r: r["index"]):
             for event in result["trace"]:
-                stream.write(
-                    json.dumps(
-                        {
-                            "lookup": result["index"],
-                            "hop": event["hop"],
-                            "node": str(event["node"]),
-                            "phase": event["phase"],
-                            "timeouts": event["timeouts"],
-                            "rpc": result["rpc"],
-                            "latency_ms": round(result["latency_ms"], 3),
-                        }
-                    )
-                )
+                line = {
+                    "lookup": result["index"],
+                    "hop": event["hop"],
+                    "node": str(event["node"]),
+                    "phase": event["phase"],
+                    "timeouts": event["timeouts"],
+                    "rpc": result["rpc"],
+                    "latency_ms": round(result["latency_ms"], 3),
+                }
+                if "model_ms" in event:
+                    line["model_ms"] = event["model_ms"]
+                stream.write(json.dumps(line))
                 stream.write("\n")
                 lines += 1
     return lines
@@ -351,14 +360,21 @@ async def _loadgen(
     timeout: float,
     spec: Optional[Dict[str, object]],
     trace_path: Optional[str],
+    latency: Optional[LatencyModel],
 ) -> Dict[str, object]:
     network = build_from_recipe(build)
     operations = make_operations(network, lookups, puts, seed)
-    expected = expected_results(network, operations)
+    if latency is None and spec is not None and spec.get("latency"):
+        # Attach mode: sleep-by-model clusters advertise their model in
+        # the spec; adopt it so the expected totals match the servers'.
+        latency = LatencyModel.from_config(spec["latency"])
+    expected = expected_results(network, operations, latency=latency)
 
     cluster: Optional[LocalCluster] = None
     if spec is None:
-        cluster = LocalCluster(network, servers=servers, build=build)
+        cluster = LocalCluster(
+            network, servers=servers, build=build, latency=latency
+        )
         await cluster.start()
         directory = cluster.directory
     else:
@@ -431,6 +447,26 @@ async def _loadgen(
         },
         "errors": outcome["errors"][:20],
     }
+    if latency is not None:
+        live_model = [r["model_ms"] for r in results if "model_ms" in r]
+        expected_model = {
+            r["index"]: float(r.get("model_ms", 0.0)) for r in expected
+        }
+        diffs = [
+            abs(r["model_ms"] - expected_model.get(r["index"], 0.0))
+            for r in results
+            if "model_ms" in r
+        ]
+        report["model_ms"] = {
+            "config": latency.to_config(),
+            "mean": mean(live_model),
+            "p50": percentile(live_model, 50.0),
+            "p95": percentile(live_model, 95.0),
+            "p99": percentile(live_model, 99.0),
+            "max": max(live_model) if live_model else 0.0,
+            #: live-vs-engine modeled-total parity: the worst per-op gap.
+            "max_abs_diff_ms": max(diffs) if diffs else 0.0,
+        }
     if trace_path is not None:
         report["trace"] = {"path": trace_path, "lines": trace_lines}
     return report
@@ -458,6 +494,58 @@ def _install_sigint(stop: asyncio.Event):
     return restore
 
 
+def partial_report(
+    build: Dict[str, object],
+    servers: int,
+    clients: int,
+    lookups: int,
+    puts: int,
+    seed: int,
+) -> Dict[str, object]:
+    """The schema-valid empty report of a run interrupted before any
+    operation completed.
+
+    A SIGINT that lands *before* the run installs its signal handler
+    (while the overlay builds or the cluster boots) aborts with no
+    results at all.  The report it leaves behind must still satisfy
+    :func:`repro.experiments.bench.validate_net_report` — in
+    particular it must carry ``"mode"``: the validator once defaulted a
+    missing mode to ``"closed-loop"``, which let early-interrupt
+    reports masquerade as complete-schema ones.
+    """
+    total = lookups + 2 * puts
+    empty_digest = results_digest([])
+    zeros = {"mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+    return {
+        "schema": NET_BENCH_SCHEMA,
+        "mode": "closed-loop",
+        "complete": False,
+        "interrupted": "before-run",
+        "build": dict(build),
+        "servers": servers,
+        "clients": clients,
+        "seed": seed,
+        "ops": {
+            "total": total,
+            "completed": 0,
+            "lookups": lookups,
+            "puts": puts,
+            "gets": puts,
+            "failures": 0,
+            "retries": 0,
+        },
+        "latency_ms": dict(zeros),
+        "throughput_ops_per_s": 0.0,
+        "elapsed_s": 0.0,
+        "digest": {
+            "live": empty_digest,
+            "expected": empty_digest,
+            "match": total == 0,
+        },
+        "errors": [],
+    }
+
+
 def run_loadgen(
     build: Dict[str, object],
     servers: int = 4,
@@ -469,6 +557,7 @@ def run_loadgen(
     timeout: float = 5.0,
     spec: Optional[Dict[str, object]] = None,
     trace_path: Optional[str] = None,
+    latency: Optional[LatencyModel] = None,
 ) -> Dict[str, object]:
     """Run one load-generation session and return the bench report.
 
@@ -477,22 +566,34 @@ def run_loadgen(
     *attaches* to the already-running cluster it describes — the local
     build then only computes the expected routes; without it a private
     :class:`LocalCluster` of ``servers`` servers is booted and torn
-    down around the run.
+    down around the run.  ``latency`` attaches a
+    :class:`~repro.sim.latency.LatencyModel`: the servers sleep each
+    hop's modeled delay and the report gains a ``model_ms`` section
+    comparing live modeled totals against the engine's predictions.
+
+    A SIGINT that arrives before the run's own handler is installed
+    (e.g. during cluster boot) still returns a schema-valid partial
+    report (:func:`partial_report`) instead of propagating
+    ``KeyboardInterrupt`` with nothing to show.
     """
-    return asyncio.run(
-        _loadgen(
-            build,
-            servers,
-            clients,
-            lookups,
-            puts,
-            seed,
-            retry if retry is not None else RetryPolicy(),
-            timeout,
-            spec,
-            trace_path,
+    try:
+        return asyncio.run(
+            _loadgen(
+                build,
+                servers,
+                clients,
+                lookups,
+                puts,
+                seed,
+                retry if retry is not None else RetryPolicy(),
+                timeout,
+                spec,
+                trace_path,
+                latency,
+            )
         )
-    )
+    except KeyboardInterrupt:
+        return partial_report(build, servers, clients, lookups, puts, seed)
 
 
 # ----------------------------------------------------------------------

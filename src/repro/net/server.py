@@ -57,9 +57,20 @@ from __future__ import annotations
 import asyncio
 import itertools
 import time
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.dht.base import Network, Node
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.latency import LatencyModel
 from repro.dht.routing import step_route
 from repro.dht.storage import StorageShard, replica_set
 from repro.net.client import RpcConnection
@@ -119,12 +130,18 @@ class NodeService:
         max_payload: int = MAX_PAYLOAD,
         timeout: float = 10.0,
         replicas: int = 1,
+        latency: Optional["LatencyModel"] = None,
     ) -> None:
         if not hosted:
             raise ValueError("a NodeService must host at least one node")
         if replicas < 1:
             raise ValueError("replicas must be >= 1")
         self.network = network
+        #: the seeded link-delay model (§S25); with one attached every
+        #: hop sleeps its modeled one-way delay and the reply carries
+        #: ``model_ms`` per hop and in total, so the wall clock the
+        #: loadgen measures tracks the distribution the sim predicts.
+        self.latency = latency
         self.hosted: List[str] = [str(name) for name in hosted]
         self._hosted_set: Set[str] = set(self.hosted)
         self._bind_host = host
@@ -357,6 +374,7 @@ class NodeService:
             "path": [str(source.name)],
             "phases": dict.fromkeys(network.ROUTING_PHASES, 0),
             "trace": [],
+            "model_ms": 0.0,
         }
         return await self._drive(continuation, source, key_id, state)
 
@@ -418,6 +436,8 @@ class NodeService:
         path: List[str] = continuation["path"]
         trace: List[Dict[str, object]] = continuation["trace"]
         failed = bool(continuation["failed"])
+        latency = self.latency
+        total_ms = float(continuation.get("model_ms", 0.0))
 
         if continuation["stage"] == "route":
             while hops < limit:
@@ -433,14 +453,20 @@ class NodeService:
                 phases[decision.phase] = phases.get(decision.phase, 0) + 1
                 name = str(node.name)
                 path.append(name)
-                trace.append(
-                    {
-                        "hop": hops,
-                        "node": name,
-                        "phase": decision.phase,
-                        "timeouts": decision.timeouts,
-                    }
-                )
+                event: Dict[str, object] = {
+                    "hop": hops,
+                    "node": name,
+                    "phase": decision.phase,
+                    "timeouts": decision.timeouts,
+                }
+                if latency is not None:
+                    hop_ms = latency.delay_ms(str(current.name), name)
+                    total_ms += hop_ms
+                    event["model_ms"] = hop_ms
+                    continuation["model_ms"] = total_ms
+                    if hop_ms > 0.0:
+                        await asyncio.sleep(hop_ms / 1000.0)
+                trace.append(event)
                 if not self._is_local(name):
                     continuation.update(
                         current=name,
@@ -470,14 +496,20 @@ class NodeService:
                 phases[final.phase] = phases.get(final.phase, 0) + 1
                 name = str(node.name)
                 path.append(name)
-                trace.append(
-                    {
-                        "hop": hops,
-                        "node": name,
-                        "phase": final.phase,
-                        "timeouts": final.timeouts,
-                    }
-                )
+                event = {
+                    "hop": hops,
+                    "node": name,
+                    "phase": final.phase,
+                    "timeouts": final.timeouts,
+                }
+                if latency is not None:
+                    hop_ms = latency.delay_ms(str(current.name), name)
+                    total_ms += hop_ms
+                    event["model_ms"] = hop_ms
+                    continuation["model_ms"] = total_ms
+                    if hop_ms > 0.0:
+                        await asyncio.sleep(hop_ms / 1000.0)
+                trace.append(event)
                 if not self._is_local(name):
                     continuation.update(
                         current=name,
@@ -644,6 +676,8 @@ class NodeService:
             "phases": continuation["phases"],
             "trace": continuation["trace"],
         }
+        if self.latency is not None:
+            result["model_ms"] = float(continuation.get("model_ms", 0.0))
         key = continuation["key"]
         if continuation["op"] == "put":
             self.storage.put(current_name, key, continuation["value"])

@@ -9,6 +9,7 @@ distributed phases.
 from repro.sim.engine import Event, EventQueue, Simulator
 from repro.sim.churn import ChurnConfig, ChurnResult, run_churn_simulation
 from repro.sim.faults import FaultInjector, FaultPlan
+from repro.sim.latency import LatencyModel
 from repro.sim.parallel import (
     DEFAULT_SHARD_SIZE,
     MergedRun,
@@ -35,6 +36,7 @@ __all__ = [
     "run_churn_simulation",
     "FaultPlan",
     "FaultInjector",
+    "LatencyModel",
     "DEFAULT_SHARD_SIZE",
     "ShardSpec",
     "ShardTask",

@@ -1,0 +1,166 @@
+"""Seeded, deterministic per-link network latency model.
+
+The paper's figures count hops; the ROADMAP asks for the wall-clock
+version of the same claim.  This module supplies the missing physical
+layer: a :class:`LatencyModel` assigns every node to one of ``regions``
+geographic regions and derives a one-way link delay for every node pair
+from
+
+* a symmetric **region delay table** (an intra-region floor plus a
+  per-region-pair inter-region base), and
+* a bounded **per-link jitter** term that makes individual links inside
+  the same region pair distinguishable.
+
+Every quantity is a pure function of ``(seed, node_id_a, node_id_b)``:
+no state, no RNG objects, no iteration-order dependence.  Hashing goes
+through :func:`hashlib.blake2b` rather than ``hash()`` so delays do not
+depend on ``PYTHONHASHSEED`` and are identical across worker processes,
+snapshot/clone restores, and machines.  That is what lets the sharded
+runner (:mod:`repro.sim.parallel`) and the live cluster
+(:mod:`repro.net`) consult the *same* model object — or independently
+constructed copies — and agree bit-for-bit.
+
+Like :class:`repro.sim.faults.FaultPlan`, the model is a frozen
+dataclass with a mandatory ``seed`` and no unseeded fallback: a latency
+schedule must be reproducible or it is useless for parity testing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+__all__ = ["LatencyModel", "stable_unit"]
+
+
+def stable_unit(seed: int, *parts: object) -> float:
+    """A stable float in ``[0, 1)`` derived from ``(seed, *parts)``.
+
+    blake2b over the ``repr`` of the key tuple: process-stable (unlike
+    ``hash()``, which varies with ``PYTHONHASHSEED``), cheap (8-byte
+    digest), and stateless.  Shared by the latency model and by
+    deterministic tie-breaking that must not consume any RNG stream
+    (e.g. the ``"random"`` leaf-selection baseline in
+    :mod:`repro.core.network`).
+    """
+    blob = repr((seed,) + parts).encode("utf-8")
+    digest = hashlib.blake2b(blob, digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2.0**64
+
+
+_unit = stable_unit
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """A seeded region-based link delay model.
+
+    ``delay_ms(a, b)`` is the modeled one-way delay between nodes named
+    ``a`` and ``b``:
+
+    * ``0.0`` when ``a`` and ``b`` are the same node (local handoff);
+    * ``intra_ms`` plus jitter when both map to the same region;
+    * a region-pair base drawn once per (unordered) region pair from
+      ``[inter_min_ms, inter_max_ms)``, plus jitter, otherwise.
+
+    Jitter is per unordered *link* — at most ``jitter_ms`` — so two
+    distinct links between the same region pair still differ, which is
+    what gives proximity neighbour selection something to optimise
+    inside a region pair.  All terms are keyed on sorted stringified
+    node names, making the model exactly symmetric:
+    ``delay_ms(a, b) == delay_ms(b, a)``.
+    """
+
+    seed: int
+    #: number of geographic regions nodes are hashed into.
+    regions: int = 4
+    #: one-way delay floor between two distinct nodes in one region.
+    intra_ms: float = 5.0
+    #: inter-region base delay range; each unordered region pair gets
+    #: one base drawn deterministically from ``[inter_min_ms, inter_max_ms)``.
+    inter_min_ms: float = 40.0
+    inter_max_ms: float = 160.0
+    #: per-link jitter bound (added on top of the regional base).
+    jitter_ms: float = 10.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.seed, int):
+            raise TypeError("LatencyModel.seed must be an int")
+        if self.regions < 1:
+            raise ValueError("regions must be >= 1")
+        if self.intra_ms < 0.0:
+            raise ValueError("intra_ms must be non-negative")
+        if self.jitter_ms < 0.0:
+            raise ValueError("jitter_ms must be non-negative")
+        if not 0.0 <= self.inter_min_ms <= self.inter_max_ms:
+            raise ValueError(
+                "need 0 <= inter_min_ms <= inter_max_ms, got "
+                f"[{self.inter_min_ms!r}, {self.inter_max_ms!r}]"
+            )
+
+    def region_of(self, name: object) -> int:
+        """The region index of the node named ``name`` (stable hash)."""
+        return int(_unit(self.seed, "region", str(name)) * self.regions)
+
+    def base_ms(self, region_a: int, region_b: int) -> float:
+        """The region-pair base delay (no jitter), symmetric in its
+        arguments."""
+        if region_a == region_b:
+            return self.intra_ms
+        low, high = sorted((region_a, region_b))
+        span = self.inter_max_ms - self.inter_min_ms
+        return self.inter_min_ms + span * _unit(self.seed, "table", low, high)
+
+    def delay_ms(self, a: object, b: object) -> float:
+        """Modeled one-way delay in milliseconds between nodes ``a``
+        and ``b``.  Symmetric, non-negative, and zero iff ``a == b``
+        (by stringified name)."""
+        name_a, name_b = str(a), str(b)
+        if name_a == name_b:
+            return 0.0
+        if name_b < name_a:
+            name_a, name_b = name_b, name_a
+        base = self.base_ms(self.region_of(name_a), self.region_of(name_b))
+        return base + self.jitter_ms * _unit(self.seed, "link", name_a, name_b)
+
+    def to_config(self) -> dict:
+        """The model as a plain JSON-serialisable dict.
+
+        Round-trips through :meth:`from_config`; embedded in cluster
+        specs so an attached load generator reconstructs the *same*
+        model the servers sleep by.
+        """
+        return {
+            "seed": self.seed,
+            "regions": self.regions,
+            "intra_ms": self.intra_ms,
+            "inter_min_ms": self.inter_min_ms,
+            "inter_max_ms": self.inter_max_ms,
+            "jitter_ms": self.jitter_ms,
+        }
+
+    @classmethod
+    def from_config(cls, config: dict) -> "LatencyModel":
+        """Rebuild a model from :meth:`to_config` output."""
+        return cls(
+            seed=int(config["seed"]),
+            regions=int(config.get("regions", 4)),
+            intra_ms=float(config.get("intra_ms", 5.0)),
+            inter_min_ms=float(config.get("inter_min_ms", 40.0)),
+            inter_max_ms=float(config.get("inter_max_ms", 160.0)),
+            jitter_ms=float(config.get("jitter_ms", 10.0)),
+        )
+
+    def for_shard(self, index: int) -> "LatencyModel":
+        """The model as seen by shard ``index`` of a sharded run.
+
+        The model is stateless — every delay is a pure function of the
+        seed and the endpoint names — so every shard sees the identical
+        model and the method simply returns ``self``.  It exists so the
+        sharded runner can treat latency like
+        :meth:`repro.sim.faults.FaultInjector.for_shard` without a
+        special case, and so the property suite can pin the invariant.
+        """
+        if index < 0:
+            raise ValueError("shard index must be non-negative")
+        return self

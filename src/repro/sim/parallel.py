@@ -77,6 +77,7 @@ from repro.dht.kernel import DEFAULT_BACKEND, check_backend
 from repro.dht.metrics import LookupRecord, LookupStats
 from repro.dht.snapshot import NetworkSnapshot, pack_network, unpack_network
 from repro.sim.faults import FaultState
+from repro.sim.latency import LatencyModel
 from repro.sim.workload import lookup_workload
 from repro.util.rng import shard_rng
 
@@ -207,6 +208,10 @@ class ShardTask:
     snapshot: Optional[NetworkSnapshot] = None
     faults: Optional[FaultState] = None
     backend: str = DEFAULT_BACKEND
+    #: optional link delay model; frozen and picklable, so it ships to
+    #: pool workers as-is, and ``for_shard`` keeps every shard on the
+    #: identical pure-function model.
+    latency: Optional[LatencyModel] = None
 
     def __post_init__(self) -> None:
         if (self.setup is None) == (self.snapshot is None):
@@ -278,6 +283,11 @@ def execute_shard(
     shard_injector = (
         injector.for_shard(spec.index) if injector is not None else None
     )
+    shard_latency = (
+        task.latency.for_shard(spec.index)
+        if task.latency is not None
+        else None
+    )
     network.reset_query_counts()
     records = network.lookup_many(
         lookup_workload(
@@ -291,6 +301,7 @@ def execute_shard(
         injector=shard_injector,
         retry_budget=task.retry_budget,
         backend=task.backend,
+        latency=shard_latency,
     )
     live = network.live_nodes()
     return ShardResult(
@@ -363,20 +374,23 @@ def run_sharded_lookups(
     observer: Optional["TraceObserver"] = None,
     distribution: str = "snapshot",
     backend: str = DEFAULT_BACKEND,
+    latency: Optional[LatencyModel] = None,
 ) -> MergedRun:
     """Execute one cell's lookup workload as deterministic shards.
 
     The result is a pure function of ``(setup, count, seed, shard_size,
-    keys, retry_budget)`` — ``workers`` only chooses the fan-out,
-    ``distribution`` only chooses how each shard obtains its fresh
-    network, and ``backend`` only chooses each shard's lookup execution
-    strategy (``"object"`` or the bit-identical ``"columnar"`` kernel,
-    DESIGN §S23).  ``"snapshot"`` builds once and hands every shard a
-    restored copy (clones in-process, pickled bytes across the pool);
-    ``"rebuild"`` re-runs ``setup`` per shard.  Both are bit-identical.
-    ``workers=1`` (or a non-picklable ``observer``, or a single-shard
-    plan) runs every shard in-process through the identical shard/merge
-    path.
+    keys, retry_budget, latency)`` — ``workers`` only chooses the
+    fan-out, ``distribution`` only chooses how each shard obtains its
+    fresh network, and ``backend`` only chooses each shard's lookup
+    execution strategy (``"object"`` or the bit-identical ``"columnar"``
+    kernel, DESIGN §S23).  ``"snapshot"`` builds once and hands every
+    shard a restored copy (clones in-process, pickled bytes across the
+    pool); ``"rebuild"`` re-runs ``setup`` per shard.  Both are
+    bit-identical.  ``workers=1`` (or a non-picklable ``observer``, or a
+    single-shard plan) runs every shard in-process through the identical
+    shard/merge path.  An attached :class:`~repro.sim.latency.LatencyModel`
+    is a pure function of its seed, so records carry identical modeled
+    milliseconds at every worker count (DESIGN §S25).
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -397,6 +411,7 @@ def run_sharded_lookups(
                 keys=tuple(keys),
                 retry_budget=retry_budget,
                 backend=backend,
+                latency=latency,
             )
             for spec in specs
         ]
@@ -419,7 +434,9 @@ def run_sharded_lookups(
         # so a single-shard plan packs nothing at all.
         packed = pack_network(network) if len(specs) > 1 else None
         results = []
-        for task in _snapshot_tasks(specs, seed, keys, retry_budget, backend):
+        for task in _snapshot_tasks(
+            specs, seed, keys, retry_budget, backend, latency
+        ):
             prepared = (
                 (network, injector)
                 if task.spec is specs[-1]
@@ -438,6 +455,7 @@ def run_sharded_lookups(
             snapshot=snapshot,
             faults=faults,
             backend=backend,
+            latency=latency,
         )
         for spec in specs
     ]
@@ -452,6 +470,7 @@ def _snapshot_tasks(
     keys: Sequence[object],
     retry_budget: int,
     backend: str = DEFAULT_BACKEND,
+    latency: Optional[LatencyModel] = None,
 ) -> List[ShardTask]:
     """Placeholder tasks for the in-process snapshot path.
 
@@ -467,6 +486,7 @@ def _snapshot_tasks(
             keys=tuple(keys),
             retry_budget=retry_budget,
             backend=backend,
+            latency=latency,
         )
         for spec in specs
     ]

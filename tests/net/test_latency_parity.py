@@ -1,0 +1,132 @@
+"""Sim-vs-live latency parity (§S25): the cluster predicts what the
+engine models.
+
+A 16-node d=4 Cycloid cluster runs with a :class:`LatencyModel`
+attached.  For the same seeded workload:
+
+* every live reply's ``model_ms`` total must equal the engine record's
+  ``latency_ms`` for the same ``(source, key)`` — same model, same
+  path, same left-to-right accumulation, so the agreement is checked
+  to float tolerance (and is bit-exact in practice);
+* every reply's per-hop ``model_ms`` trace entries must sum to the
+  reply's own total;
+* the measured wall clock of each RPC must be at least the modeled
+  total — the servers really sleep the link delays, they do not just
+  report them.
+
+Without a model, replies and trace entries must not grow any
+``model_ms`` field — the default wire payload stays byte-identical.
+"""
+
+import asyncio
+import math
+import time
+
+from repro.experiments.registry import build_sized_network
+from repro.net.cluster import LocalCluster
+from repro.sim.latency import LatencyModel
+from repro.util.rng import make_rng
+
+#: Millisecond scale kept small so the sleeping cluster stays fast.
+MODEL = LatencyModel(
+    seed=33,
+    regions=3,
+    intra_ms=0.2,
+    inter_min_ms=0.5,
+    inter_max_ms=2.0,
+    jitter_ms=0.3,
+)
+
+
+def build():
+    return build_sized_network("cycloid", 16, seed=5, cycloid_dimension=4)
+
+
+def workload(network, count, seed):
+    rng = make_rng(seed)
+    nodes = network.live_nodes()
+    return [
+        (
+            str(nodes[rng.randrange(len(nodes))].name),
+            f"key-{rng.getrandbits(64):016x}-{i}",
+        )
+        for i in range(count)
+    ]
+
+
+def engine_predictions(network, pairs):
+    reference = network.clone()
+    by_name = {str(n.name): n for n in reference.live_nodes()}
+    return reference.lookup_many(
+        ((by_name[source], key) for source, key in pairs), latency=MODEL
+    )
+
+
+async def live_replies(network, pairs, servers, latency):
+    timings = []
+    async with LocalCluster(
+        network, servers=servers, latency=latency
+    ) as cluster:
+        async with cluster.client() as client:
+            replies = []
+            for index, (source, key) in enumerate(pairs):
+                started = time.perf_counter()
+                reply = await client.lookup(key, source, lookup_id=index)
+                timings.append((time.perf_counter() - started) * 1000.0)
+                replies.append(reply)
+    return replies, timings
+
+
+class TestSimVsLiveLatency:
+    def test_live_totals_match_engine_predictions(self):
+        network = build()
+        pairs = workload(network, 24, seed=61)
+        records = engine_predictions(network, pairs)
+        replies, timings = asyncio.run(
+            live_replies(network, pairs, servers=4, latency=MODEL)
+        )
+        slept = 0
+        for index, (record, reply, wall_ms) in enumerate(
+            zip(records, replies, timings)
+        ):
+            context = f"lookup {index}: {pairs[index]}"
+            assert record.latency_ms is not None, context
+            assert "model_ms" in reply, context
+            # Same pure-function model on both sides: the totals agree
+            # within float tolerance of the per-hop accumulation.
+            assert math.isclose(
+                reply["model_ms"], record.latency_ms, rel_tol=0, abs_tol=1e-9
+            ), context
+            hop_sum = sum(
+                event["model_ms"] for event in reply["trace"]
+            )
+            assert math.isclose(
+                hop_sum, reply["model_ms"], rel_tol=0, abs_tol=1e-9
+            ), context
+            # The servers actually sleep the modeled delay.
+            if reply["model_ms"] > 0:
+                assert wall_ms >= reply["model_ms"], context
+                slept += 1
+        assert slept > 0, "workload never left its source node"
+
+    def test_without_model_no_model_fields_appear(self):
+        network = build()
+        pairs = workload(network, 8, seed=62)
+        replies, _ = asyncio.run(
+            live_replies(network, pairs, servers=2, latency=None)
+        )
+        for reply in replies:
+            assert "model_ms" not in reply
+            for event in reply["trace"]:
+                assert set(event) == {"hop", "node", "phase", "timeouts"}
+
+    def test_spec_advertises_the_model(self):
+        async def spec_of(latency):
+            async with LocalCluster(
+                build(), servers=2, latency=latency
+            ) as cluster:
+                return cluster.spec()
+
+        spec = asyncio.run(spec_of(MODEL))
+        assert LatencyModel.from_config(spec["latency"]) == MODEL
+        assert "latency" not in asyncio.run(spec_of(None))

@@ -10,6 +10,7 @@ from repro.net.loadgen import (
     build_from_recipe,
     expected_results,
     make_operations,
+    partial_report,
     results_digest,
     run_loadgen,
 )
@@ -166,6 +167,15 @@ class TestSchemaGuard:
         with pytest.raises(ValueError, match="sha256"):
             validate_net_report(report)
 
+    def test_missing_mode_rejected(self):
+        """``mode`` is mandatory, not defaulted: a report that omits it
+        (the old SIGINT-before-run bug) must fail the guard instead of
+        silently validating as closed-loop."""
+        report = self.make_report()
+        del report["mode"]
+        with pytest.raises(ValueError, match="mode"):
+            validate_net_report(report)
+
 
 class TestChurnSchemaGuard:
     """The ``"open-churn"`` report mode of the same schema tag."""
@@ -217,6 +227,12 @@ class TestChurnSchemaGuard:
     def test_unknown_mode_rejected(self):
         report = self.make_report()
         report["mode"] = "sideways"
+        with pytest.raises(ValueError, match="mode"):
+            validate_net_report(report)
+
+    def test_missing_mode_rejected_for_churn_shape_too(self):
+        report = self.make_report()
+        del report["mode"]
         with pytest.raises(ValueError, match="mode"):
             validate_net_report(report)
 
@@ -302,5 +318,46 @@ class TestInterruptedRun:
             pytest.skip("run finished before SIGINT landed")
         assert report["complete"] is False
         assert report["ops"]["completed"] < report["ops"]["total"]
-        # The partial report still passes the schema guard.
+        # The partial report still passes the schema guard — which now
+        # insists on ``mode``.
+        assert report["mode"] == "closed-loop"
         validate_net_report(report)
+
+
+class TestPartialReportBranch:
+    """SIGINT can land before the runner installs its handler (cluster
+    still booting): ``run_loadgen`` then falls back to
+    :func:`partial_report`, whose shape must satisfy the same guard as
+    a finished run — ``mode`` included."""
+
+    def test_partial_report_passes_schema_guard(self):
+        report = partial_report(
+            BUILD_32, servers=4, clients=8, lookups=20, puts=4, seed=3
+        )
+        validate_net_report(report)
+        assert report["schema"] == NET_BENCH_SCHEMA
+        # The regression: very-early interrupts used to omit ``mode``.
+        assert report["mode"] == "closed-loop"
+        assert report["complete"] is False
+        assert report["interrupted"] == "before-run"
+        assert report["ops"]["total"] == 28  # 20 lookups + 2 * 4 puts
+        assert report["ops"]["completed"] == 0
+        assert report["errors"] == []
+
+    def test_empty_digest_is_internally_consistent(self):
+        """With work pending, the empty live digest cannot claim parity
+        — ``match`` must be False so the guard's consistency check
+        holds; with a zero-op workload it legitimately matches."""
+        pending = partial_report(
+            BUILD_32, servers=2, clients=2, lookups=6, puts=0, seed=1
+        )
+        assert pending["digest"]["live"] == results_digest([])
+        assert pending["digest"]["match"] is False
+        validate_net_report(pending)
+
+        empty = partial_report(
+            BUILD_32, servers=2, clients=2, lookups=0, puts=0, seed=1
+        )
+        assert empty["ops"]["total"] == 0
+        assert empty["digest"]["match"] is True
+        validate_net_report(empty)
