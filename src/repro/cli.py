@@ -12,6 +12,7 @@ Usage::
     python -m repro.cli fig14
     python -m repro.cli fig-crash [--crash-prob 0.1 0.3] [--msg-loss P]
     python -m repro.cli fig-latency [--dimension D] [--latency-seed S]
+    python -m repro.cli fig-scale [--counts N ...] [--lookups N]
     python -m repro.cli maint [--lookups N]
     python -m repro.cli table1
     python -m repro.cli bench [--workers N] [--output BENCH_parallel.json]
@@ -99,6 +100,8 @@ from repro.experiments.bench import (
     validate_net_report,
 )
 from repro.experiments.registry import ALL_PROTOCOLS
+from repro.experiments.scale import SCALE_COUNTS, SCALE_PROTOCOLS
+from repro.dht.bulkbuild import SAMPLERS
 from repro.dht.kernel import BACKENDS
 from repro.sim.parallel import DEFAULT_SHARD_SIZE, DISTRIBUTIONS
 
@@ -288,6 +291,54 @@ def build_parser() -> argparse.ArgumentParser:
         default="BENCH_latency.json",
         help="where to write the JSON latency report "
         "(default: BENCH_latency.json)",
+    )
+
+    fig_scale = sub.add_parser(
+        "fig-scale",
+        help="bulk-build 10^4..10^6-node overlays direct-to-columns, "
+        "run kernel lookup batches, pin object-build parity (DESIGN S26)",
+    )
+    fig_scale.add_argument(
+        "--counts",
+        type=int,
+        nargs="+",
+        default=list(SCALE_COUNTS),
+        help="populations to build (default: 10000 100000 1000000)",
+    )
+    fig_scale.add_argument(
+        "--protocols",
+        nargs="+",
+        default=list(SCALE_PROTOCOLS),
+        choices=list(SCALE_PROTOCOLS),
+    )
+    fig_scale.add_argument("--lookups", type=int, default=2048)
+    fig_scale.add_argument("--seed", type=int, default=11)
+    fig_scale.add_argument(
+        "--sampler",
+        choices=list(SAMPLERS),
+        default="fast",
+        help="id sampler for the sweep cells; parity always replays "
+        "the object builder's 'exact' stream (default: fast)",
+    )
+    fig_scale.add_argument(
+        "--parity-count",
+        type=int,
+        default=4096,
+        help="population of the bulk-vs-object digest pin (default: 4096)",
+    )
+    fig_scale.add_argument(
+        "--ladder",
+        type=int,
+        nargs="+",
+        default=[4096, 16384, 65536],
+        help="object-build timing ladder the speedup extrapolates from",
+    )
+    fig_scale.add_argument(
+        "--output",
+        metavar="PATH",
+        default="BENCH_scale.json",
+        help="where to write the JSON scale report "
+        "(default: BENCH_scale.json)",
     )
 
     maint = sub.add_parser(
@@ -1094,6 +1145,84 @@ def _dispatch(
             )
             print()
         print(f"latency report -> {args.output}", file=sys.stderr)
+    elif args.command == "fig-scale":
+        import json
+
+        from repro.experiments import (
+            run_scale_experiment,
+            scale_parity,
+            scale_report,
+            validate_scale_report,
+        )
+
+        points = run_scale_experiment(
+            counts=tuple(args.counts),
+            protocols=tuple(args.protocols),
+            lookups=args.lookups,
+            seed=args.seed,
+            sampler=args.sampler,
+        )
+        parity = scale_parity(
+            points,
+            parity_count=args.parity_count,
+            seed=args.seed,
+            ladder_counts=tuple(args.ladder),
+        )
+        report = scale_report(
+            points,
+            parity,
+            lookups=args.lookups,
+            seed=args.seed,
+            sampler=args.sampler,
+        )
+        validate_scale_report(report)
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        rows = [
+            [
+                p.protocol,
+                f"{p.count:,}",
+                p.sizing,
+                f"{p.build_seconds:.3f}",
+                f"{p.build_nodes_per_sec:,.0f}",
+                f"{p.column_bytes / 1e6:.0f}",
+                f"{p.lookups_per_sec:,.0f}",
+                f"{p.mean_hops:.2f}",
+                f"{p.success_rate:.3f}",
+                p.digest[:12],
+            ]
+            for p in points
+        ]
+        _print(
+            format_table(
+                [
+                    "protocol",
+                    "n",
+                    "d/bits",
+                    "build s",
+                    "nodes/s",
+                    "col MB",
+                    "lookups/s",
+                    "mean hops",
+                    "success",
+                    "digest",
+                ],
+                rows,
+                "fig-scale — bulk-built overlays under the columnar kernel",
+            )
+        )
+        parity_verdict = "match" if parity["digest_match"] else "MISMATCH"
+        speedup_verdict = "ok" if parity["speedup_ok"] else "BELOW BAR"
+        print(
+            f"parity digest at n={parity['parity_count']}: {parity_verdict}; "
+            f"bulk {parity['bulk_build_seconds']:.3f}s vs extrapolated "
+            f"object {parity['extrapolated_object_seconds']:.1f}s "
+            f"(fit n^{parity['fit_exponent']:.2f}) = "
+            f"{parity['speedup']:.0f}x ({speedup_verdict})"
+        )
+        print()
+        print(f"scale report -> {args.output}", file=sys.stderr)
     elif args.command == "maint":
         points = run_maintenance_experiment(
             population=args.population,

@@ -63,6 +63,8 @@ __all__ = [
     "DEFAULT_BACKEND",
     "check_backend",
     "columnar_protocols",
+    "compiler_for",
+    "kernel_from_columns",
     "supports_columnar",
     "run_lookup_batch",
     "annotate_latency",
@@ -110,6 +112,35 @@ def columnar_protocols() -> Tuple[str, ...]:
 def supports_columnar(network: "Network") -> bool:
     """True when ``network``'s protocol compiles to the columnar kernel."""
     return network.protocol_name in _COMPILERS
+
+
+def compiler_for(protocol_name: str) -> Type:
+    """The kernel compiler class for ``protocol_name``, or an actionable
+    error: unlike the silent object-engine fallback of
+    :func:`run_lookup_batch`, callers that *require* columns (bulk
+    builds, array-mode batches) get told exactly what is covered and
+    what to do instead."""
+    compiler = _COMPILERS.get(protocol_name)
+    if compiler is None:
+        raise ValueError(
+            f"no columnar kernel for protocol {protocol_name!r}; "
+            f"columnar protocols: {columnar_protocols()}, "
+            f"available backends: {BACKENDS}; every protocol routes on "
+            "the object engine — fall back to backend='object' "
+            "(--backend object)"
+        )
+    return compiler
+
+
+def kernel_from_columns(columns, hop_limit: Optional[int] = None):
+    """Compile bulk-built columns (:mod:`repro.dht.bulkbuild`) into a
+    ready kernel — no object graph on either side.  The kernel supports
+    the array-mode entry points (``run_linear`` / ``run_ids``) only;
+    record-building batches need node objects and therefore a network
+    (``columns.to_network()`` + the normal backend path)."""
+    return compiler_for(columns.protocol).from_columns(
+        columns, hop_limit=hop_limit
+    )
 
 
 def run_lookup_batch(
@@ -208,9 +239,14 @@ def _intern_universe(live_nodes, pointer_slots):
     return nodes, index
 
 
-def _pad_matrix(rows: Sequence[Sequence[int]], width: int):
-    """Stack variable-length index runs into an ``-1``-padded matrix."""
-    out = np.full((len(rows), width), -1, dtype=np.int64)
+def _pad_matrix(rows: Sequence[Sequence[int]], width: int, dtype="int32"):
+    """Stack variable-length index runs into an ``-1``-padded matrix.
+
+    Index matrices default to ``int32``: node indices are bounded by
+    the population, and halving the gather bandwidth is measurable at
+    scale.  Value matrices pass ``dtype="int64"`` explicitly.
+    """
+    out = np.full((len(rows), width), -1, dtype=dtype)
     for i, row in enumerate(rows):
         if row:
             out[i, : len(row)] = row
@@ -326,6 +362,7 @@ class CycloidKernel(_KernelBase):
 
     def __init__(self, network) -> None:
         self.network = network
+        self.hop_limit = network.HOP_LIMIT
         d = network.dimension
         self.d = d
         self.modulus = 1 << d
@@ -400,9 +437,9 @@ class CycloidKernel(_KernelBase):
         self.cub = np.array(cub_l, dtype=np.int64)
         self.lin = self.cub * d + self.cyc
         self.alive = np.array(alive_l, dtype=bool)
-        self.cn = np.array(cn_l, dtype=np.int64)
-        self.cl = np.array(cl_l, dtype=np.int64)
-        self.cs = np.array(cs_l, dtype=np.int64)
+        self.cn = np.array(cn_l, dtype=np.int32)
+        self.cl = np.array(cl_l, dtype=np.int32)
+        self.cs = np.array(cs_l, dtype=np.int32)
         self.il = _pad_matrix(il_rows, radius)
         self.ir = _pad_matrix(ir_rows, radius)
         self.ol = _pad_matrix(ol_rows, radius)
@@ -411,7 +448,7 @@ class CycloidKernel(_KernelBase):
         self.arc_right = np.array(arc_r_l, dtype=np.int64)
         # alias: by-id lookup (visited is a set of *identifiers*, and a
         # dead node can share an id with a live one after id reuse).
-        alias = np.arange(count, dtype=np.int64)
+        alias = np.arange(count, dtype=np.int32)
         dead = np.flatnonzero(~self.alive)
         if dead.size:
             live_by_linear = {
@@ -421,6 +458,74 @@ class CycloidKernel(_KernelBase):
                 alias[i] = live_by_linear.get(int(self.lin[i]), i)
         self.alias = alias
         self.all_alive = bool(self.alive.all())
+        self._finalize()
+
+    @classmethod
+    def from_columns(cls, columns, hop_limit: Optional[int] = None):
+        """Compile directly from bulk-built columns — no object graph.
+
+        The resulting kernel has no network, node list or name table:
+        only the array-mode entry point (:meth:`run_linear`) works.
+        Bulk columns describe a freshly built network, so every node is
+        live and the outside matrices may be narrower than
+        ``leaf_radius`` (few occupied cycles); they are re-padded here
+        to the layout the wave kernel slices."""
+        if np is None:  # pragma: no cover - numpy is baked into CI
+            raise RuntimeError(
+                "the columnar kernel requires numpy; install it or "
+                "use backend='object'"
+            )
+        from repro.dht.base import Network  # runtime: cycle is type-only
+
+        self = cls.__new__(cls)
+        self.network = None
+        self.hop_limit = Network.HOP_LIMIT if hop_limit is None else hop_limit
+        d = columns.dimension
+        self.d = d
+        self.modulus = 1 << d
+        self.space = d << d
+        radius = columns.leaf_radius
+        self.radius = radius
+        self.nodes = None
+        self.index = None
+        self.names = None
+        count = columns.count
+        self.cyc = columns.cyc
+        self.cub = columns.cub
+        self.lin = columns.lin
+        self.alive = np.ones(count, dtype=bool)
+        self.cn = columns.cn
+        self.cl = columns.cl
+        self.cs = columns.cs
+        self.il = columns.inside_left
+        self.ir = columns.inside_right
+
+        def repad(matrix):
+            width = matrix.shape[1]
+            if width >= radius:
+                return matrix
+            pad = np.full((count, radius - width), -1, dtype=matrix.dtype)
+            return np.concatenate([matrix, pad], axis=1)
+
+        self.ol = repad(columns.outside_left)
+        self.outr = repad(columns.outside_right)
+        # Outside-arc endpoints: the furthest outside pick per side
+        # (the last *valid* outside column — every row has the same
+        # outside length in a bulk build).
+        furthest = columns.outside_left.shape[1] - 1
+        self.arc_left = self.cub[columns.outside_left[:, furthest]]
+        self.arc_right = self.cub[columns.outside_right[:, furthest]]
+        self.alias = np.arange(count, dtype=np.int32)
+        self.all_alive = True
+        self._finalize()
+        return self
+
+    def _finalize(self) -> None:
+        """Shared compile tail: candidate matrices, the owner oracle and
+        the cascade sort constants — pure column math, identical for
+        object-extracted and bulk-built kernels."""
+        d = self.d
+        radius = self.radius
 
         # Precompiled candidate matrices — one row gather per wave
         # each; every later segment is a column slice of the leaves.
@@ -463,7 +568,7 @@ class CycloidKernel(_KernelBase):
         grouped = group[order]
         starts = np.searchsorted(grouped, np.arange(occ.size))
         rank = np.arange(live_idx.size, dtype=np.int64) - starts[grouped]
-        members = np.full((occ.size, d), -1, dtype=np.int64)
+        members = np.full((occ.size, d), -1, dtype=np.int32)
         members[grouped, rank] = live_idx[order]
         self.occ_cycles = occ
         self.cycle_members = members
@@ -549,8 +654,51 @@ class CycloidKernel(_KernelBase):
         kcub = np.fromiter((k.cubical for k in key_ids), np.int64, batch)
         klin = kcub * self.d + kcyc
 
+        hops, timeouts, success, phase_counts, final_idx, hop_log = (
+            self._execute(cur, kcub, kcyc, klin)
+        )
+        all_targets = (
+            np.concatenate([targets for _, targets, _ in hop_log])
+            if hop_log
+            else np.empty(0, dtype=np.int64)
+        )
+        self._flush_query_counts(all_targets, self.names, network)
+        return self._build_records(
+            sources, key_ids, hops, timeouts, success, phase_counts,
+            final_idx, hop_log, self.names,
+        )
+
+    def run_linear(self, source_idx, key_linear) -> Dict[str, object]:
+        """Array-mode batch: node-index sources, linear-id keys.
+
+        The record-free entry point for bulk-built kernels (and scale
+        sweeps generally): identical wave execution, but inputs and
+        outputs stay numpy arrays — no node objects, names or
+        ``LookupRecord`` allocation.  Returns per-lookup ``hops`` /
+        ``timeouts`` / ``success`` / ``final`` (delivery node index) /
+        ``owners`` plus the ``[batch, phases]`` ``phase_counts``.
+        """
+        cur = np.asarray(source_idx, dtype=np.int64).copy()
+        klin = np.asarray(key_linear, dtype=np.int64)
+        if not bool(self.alive[cur].all()):
+            raise ValueError("lookup source must be alive")
+        kcyc = klin % self.d
+        kcub = klin // self.d
+        hops, timeouts, success, phase_counts, final_idx, _hop_log = (
+            self._execute(cur, kcub, kcyc, klin)
+        )
+        return {
+            "hops": hops,
+            "timeouts": timeouts,
+            "success": success,
+            "phase_counts": phase_counts,
+            "final": final_idx,
+        }
+
+    def _execute(self, cur, kcub, kcyc, klin):
+        batch = cur.shape[0]
         owners = self._owners(kcub, kcyc, klin)
-        count = len(self.nodes)
+        count = self.cyc.shape[0]
         visited = np.zeros((batch, count), dtype=bool)
         explored = np.zeros((batch, self.modulus), dtype=bool)
         # begin_route observes the source.
@@ -561,7 +709,7 @@ class CycloidKernel(_KernelBase):
         phase_counts = np.zeros((batch, 3), dtype=np.int64)
         done = np.zeros(batch, dtype=bool)
         hop_log: List[Tuple] = []
-        hop_limit = network.HOP_LIMIT
+        hop_limit = self.hop_limit
 
         while True:
             active = ~done & (hops < hop_limit)
@@ -609,16 +757,7 @@ class CycloidKernel(_KernelBase):
             )
 
         success = final_idx == owners  # Cycloid walks never dead-end
-        all_targets = (
-            np.concatenate([targets for _, targets, _ in hop_log])
-            if hop_log
-            else np.empty(0, dtype=np.int64)
-        )
-        self._flush_query_counts(all_targets, self.names, network)
-        return self._build_records(
-            sources, key_ids, hops, timeouts, success, phase_counts,
-            final_idx, hop_log, self.names,
-        )
+        return hops, timeouts, success, phase_counts, final_idx, hop_log
 
     def _decide(
         self, rows, current, kcub, kcyc, klin, visited, explored,
@@ -972,6 +1111,8 @@ class ChordKernel(_KernelBase):
 
     def __init__(self, network) -> None:
         self.network = network
+        self.hop_limit = network.HOP_LIMIT
+        self.bits = network.bits
         self.modulus = network.ring.modulus
 
         def slots(node):
@@ -1015,17 +1156,61 @@ class ChordKernel(_KernelBase):
         )
         self.pred = np.fromiter(
             (ref(n.predecessor) if n.alive else -1 for n in nodes),
-            np.int64,
+            np.int32,
             count,
         )
         order = np.argsort(self.ids[self.alive], kind="stable")
         live_idx = np.flatnonzero(self.alive)
         self.live_sorted_ids = self.ids[self.alive][order]
-        self.live_sorted_idx = live_idx[order]
+        self.live_sorted_idx = live_idx[order].astype(np.int32)
         self.all_alive = bool(self.alive.all())
+        self._finalize()
+
+    @classmethod
+    def from_columns(cls, columns, hop_limit: Optional[int] = None):
+        """Compile directly from bulk-built columns — no object graph.
+
+        Array-mode only (:meth:`run_ids`); see
+        :meth:`CycloidKernel.from_columns`.  A single-node build has a
+        zero-width successor run; it is padded to the one-column layout
+        the wave kernel expects."""
+        if np is None:  # pragma: no cover - numpy is baked into CI
+            raise RuntimeError(
+                "the columnar kernel requires numpy; install it or "
+                "use backend='object'"
+            )
+        from repro.dht.base import Network  # runtime: cycle is type-only
+
+        self = cls.__new__(cls)
+        self.network = None
+        self.hop_limit = Network.HOP_LIMIT if hop_limit is None else hop_limit
+        self.bits = columns.bits
+        self.modulus = 1 << columns.bits
+        self.nodes = None
+        self.index = None
+        self.names = None
+        count = columns.count
+        self.ids = columns.ids
+        self.alive = np.ones(count, dtype=bool)
+        self.fingers = columns.fingers
+        take = columns.successors.shape[1]
+        if take == 0:
+            self.successors = np.full((count, 1), -1, dtype=np.int32)
+        else:
+            self.successors = columns.successors
+        self.succ_len = np.full(count, take, dtype=np.int64)
+        self.pred = columns.predecessor
+        self.live_sorted_ids = columns.sorted_ids
+        self.live_sorted_idx = columns.sorted_index
+        self.all_alive = True
+        self._finalize()
+        return self
+
+    def _finalize(self) -> None:
+        succ_width = self.successors.shape[1]
         self.ptr_phase_row = np.concatenate(
             [
-                np.full(bits, self._FINGER, dtype=np.int64),
+                np.full(self.bits, self._FINGER, dtype=np.int64),
                 np.full(succ_width, self._SUCC, dtype=np.int64),
             ]
         )
@@ -1050,6 +1235,41 @@ class ChordKernel(_KernelBase):
             raise ValueError("lookup source must be alive")
         keys = np.fromiter(key_ids, np.int64, batch)
 
+        hops, timeouts, success, phase_counts, final_idx, hop_log = (
+            self._execute(cur, keys)
+        )
+        all_targets = (
+            np.concatenate([targets for _, targets, _ in hop_log])
+            if hop_log
+            else np.empty(0, dtype=np.int64)
+        )
+        self._flush_query_counts(all_targets, self.names, network)
+        return self._build_records(
+            sources, key_ids, hops, timeouts, success, phase_counts,
+            final_idx, hop_log, self.names,
+        )
+
+    def run_ids(self, source_idx, keys) -> Dict[str, object]:
+        """Array-mode batch: node-index sources, ring-id keys.  The
+        record-free counterpart of :meth:`run` — see
+        :meth:`CycloidKernel.run_linear`."""
+        cur = np.asarray(source_idx, dtype=np.int64).copy()
+        keys = np.asarray(keys, dtype=np.int64)
+        if not bool(self.alive[cur].all()):
+            raise ValueError("lookup source must be alive")
+        hops, timeouts, success, phase_counts, final_idx, _hop_log = (
+            self._execute(cur, keys)
+        )
+        return {
+            "hops": hops,
+            "timeouts": timeouts,
+            "success": success,
+            "phase_counts": phase_counts,
+            "final": final_idx,
+        }
+
+    def _execute(self, cur, keys):
+        batch = cur.shape[0]
         # Ground truth: the key's live successor.
         slot = np.searchsorted(self.live_sorted_ids, keys)
         slot[slot == self.live_sorted_ids.size] = 0
@@ -1061,8 +1281,8 @@ class ChordKernel(_KernelBase):
         done = np.zeros(batch, dtype=bool)
         failed = np.zeros(batch, dtype=bool)
         hop_log: List[Tuple] = []
-        hop_limit = network.HOP_LIMIT
-        bits = network.bits
+        hop_limit = self.hop_limit
+        bits = self.bits
         succ_width = self.successors.shape[1]
 
         while True:
@@ -1199,13 +1419,4 @@ class ChordKernel(_KernelBase):
             failed[rows[dead_end]] = True
 
         success = ~failed & (cur == owners)
-        all_targets = (
-            np.concatenate([targets for _, targets, _ in hop_log])
-            if hop_log
-            else np.empty(0, dtype=np.int64)
-        )
-        self._flush_query_counts(all_targets, self.names, network)
-        return self._build_records(
-            sources, key_ids, hops, timeouts, success, phase_counts,
-            cur, hop_log, self.names,
-        )
+        return hops, timeouts, success, phase_counts, cur, hop_log

@@ -43,12 +43,18 @@ from dataclasses import dataclass
 from itertools import accumulate, pairwise, repeat
 from typing import TYPE_CHECKING, Dict, List, Tuple, Type
 
+try:  # numpy is the only third-party dependency and may be absent
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    np = None
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
     from repro.dht.base import Network, Node
 
 __all__ = [
     "NetworkSnapshot",
     "PackedNetwork",
+    "index_column",
     "pack_network",
     "unpack_network",
     "clone_network",
@@ -86,6 +92,33 @@ def register_composite(cls: type) -> type:
     if cls not in _COMPOSITES:
         _COMPOSITES = _COMPOSITES + (cls,)
     return cls
+
+
+def index_column(values) -> object:
+    """A node-index (or length) column in its narrowest safe dtype.
+
+    Index payloads dominate snapshot bytes and kernel gather bandwidth,
+    so homogeneous non-negative index lists are stored as numpy arrays
+    downcast to ``int32`` whenever every value fits in 31 bits (any
+    population below 2**31 nodes — i.e. always, in practice).  The
+    dtype is a pure function of the *values*, which is what lets the
+    bulk builder (:mod:`repro.dht.bulkbuild`) reproduce the packed form
+    byte-for-byte without consulting the object graph.  Falls back to a
+    plain list when numpy is unavailable.
+    """
+    if np is None:  # pragma: no cover - exercised on numpy-free installs
+        return list(values)
+    array = np.asarray(values, dtype=np.int64)
+    if array.size == 0 or int(array.max(initial=0)) < 2**31:
+        return array.astype(np.int32)
+    return array
+
+
+def _as_list(column: object) -> List:
+    """Normalise an index column (array or list) back to a plain list."""
+    if np is not None and isinstance(column, np.ndarray):
+        return column.tolist()
+    return list(column)
 
 
 def _is_frozen(value: object) -> bool:
@@ -222,7 +255,7 @@ def pack_network(network: "Network") -> PackedNetwork:
                     return (
                         "D",
                         tuple(value.keys()),
-                        [node_index(v) for v in value.values()],
+                        index_column([node_index(v) for v in value.values()]),
                     )
                 if all(_is_shareable(v) for v in value.values()):
                     return ("A", list(value.items()))
@@ -299,7 +332,7 @@ def pack_network(network: "Network") -> PackedNetwork:
             if all(_is_shareable(v) for v in values):
                 return ("=", values)
             if all(is_node(v) for v in values):
-                return ("n", [index_of[id(v)] for v in values])
+                return ("n", index_column([index_of[id(v)] for v in values]))
             if all(v is None or is_node(v) for v in values):
                 return (
                     "n?",
@@ -309,7 +342,11 @@ def pack_network(network: "Network") -> PackedNetwork:
                 lens = [len(v) for v in values]
                 flat = [item for v in values for item in v]
                 if all(is_node(item) for item in flat):
-                    return ("nl", [index_of[id(x)] for x in flat], lens)
+                    return (
+                        "nl",
+                        index_column([index_of[id(x)] for x in flat]),
+                        index_column(lens),
+                    )
                 if all(item is None or is_node(item) for item in flat):
                     return (
                         "nl?",
@@ -323,7 +360,11 @@ def pack_network(network: "Network") -> PackedNetwork:
                 lens = [len(v) for v in values]
                 flat = [item for v in values for item in v]
                 if all(is_node(item) for item in flat):
-                    return ("nt", [index_of[id(x)] for x in flat], lens)
+                    return (
+                        "nt",
+                        index_column([index_of[id(x)] for x in flat]),
+                        index_column(lens),
+                    )
         return (
             "*",
             [v if v is _MISSING else encode(v) for v in values],
@@ -372,7 +413,7 @@ def unpack_network(packed: PackedNetwork) -> "Network":
         if tag == "TN":
             return tuple(shells[i] for i in value[1])
         if tag == "D":
-            return dict(zip(value[1], (shells[i] for i in value[2])))
+            return dict(zip(value[1], map(shell_at, _as_list(value[2]))))
         if tag == "A":
             return dict(value[1])
         if tag == "C":
@@ -424,7 +465,7 @@ def unpack_network(packed: PackedNetwork) -> "Network":
             if tag == "=":
                 fill(members, name, column[1])
             elif tag == "n":
-                fill(members, name, map(shell_at, column[1]))
+                fill(members, name, map(shell_at, _as_list(column[1])))
             elif tag == "n?":
                 fill(
                     members,
@@ -432,11 +473,15 @@ def unpack_network(packed: PackedNetwork) -> "Network":
                     [None if i is None else shells[i] for i in column[1]],
                 )
             elif tag == "nl":
-                mapped = list(map(shell_at, column[1]))
-                fill(members, name, runs(mapped, column[2]))
+                mapped = list(map(shell_at, _as_list(column[1])))
+                fill(members, name, runs(mapped, _as_list(column[2])))
             elif tag == "nt":
-                mapped = list(map(shell_at, column[1]))
-                fill(members, name, map(tuple, runs(mapped, column[2])))
+                mapped = list(map(shell_at, _as_list(column[1])))
+                fill(
+                    members,
+                    name,
+                    map(tuple, runs(mapped, _as_list(column[2]))),
+                )
             elif tag == "nl?":
                 mapped = [
                     None if i is None else shells[i] for i in column[1]
@@ -462,6 +507,18 @@ def clone_network(network: "Network") -> "Network":
     return unpack_network(pack_network(network))
 
 
+class _PackedRestore:
+    """Pickle shim: a payload that unpickles into the live network."""
+
+    __slots__ = ("packed",)
+
+    def __init__(self, packed: PackedNetwork) -> None:
+        self.packed = packed
+
+    def __reduce__(self):
+        return (unpack_network, (self.packed,))
+
+
 @dataclass(frozen=True)
 class NetworkSnapshot:
     """An immutable capture of a prepared network.
@@ -483,6 +540,26 @@ class NetworkSnapshot:
             payload=pickle.dumps(network, pickle.HIGHEST_PROTOCOL),
             protocol=network.protocol_name,
             population=network.size,
+        )
+
+    @classmethod
+    def from_packed(cls, packed: PackedNetwork) -> "NetworkSnapshot":
+        """A snapshot straight from a :class:`PackedNetwork`.
+
+        This is how bulk-built networks (:mod:`repro.dht.bulkbuild`)
+        enter the snapshot pipeline without ever instantiating the
+        object graph on the producing side: the payload unpickles via
+        :func:`unpack_network`, exactly like a captured network's
+        ``__setstate__`` path.  Only valid for packed forms whose
+        nodes are all live (true of any freshly built network) —
+        ``population`` is taken from the node count.
+        """
+        return cls(
+            payload=pickle.dumps(
+                _PackedRestore(packed), pickle.HIGHEST_PROTOCOL
+            ),
+            protocol=packed.network_class.protocol_name,
+            population=packed.node_count,
         )
 
     def restore(self) -> "Network":

@@ -54,6 +54,13 @@ from repro.experiments.fig_latency import (
     run_latency_experiment,
     validate_latency_report,
 )
+from repro.experiments.scale import (
+    ScalePoint,
+    run_scale_experiment,
+    scale_parity,
+    scale_report,
+    validate_scale_report,
+)
 from repro.experiments.bench import (
     BenchCell,
     KernelBenchCell,
@@ -98,6 +105,11 @@ __all__ = [
     "run_latency_experiment",
     "latency_report",
     "validate_latency_report",
+    "ScalePoint",
+    "run_scale_experiment",
+    "scale_parity",
+    "scale_report",
+    "validate_scale_report",
     "BenchCell",
     "KernelBenchCell",
     "run_parallel_bench",

@@ -60,6 +60,7 @@ from __future__ import annotations
 
 import math
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import (
@@ -129,6 +130,36 @@ def available_workers() -> int:
         return len(os.sched_getaffinity(0)) or 1
     except AttributeError:  # pragma: no cover - non-Linux
         return os.cpu_count() or 1
+
+
+#: One-shot latch for the oversubscription warning: a sweep runs
+#: hundreds of cells through the same misconfigured ``workers`` value,
+#: and one diagnosis is signal where hundreds are noise.
+_oversubscribed_warned = False
+
+
+def _warn_if_oversubscribed(workers: int) -> None:
+    """Warn (once per process) when ``workers`` exceeds the usable CPUs.
+
+    Oversubscribed pools are pure overhead here — shards are CPU-bound,
+    so extra workers just add pickling and context-switch cost (the
+    committed BENCH_parallel.json shows 0.52-0.90x "speedups" on 1-cpu
+    hosts).  The run stays correct either way (results are
+    worker-count-invariant), hence a warning, not an error.
+    """
+    global _oversubscribed_warned
+    if _oversubscribed_warned or workers <= 1:
+        return
+    cpus = available_workers()
+    if workers > cpus:
+        _oversubscribed_warned = True
+        warnings.warn(
+            f"workers={workers} exceeds the {cpus} usable CPU(s); "
+            "CPU-bound shards gain nothing from oversubscription and "
+            "pay pool overhead — consider workers="
+            f"{cpus} (repro.sim.parallel.available_workers())",
+            stacklevel=3,
+        )
 
 
 @dataclass(frozen=True)
@@ -400,6 +431,7 @@ def run_sharded_lookups(
             f"expected one of {DISTRIBUTIONS}"
         )
     check_backend(backend)
+    _warn_if_oversubscribed(workers)
     specs = plan_shards(count, shard_size)
     serial = workers == 1 or observer is not None or len(specs) <= 1
     if distribution == "rebuild":

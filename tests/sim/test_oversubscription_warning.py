@@ -1,0 +1,46 @@
+"""The one-shot oversubscription warning of the sharded runner."""
+
+import warnings
+from functools import partial
+
+import pytest
+
+import repro.sim.parallel as parallel
+from repro.experiments.registry import build_complete_network
+from repro.sim.parallel import plain_setup, run_sharded_lookups
+
+
+@pytest.fixture(autouse=True)
+def reset_latch(monkeypatch):
+    monkeypatch.setattr(parallel, "_oversubscribed_warned", False)
+
+
+def test_warns_once_when_workers_exceed_cpus(monkeypatch):
+    monkeypatch.setattr(parallel, "available_workers", lambda: 1)
+    with pytest.warns(UserWarning, match="oversubscription"):
+        parallel._warn_if_oversubscribed(8)
+    # Latched: the second misconfigured call stays silent.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        parallel._warn_if_oversubscribed(8)
+
+
+def test_silent_within_the_cpu_budget(monkeypatch):
+    monkeypatch.setattr(parallel, "available_workers", lambda: 4)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        parallel._warn_if_oversubscribed(4)
+        parallel._warn_if_oversubscribed(1)
+    assert parallel._oversubscribed_warned is False
+
+
+def test_run_sharded_lookups_surfaces_the_warning(monkeypatch):
+    """The integration path: a sharded run with too many workers warns
+    (and still produces its results — the run stays correct)."""
+    monkeypatch.setattr(parallel, "available_workers", lambda: 1)
+    setup = partial(
+        plain_setup, build_complete_network, "cycloid", 3, seed=1
+    )
+    with pytest.warns(UserWarning, match="exceeds the 1 usable CPU"):
+        merged = run_sharded_lookups(setup, 12, 5, workers=2)
+    assert merged.stats.records
