@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Sybil ID clustering against one key — and what replication buys.
+
+An adversary who can *choose* node identifiers inserts a cluster of
+sybils surrounding one target key's identifier (DESIGN §S27).  With a
+single copy of the data, the nearest sybil simply becomes the key's
+owner: capture is total.  With ``r``-way replication the key lives on
+the ``r`` closest nodes, so the adversary must control the *whole*
+neighbourhood — this script sweeps the replica count and shows the
+captured share of the replica set falling as ``r`` outgrows the
+cluster, while the overall keyspace-capture fraction stays tiny (a
+clustered adversary owns the target, not the keyspace).
+
+Run:  python examples/adversarial_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.dht.storage import replica_set
+from repro.experiments.adversary import build_adversary_network
+from repro.sim.adversary import AdversaryPlan, capture_fraction
+
+POPULATION = 400
+SYBILS = 6
+TARGET = "payroll-db"
+SEED = 23
+REPLICA_COUNTS = (1, 2, 4, 8, 16)
+
+
+def main() -> None:
+    print(
+        f"{SYBILS} sybils with crafted ids surround the key {TARGET!r} "
+        f"in {POPULATION}-node overlays\n"
+    )
+    rows = []
+    for protocol in ("cycloid", "chord", "koorde"):
+        plan = AdversaryPlan(seed=SEED, sybils=SYBILS, target_key=TARGET)
+        network = build_adversary_network(protocol, POPULATION, SEED, plan)
+        attackers = plan.attacker_names()
+        keyspace = capture_fraction(network, attackers, probes=2048)
+        owner = network.owner_of_id(network.key_id(TARGET))
+        owner_evil = str(owner.name) in attackers
+        for replicas in REPLICA_COUNTS:
+            holders = replica_set(network, TARGET, replicas)
+            captured = sum(
+                1 for node in holders if str(node.name) in attackers
+            )
+            rows.append(
+                [
+                    protocol,
+                    str(replicas),
+                    f"{captured}/{len(holders)}",
+                    f"{captured / len(holders):.2f}",
+                    "yes" if owner_evil else "no",
+                    f"{keyspace:.4f}",
+                ]
+            )
+    print(
+        format_table(
+            [
+                "overlay",
+                "replicas",
+                "captured copies",
+                "captured share",
+                "owner is sybil",
+                "keyspace capture",
+            ],
+            rows,
+            "sybil cluster vs replication",
+        )
+    )
+    print(
+        "The cluster owns the target key outright at replicas=1, but its\n"
+        "grip dilutes as the replica set outgrows the cluster — and the\n"
+        "keyspace-capture column shows clustering buys the adversary one\n"
+        "key, not the keyspace.  Compare `repro fig-adversary`, which\n"
+        "sweeps attacker fractions and adds eclipse poisoning on top."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -12,6 +12,7 @@ Usage::
     python -m repro.cli fig14
     python -m repro.cli fig-crash [--crash-prob 0.1 0.3] [--msg-loss P]
     python -m repro.cli fig-latency [--dimension D] [--latency-seed S]
+    python -m repro.cli fig-adversary [--population N] [--fractions F ...]
     python -m repro.cli fig-scale [--counts N ...] [--lookups N]
     python -m repro.cli maint [--lookups N]
     python -m repro.cli table1
@@ -98,6 +99,10 @@ from repro.experiments.bench import (
     DEFAULT_BENCH_PROTOCOLS,
     KERNEL_BENCH_PROTOCOLS,
     validate_net_report,
+)
+from repro.experiments.adversary import (
+    ADVERSARY_PROTOCOLS,
+    DEFAULT_FRACTIONS,
 )
 from repro.experiments.registry import ALL_PROTOCOLS
 from repro.experiments.scale import SCALE_COUNTS, SCALE_PROTOCOLS
@@ -293,6 +298,56 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: BENCH_latency.json)",
     )
 
+    fig_adversary = sub.add_parser(
+        "fig-adversary",
+        help="seeded sybil/eclipse attacks: keyspace capture, lookup "
+        "interception and degradation vs attacker fraction, plus Zipf "
+        "hotspot caching (DESIGN S27)",
+    )
+    fig_adversary.add_argument(
+        "--population",
+        type=int,
+        default=2048,
+        help="honest node count per overlay; the id space holds about "
+        "twice as many so crafted attacker ids have free slots "
+        "(default: 2048)",
+    )
+    fig_adversary.add_argument("--lookups", type=int, default=1000)
+    fig_adversary.add_argument(
+        "--fractions",
+        type=float,
+        nargs="+",
+        default=list(DEFAULT_FRACTIONS),
+        help="attacker fractions to sweep; 0.0 is the honest baseline "
+        "(default: 0.0 0.02 0.05 0.1)",
+    )
+    fig_adversary.add_argument(
+        "--protocols",
+        nargs="+",
+        default=list(ADVERSARY_PROTOCOLS),
+        choices=list(ADVERSARY_PROTOCOLS),
+    )
+    fig_adversary.add_argument("--seed", type=int, default=23)
+    fig_adversary.add_argument(
+        "--target-key",
+        default="adversary-target",
+        help="application key the sybil cluster surrounds",
+    )
+    fig_adversary.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=32,
+        help="per-node path-cache bound of the cached hotspot cells "
+        "(default: 32)",
+    )
+    fig_adversary.add_argument(
+        "--output",
+        metavar="PATH",
+        default="BENCH_adversary.json",
+        help="where to write the JSON adversary report "
+        "(default: BENCH_adversary.json)",
+    )
+
     fig_scale = sub.add_parser(
         "fig-scale",
         help="bulk-build 10^4..10^6-node overlays direct-to-columns, "
@@ -350,18 +405,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     for figure in (
         fig5, fig6, fig7, fig10, fig11, fig12, fig13, fig14, crash,
-        fig_latency, maint,
+        fig_latency, fig_adversary, maint,
     ):
         _add_workers(figure)
     # The run_sharded_lookups-driven commands also choose a shard
     # network distribution; fig12/maint run whole cells, fig8/9 assign
     # keys without routing, so the knob does not apply to them.
     for figure in (
-        fig5, fig6, fig7, fig10, fig11, fig13, fig14, crash, fig_latency
+        fig5, fig6, fig7, fig10, fig11, fig13, fig14, crash, fig_latency,
+        fig_adversary,
     ):
         _add_distribution(figure)
     # The pure-lookup cells additionally choose an execution backend.
-    for figure in (fig5, fig6, fig7, fig14, crash, fig_latency):
+    for figure in (fig5, fig6, fig7, fig14, crash, fig_latency, fig_adversary):
         _add_backend(figure)
 
     bench = sub.add_parser(
@@ -574,6 +630,7 @@ TRACEABLE_COMMANDS = (
     "fig14",
     "fig-crash",
     "fig-latency",
+    "fig-adversary",
     "maint",
 )
 
@@ -1145,6 +1202,88 @@ def _dispatch(
             )
             print()
         print(f"latency report -> {args.output}", file=sys.stderr)
+    elif args.command == "fig-adversary":
+        import json
+
+        from repro.experiments import (
+            adversary_report,
+            run_adversary_experiment,
+            validate_adversary_report,
+        )
+
+        results = run_adversary_experiment(
+            population=args.population,
+            protocols=tuple(args.protocols),
+            fractions=tuple(args.fractions),
+            lookups=args.lookups,
+            seed=args.seed,
+            target_key=args.target_key,
+            observer=sink,
+            workers=args.workers,
+            distribution=args.distribution,
+            backend=args.backend,
+            cache_capacity=args.cache_capacity,
+        )
+        report = adversary_report(
+            results,
+            population=args.population,
+            lookups=args.lookups,
+            seed=args.seed,
+            target_key=args.target_key,
+            workers=args.workers,
+            cache_capacity=args.cache_capacity,
+        )
+        validate_adversary_report(report)
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        rows = [
+            [
+                p.label,
+                str(p.sybils),
+                f"{p.capture_fraction:.4f}",
+                "yes" if p.target_captured else "no",
+                f"{p.interception_rate:.3f}",
+                f"{p.success_rate:.3f}",
+                f"{p.mean_hops:.2f}",
+                p.digest[:12],
+            ]
+            for p in results["attacks"]
+        ]
+        _print(
+            format_table(
+                [
+                    "overlay/fraction",
+                    "sybils",
+                    "capture",
+                    "target",
+                    "intercept",
+                    "success",
+                    "mean hops",
+                    "digest",
+                ],
+                rows,
+                f"fig-adversary — sybil+eclipse, n = {args.population}",
+            )
+        )
+        hotspot_rows = [
+            [
+                h.label,
+                f"{h.mean_hops:.2f}",
+                f"{h.hit_rate:.3f}",
+                f"{h.success_rate:.3f}",
+                h.digest[:12],
+            ]
+            for h in results["hotspots"]
+        ]
+        _print(
+            format_table(
+                ["overlay/cache", "mean hops", "hit rate", "success", "digest"],
+                hotspot_rows,
+                f"fig-adversary — Zipf hotspot, s = {report['hotspot']['zipf_s']}",
+            )
+        )
+        print(f"adversary report -> {args.output}", file=sys.stderr)
     elif args.command == "fig-scale":
         import json
 

@@ -1,0 +1,185 @@
+"""Opt-in path caching for hotspot workloads (DESIGN §S27).
+
+Zipf-skewed workloads hammer a handful of hot keys; structured overlays
+answer every one of those lookups with a full O(d)-hop walk.  The
+classic remedy is *path caching*: every node a successful lookup passes
+through remembers ``key -> owner``, so the next request for a hot key
+that starts (or lands) anywhere along a previous path short-circuits
+straight to the owner.
+
+:class:`PathCacheLayer` wraps a network with bounded per-node LRU
+caches:
+
+* a **miss** routes through the shared
+  :class:`~repro.dht.routing.LookupEngine` exactly as an uncached
+  lookup would, then — on success — populates the cache of every node
+  on the recorded path with the resolved owner;
+* a **hit** at the source answers in a single hop (source → cached
+  owner); a hit on the owner itself answers in zero.  The hit is
+  validated against liveness (dead entries are evicted, the lookup
+  falls back to routing) but *not* against ownership — a stale-but-live
+  entry produces a cache-served failure, which is the honest price of
+  caching under churn and is visible in the stats.
+
+Caching never alters the underlying routing: with ``capacity=0`` the
+layer is a pure pass-through and its records are bit-identical to
+:meth:`~repro.dht.base.Network.lookup_many` — pinned by a parity test.
+Cache state is deterministic: it depends only on the sequence of
+lookups performed, never on ids, hashes, or iteration order.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
+
+from repro.dht.metrics import LookupRecord
+from repro.dht.routing import LookupEngine
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.dht.base import Network, Node
+
+__all__ = ["CacheStats", "PathCacheLayer"]
+
+#: phase label carried by cache-served lookup records.
+CACHE_PHASE = "cached"
+
+
+@dataclass
+class CacheStats:
+    """Counters for one :class:`PathCacheLayer`."""
+
+    lookups: int = 0
+    #: lookups answered from the source's cache (including self-hits).
+    hits: int = 0
+    #: lookups that routed through the engine.
+    misses: int = 0
+    #: entries dropped by LRU capacity pressure.
+    evictions: int = 0
+    #: cache entries dropped because the cached node had died.
+    expired: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def as_dict(self) -> dict:
+        return {
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "expired": self.expired,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class PathCacheLayer:
+    """Bounded per-node ``key_id -> owner`` caches over a network.
+
+    ``capacity`` bounds every node's cache individually (LRU eviction);
+    ``capacity=0`` disables caching entirely, making the layer a
+    bit-exact pass-through.  One engine is shared across all lookups,
+    mirroring :meth:`~repro.dht.base.Network.lookup_many`.
+    """
+
+    def __init__(self, network: "Network", capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("cache capacity must be non-negative")
+        self.network = network
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._engine = LookupEngine(network)
+        #: per-node-name LRU: key_id -> owner node object.
+        self._caches: Dict[str, "OrderedDict[object, Node]"] = {}
+
+    def cache_of(self, node: object) -> "OrderedDict[object, Node]":
+        """The (possibly empty) cache of the node named ``node``."""
+        name = str(node if not hasattr(node, "name") else node.name)
+        cache = self._caches.get(name)
+        if cache is None:
+            cache = self._caches[name] = OrderedDict()
+        return cache
+
+    def _store(self, name: str, key_id: object, owner: "Node") -> None:
+        cache = self._caches.get(name)
+        if cache is None:
+            cache = self._caches[name] = OrderedDict()
+        if key_id in cache:
+            cache.move_to_end(key_id)
+        cache[key_id] = owner
+        if len(cache) > self.capacity:
+            cache.popitem(last=False)
+            self.stats.evictions += 1
+
+    def lookup(self, source: "Node", key: object) -> LookupRecord:
+        """One lookup for application ``key`` from ``source``, through
+        the cache."""
+        network = self.network
+        key_id = network.key_id(key)
+        self.stats.lookups += 1
+        if self.capacity == 0:
+            self.stats.misses += 1
+            return self._engine.run(source, key_id)
+
+        cache = self.cache_of(source)
+        cached = cache.get(key_id)
+        if cached is not None and not cached.alive:
+            del cache[key_id]
+            self.stats.expired += 1
+            cached = None
+        if cached is not None:
+            cache.move_to_end(key_id)
+            self.stats.hits += 1
+            owner = network.cached_owner_of_id(key_id)
+            if cached is source:
+                return LookupRecord(
+                    hops=0,
+                    success=cached is owner,
+                    source=source.name,
+                    key=key_id,
+                    owner=cached.name,
+                    path=[source.name],
+                )
+            return LookupRecord(
+                hops=1,
+                success=cached is owner,
+                phase_hops={CACHE_PHASE: 1},
+                source=source.name,
+                key=key_id,
+                owner=cached.name,
+                path=[source.name, cached.name],
+            )
+
+        self.stats.misses += 1
+        record = self._engine.run(source, key_id)
+        if record.success:
+            owner = network.cached_owner_of_id(key_id)
+            for name in record.path:
+                self._store(str(name), key_id, owner)
+        return record
+
+    def lookup_many(
+        self, pairs: Iterable[Tuple["Node", object]]
+    ) -> List[LookupRecord]:
+        """Route a batch of ``(source, application key)`` lookups
+        through the cache, in order (order matters: earlier lookups
+        warm the caches later ones hit)."""
+        return [self.lookup(source, key) for source, key in pairs]
+
+    def entries(self) -> int:
+        """Total cached entries across all nodes (for accounting)."""
+        return sum(len(cache) for cache in self._caches.values())
+
+    def clear(self) -> None:
+        """Drop all cached entries (stats are kept)."""
+        self._caches.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<PathCacheLayer capacity={self.capacity} "
+            f"entries={self.entries()} hit_rate={self.stats.hit_rate:.3f}>"
+        )

@@ -54,6 +54,13 @@ from repro.experiments.fig_latency import (
     run_latency_experiment,
     validate_latency_report,
 )
+from repro.experiments.adversary import (
+    AdversaryPoint,
+    HotspotPoint,
+    adversary_report,
+    run_adversary_experiment,
+    validate_adversary_report,
+)
 from repro.experiments.scale import (
     ScalePoint,
     run_scale_experiment,
@@ -105,6 +112,11 @@ __all__ = [
     "run_latency_experiment",
     "latency_report",
     "validate_latency_report",
+    "AdversaryPoint",
+    "HotspotPoint",
+    "run_adversary_experiment",
+    "adversary_report",
+    "validate_adversary_report",
     "ScalePoint",
     "run_scale_experiment",
     "scale_parity",

@@ -61,7 +61,7 @@ from repro.net.client import ClusterClient, ClusterError
 from repro.net.cluster import LocalCluster
 from repro.sim.faults import ChurnPlan, RetryPolicy
 from repro.sim.latency import LatencyModel
-from repro.sim.workload import random_keys
+from repro.sim.workload import ZipfSampler, random_keys
 from repro.util.rng import derive_rng, make_rng
 from repro.util.stats import mean, percentile
 
@@ -633,8 +633,9 @@ def make_open_operations(
     if not 0.0 <= put_fraction <= 1.0:
         raise ValueError("put_fraction must be within [0, 1]")
     rng = make_rng(seed)
-    keys = random_keys(key_universe, derive_rng(rng, 1), prefix="zipf")
-    weights = [1.0 / (rank + 1) ** zipf_s for rank in range(key_universe)]
+    sampler = ZipfSampler.from_universe(
+        key_universe, derive_rng(rng, 1), s=zipf_s
+    )
     operations: List[Dict[str, object]] = []
     clock = 0.0
     for index in range(count):
@@ -643,7 +644,7 @@ def make_open_operations(
         entry: Dict[str, object] = {
             "index": index,
             "op": op,
-            "key": rng.choices(keys, weights=weights, k=1)[0],
+            "key": sampler.draw(rng),
             "scheduled": clock,
             "source_pick": rng.random(),
         }

@@ -7,6 +7,13 @@ distributed phases.
 """
 
 from repro.sim.engine import Event, EventQueue, Simulator
+from repro.sim.adversary import (
+    Adversary,
+    AdversaryPlan,
+    InterceptionTracer,
+    capture_fraction,
+    interception_rate,
+)
 from repro.sim.churn import ChurnConfig, ChurnResult, run_churn_simulation
 from repro.sim.faults import FaultInjector, FaultPlan
 from repro.sim.latency import LatencyModel
@@ -22,9 +29,11 @@ from repro.sim.parallel import (
     run_sharded_lookups,
 )
 from repro.sim.workload import (
+    ZipfSampler,
     lookup_workload,
     random_keys,
     uniform_key_corpus,
+    zipf_weights,
 )
 
 __all__ = [
@@ -34,6 +43,11 @@ __all__ = [
     "ChurnConfig",
     "ChurnResult",
     "run_churn_simulation",
+    "AdversaryPlan",
+    "Adversary",
+    "InterceptionTracer",
+    "capture_fraction",
+    "interception_rate",
     "FaultPlan",
     "FaultInjector",
     "LatencyModel",
@@ -49,4 +63,6 @@ __all__ = [
     "lookup_workload",
     "random_keys",
     "uniform_key_corpus",
+    "zipf_weights",
+    "ZipfSampler",
 ]

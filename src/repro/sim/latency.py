@@ -82,6 +82,14 @@ class LatencyModel:
     inter_max_ms: float = 160.0
     #: per-link jitter bound (added on top of the regional base).
     jitter_ms: float = 10.0
+    #: fraction of nodes that are *slow* — heterogeneous capacities
+    #: (DESIGN §S27): overloaded or under-provisioned peers whose links
+    #: are stretched rather than dropped (the binary-flaky counterpart
+    #: lives in :class:`repro.sim.faults.FaultPlan`).  Membership is a
+    #: pure stable-hash function of ``(seed, name)``, like regions.
+    slow_fraction: float = 0.0
+    #: delay multiplier applied to every link touching a slow node.
+    slow_multiplier: float = 4.0
 
     def __post_init__(self) -> None:
         if not isinstance(self.seed, int):
@@ -97,6 +105,15 @@ class LatencyModel:
                 "need 0 <= inter_min_ms <= inter_max_ms, got "
                 f"[{self.inter_min_ms!r}, {self.inter_max_ms!r}]"
             )
+        if not 0.0 <= self.slow_fraction <= 1.0:
+            raise ValueError(
+                f"slow_fraction must be within [0, 1], got "
+                f"{self.slow_fraction!r}"
+            )
+        if self.slow_multiplier < 1.0:
+            raise ValueError(
+                f"slow_multiplier must be >= 1, got {self.slow_multiplier!r}"
+            )
 
     def region_of(self, name: object) -> int:
         """The region index of the node named ``name`` (stable hash)."""
@@ -111,17 +128,37 @@ class LatencyModel:
         span = self.inter_max_ms - self.inter_min_ms
         return self.inter_min_ms + span * _unit(self.seed, "table", low, high)
 
+    def is_slow(self, name: object) -> bool:
+        """Whether the node named ``name`` is one of the seeded slow
+        nodes (stable hash, like :meth:`region_of`)."""
+        if self.slow_fraction <= 0.0:
+            return False
+        return _unit(self.seed, "slow", str(name)) < self.slow_fraction
+
+    def slowdown(self, name: object) -> float:
+        """Per-node delay multiplier: ``slow_multiplier`` for slow
+        nodes, ``1.0`` otherwise."""
+        return self.slow_multiplier if self.is_slow(name) else 1.0
+
     def delay_ms(self, a: object, b: object) -> float:
         """Modeled one-way delay in milliseconds between nodes ``a``
         and ``b``.  Symmetric, non-negative, and zero iff ``a == b``
-        (by stringified name)."""
+        (by stringified name).  A link touching a slow node is
+        stretched by ``slow_multiplier`` (the slower endpoint wins);
+        with ``slow_fraction == 0`` no multiplication happens at all,
+        keeping delays bit-identical to the homogeneous model."""
         name_a, name_b = str(a), str(b)
         if name_a == name_b:
             return 0.0
         if name_b < name_a:
             name_a, name_b = name_b, name_a
         base = self.base_ms(self.region_of(name_a), self.region_of(name_b))
-        return base + self.jitter_ms * _unit(self.seed, "link", name_a, name_b)
+        delay = base + self.jitter_ms * _unit(
+            self.seed, "link", name_a, name_b
+        )
+        if self.slow_fraction > 0.0:
+            delay *= max(self.slowdown(name_a), self.slowdown(name_b))
+        return delay
 
     def to_config(self) -> dict:
         """The model as a plain JSON-serialisable dict.
@@ -137,11 +174,18 @@ class LatencyModel:
             "inter_min_ms": self.inter_min_ms,
             "inter_max_ms": self.inter_max_ms,
             "jitter_ms": self.jitter_ms,
+            "slow_fraction": self.slow_fraction,
+            "slow_multiplier": self.slow_multiplier,
         }
 
     @classmethod
     def from_config(cls, config: dict) -> "LatencyModel":
-        """Rebuild a model from :meth:`to_config` output."""
+        """Rebuild a model from :meth:`to_config` output.
+
+        ``slow_fraction``/``slow_multiplier`` default when absent, so
+        configs written before the heterogeneous-capacity fields (S27)
+        still round-trip to the bit-identical homogeneous model.
+        """
         return cls(
             seed=int(config["seed"]),
             regions=int(config.get("regions", 4)),
@@ -149,6 +193,8 @@ class LatencyModel:
             inter_min_ms=float(config.get("inter_min_ms", 40.0)),
             inter_max_ms=float(config.get("inter_max_ms", 160.0)),
             jitter_ms=float(config.get("jitter_ms", 10.0)),
+            slow_fraction=float(config.get("slow_fraction", 0.0)),
+            slow_multiplier=float(config.get("slow_multiplier", 4.0)),
         )
 
     def for_shard(self, index: int) -> "LatencyModel":

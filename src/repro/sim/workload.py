@@ -3,6 +3,12 @@
 The paper's workloads are simple and uniform: random (source, key)
 lookup pairs, and key corpora of 10^4..10^5 keys hashed onto each DHT's
 space (Figs 8-9).  Generators are seeded for reproducibility.
+
+:class:`ZipfSampler` is the skewed counterpart (DESIGN §S27): a seeded
+Zipf(``s``) popularity distribution over a fixed key corpus, shared by
+the engine-tier hotspot experiments and the live open-loop load
+generator (:mod:`repro.net.loadgen`) so both tiers draw from one
+implementation — the parity test pins identical draws.
 """
 
 from __future__ import annotations
@@ -12,7 +18,13 @@ from typing import Iterator, List, Sequence, Tuple
 
 from repro.dht.base import Network, Node
 
-__all__ = ["random_keys", "uniform_key_corpus", "lookup_workload"]
+__all__ = [
+    "random_keys",
+    "uniform_key_corpus",
+    "zipf_weights",
+    "ZipfSampler",
+    "lookup_workload",
+]
 
 
 def random_keys(count: int, rng: random.Random, prefix: str = "key") -> List[str]:
@@ -27,6 +39,60 @@ def random_keys(count: int, rng: random.Random, prefix: str = "key") -> List[str
 def uniform_key_corpus(count: int, seed: int) -> List[str]:
     """A deterministic corpus of ``count`` keys (Figs 8-9 workloads)."""
     return random_keys(count, random.Random(seed))
+
+
+def zipf_weights(count: int, s: float) -> List[float]:
+    """Unnormalised Zipf(``s``) popularity weights for ``count`` ranks.
+
+    Rank ``r`` (0-based) gets weight ``1 / (r + 1)**s`` — the head keys
+    take most of the traffic, as real caches see.  Kept as a standalone
+    function so tests can pin the sampler against the raw weights.
+    """
+    if count < 1:
+        raise ValueError("weight count must be >= 1")
+    if s < 0.0:
+        raise ValueError("zipf exponent must be non-negative")
+    return [1.0 / (rank + 1) ** s for rank in range(count)]
+
+
+class ZipfSampler:
+    """Zipf-skewed key popularity over a fixed corpus.
+
+    The corpus order *is* the popularity rank: ``keys[0]`` is the
+    hottest key.  :meth:`draw` consumes exactly one
+    ``random.Random.choices`` call from the caller's RNG — the same
+    stream position the previously-inline implementation in
+    :func:`repro.net.loadgen.make_open_operations` used, which keeps
+    existing seeded workloads bit-identical after the extraction.
+    """
+
+    __slots__ = ("keys", "weights", "s")
+
+    def __init__(self, keys: Sequence[str], s: float = 1.1) -> None:
+        if not keys:
+            raise ValueError("sampler needs a non-empty key corpus")
+        self.keys = list(keys)
+        self.s = s
+        self.weights = zipf_weights(len(self.keys), s)
+
+    @classmethod
+    def from_universe(
+        cls,
+        count: int,
+        rng: random.Random,
+        s: float = 1.1,
+        prefix: str = "zipf",
+    ) -> "ZipfSampler":
+        """A sampler over ``count`` fresh seeded keys (hot key first)."""
+        return cls(random_keys(count, rng, prefix=prefix), s)
+
+    def draw(self, rng: random.Random) -> str:
+        """One key, Zipf-weighted; consumes one ``choices`` call."""
+        return rng.choices(self.keys, weights=self.weights, k=1)[0]
+
+    def sample(self, count: int, rng: random.Random) -> List[str]:
+        """``count`` independent Zipf-weighted draws."""
+        return [self.draw(rng) for _ in range(count)]
 
 
 def lookup_workload(

@@ -1,0 +1,152 @@
+"""Tests for the opt-in path-caching layer (§S27).
+
+Load-bearing claims: ``capacity=0`` is a bit-exact pass-through of the
+plain engine; hits are bounded-LRU and liveness-checked; a Zipf hotspot
+workload gets measurably cheaper through the cache.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dht.cache import CacheStats, PathCacheLayer
+from repro.experiments.registry import build_sized_network
+from repro.sim.workload import ZipfSampler, lookup_workload
+from repro.util.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_sized_network("cycloid", 160, seed=6)
+
+
+def zipf_pairs(network, count, seed, universe=32, s=1.2):
+    nodes = network.live_nodes()
+    sampler = ZipfSampler.from_universe(universe, make_rng(seed), s=s)
+    rng = make_rng(seed + 1)
+    return [
+        (nodes[rng.randrange(len(nodes))], sampler.draw(rng))
+        for _ in range(count)
+    ]
+
+
+class TestValidation:
+    def test_negative_capacity_rejected(self, network):
+        with pytest.raises(ValueError):
+            PathCacheLayer(network, -1)
+
+
+class TestPassThrough:
+    def test_capacity_zero_is_bit_exact(self, network):
+        pairs = zipf_pairs(network, 200, 9)
+        plain = network.lookup_many(pairs)
+        layer = PathCacheLayer(network, 0)
+        cached = layer.lookup_many(pairs)
+        assert [
+            (r.hops, r.success, r.path, r.phase_hops) for r in plain
+        ] == [(r.hops, r.success, r.path, r.phase_hops) for r in cached]
+        assert layer.stats.hits == 0
+        assert layer.stats.misses == 200
+        assert layer.entries() == 0
+
+
+class TestHits:
+    def test_repeat_lookup_hits_in_one_hop(self, network):
+        layer = PathCacheLayer(network, 8)
+        source = network.live_nodes()[0]
+        first = layer.lookup(source, "hot-key")
+        assert first.success
+        second = layer.lookup(source, "hot-key")
+        assert second.success
+        assert second.hops <= 1
+        assert second.phase_hops in ({}, {"cached": 1})
+        assert len(second.path) == second.hops + 1
+        assert layer.stats.hits == 1
+
+    def test_hit_on_owner_is_zero_hops(self, network):
+        layer = PathCacheLayer(network, 8)
+        owner = network.owner_of_id(network.key_id("hot-key"))
+        layer.lookup(owner, "hot-key")  # populates the owner's cache
+        record = layer.lookup(owner, "hot-key")
+        assert record.hops == 0
+        assert record.success
+        assert record.path == [owner.name]
+
+    def test_path_nodes_share_the_entry(self, network):
+        """Every node along a successful path learns the owner — the
+        defining property of *path* caching."""
+        layer = PathCacheLayer(network, 8)
+        source = network.live_nodes()[3]
+        record = layer.lookup(source, "hot-key")
+        assert record.success
+        key_id = network.key_id("hot-key")
+        for name in record.path:
+            assert key_id in layer.cache_of(name)
+
+    def test_dead_entry_expires_and_reroutes(self):
+        network = build_sized_network("cycloid", 160, seed=8)
+        layer = PathCacheLayer(network, 8)
+        source = network.live_nodes()[0]
+        first = layer.lookup(source, "hot-key")
+        assert first.success
+        owner = network.owner_of_id(network.key_id("hot-key"))
+        network.leave(owner)
+        record = layer.lookup(source, "hot-key")
+        assert layer.stats.expired == 1
+        # Fell back to routing; a fresh (live) answer was produced.
+        assert str(owner.name) not in [str(n) for n in record.path]
+
+
+class TestLru:
+    def test_capacity_bound_and_eviction_order(self, network):
+        layer = PathCacheLayer(network, 2)
+        source = network.live_nodes()[5]
+        for key in ("k1", "k2", "k3"):
+            layer.lookup(source, key)
+        cache = layer.cache_of(source)
+        assert len(cache) <= 2
+        assert layer.stats.evictions >= 1
+        # k1 was the least recently used entry of the source's cache.
+        assert network.key_id("k1") not in cache
+
+    def test_hit_refreshes_recency(self, network):
+        layer = PathCacheLayer(network, 2)
+        source = network.live_nodes()[7]
+        layer.lookup(source, "k1")
+        layer.lookup(source, "k2")
+        layer.lookup(source, "k1")  # hit: k1 becomes most recent
+        layer.lookup(source, "k3")  # evicts k2, not k1
+        cache = layer.cache_of(source)
+        assert network.key_id("k1") in cache
+        assert network.key_id("k2") not in cache
+
+
+class TestHotspot:
+    def test_zipf_workload_gets_cheaper(self, network):
+        pairs = zipf_pairs(network, 400, 21)
+        plain_hops = sum(r.hops for r in network.lookup_many(pairs))
+        layer = PathCacheLayer(network, 32)
+        cached = layer.lookup_many(pairs)
+        assert all(r.success for r in cached)
+        assert sum(r.hops for r in cached) < plain_hops
+        assert layer.stats.hit_rate > 0.05
+        assert (
+            layer.stats.hits + layer.stats.misses == layer.stats.lookups
+        )
+
+    def test_stats_accounting(self):
+        stats = CacheStats()
+        assert stats.hit_rate == 0.0
+        stats.lookups, stats.hits = 10, 4
+        assert stats.hit_rate == pytest.approx(0.4)
+        assert set(stats.as_dict()) == {
+            "lookups", "hits", "misses", "evictions", "expired", "hit_rate",
+        }
+
+    def test_deterministic_across_instances(self, network):
+        pairs = zipf_pairs(network, 200, 33)
+        a = PathCacheLayer(network, 16).lookup_many(pairs)
+        b = PathCacheLayer(network, 16).lookup_many(pairs)
+        assert [(r.hops, r.success, r.path) for r in a] == [
+            (r.hops, r.success, r.path) for r in b
+        ]

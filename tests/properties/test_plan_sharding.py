@@ -1,0 +1,147 @@
+"""Hypothesis coverage for plan sharding (§S27 satellite).
+
+The sharded runner's correctness rests on every plan object exposing a
+``for_shard`` that makes shard results a pure function of (plan, shard
+index):
+
+* :meth:`AdversaryPlan.for_shard` is the *identity* — adversarial
+  mutations happen at setup time, so every shard must see the identical
+  attacked topology, and merged sharded results are bit-equal to a
+  serial run at any shard split.
+* :meth:`FaultInjector.for_shard` derives **disjoint** per-shard
+  message-loss streams (distinct shards draw different verdicts) while
+  shard 0 stays bit-identical to the parent, and the merged sharded
+  crash run is bit-equal to the serial one at any shard split.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.adversary import build_adversary_network
+from repro.experiments.crash import crashed_setup
+from repro.sim.adversary import Adversary, AdversaryPlan
+from repro.sim.faults import FaultInjector, FaultPlan
+from repro.sim.parallel import plain_setup, run_sharded_lookups
+
+seeds = st.integers(min_value=0, max_value=2**31)
+shard_indices = st.integers(min_value=0, max_value=64)
+shard_sizes = st.integers(min_value=7, max_value=80)
+
+adversary_plans = st.builds(
+    AdversaryPlan,
+    seed=seeds,
+    sybils=st.integers(min_value=0, max_value=12),
+    target_key=st.text(min_size=1, max_size=8),
+    eclipse_fraction=st.floats(0.0, 1.0, allow_nan=False),
+)
+fault_plans = st.builds(
+    FaultPlan,
+    seed=seeds,
+    crash_probability=st.floats(0.0, 0.3, allow_nan=False),
+    message_loss=st.floats(0.0, 0.4, allow_nan=False),
+)
+
+
+class TestAdversaryPlanSharding:
+    @given(plan=adversary_plans, shard=shard_indices)
+    def test_for_shard_is_identity(self, plan, shard):
+        assert plan.for_shard(shard) is plan
+
+    @given(plan=adversary_plans, shard=shard_indices)
+    @settings(max_examples=10, deadline=None)
+    def test_every_shard_attacks_identically(self, plan, shard):
+        """Two shards applying the same plan to identically-built
+        overlays produce the identical attacked membership."""
+        def attacked_names(shard_plan):
+            network = build_adversary_network(
+                "chord", 48, 3, AdversaryPlan(seed=3)
+            )
+            adversary = Adversary(shard_plan)
+            adversary.apply(network)
+            return sorted(
+                (str(n.name), n.node_id) for n in network.live_nodes()
+            )
+
+        assert attacked_names(plan.for_shard(shard)) == attacked_names(plan)
+
+    @given(shard_size=shard_sizes)
+    @settings(max_examples=4, deadline=None)
+    def test_merged_shards_bit_equal_to_serial(self, shard_size):
+        """For any shard split, fanning the shards over worker
+        processes merges to the bit-identical serial result — the
+        shard split (not the worker count) is part of the workload's
+        purity key."""
+        plan = AdversaryPlan(
+            seed=5, sybils=6, target_key="t", eclipse_fraction=0.25
+        )
+        setup = partial(
+            plain_setup, build_adversary_network, "cycloid", 64, 5, plan
+        )
+        serial = run_sharded_lookups(
+            setup, 60, 11, workers=1, shard_size=shard_size
+        ).stats.digest()
+        merged = run_sharded_lookups(
+            setup, 60, 11, workers=2, shard_size=shard_size
+        ).stats.digest()
+        assert merged == serial
+
+
+class TestFaultPlanSharding:
+    @given(plan=fault_plans)
+    @settings(max_examples=20)
+    def test_shard_zero_is_bit_identical_to_parent(self, plan):
+        parent = FaultInjector(plan)
+        child = FaultInjector(plan).for_shard(0)
+        draws = 50
+        assert [parent._loss_rng.random() for _ in range(draws)] == [
+            child._loss_rng.random() for _ in range(draws)
+        ]
+
+    @given(
+        seed=seeds,
+        a=st.integers(min_value=0, max_value=64),
+        b=st.integers(min_value=0, max_value=64),
+    )
+    @settings(max_examples=20)
+    def test_distinct_shards_draw_disjoint_streams(self, seed, a, b):
+        if a == b:
+            return
+        plan = FaultPlan(seed=seed, message_loss=0.2)
+        stream_a = FaultInjector(plan).for_shard(a)._loss_rng
+        stream_b = FaultInjector(plan).for_shard(b)._loss_rng
+        assert [stream_a.random() for _ in range(20)] != [
+            stream_b.random() for _ in range(20)
+        ]
+
+    @given(plan=fault_plans, shard=shard_indices)
+    @settings(max_examples=20)
+    def test_shards_share_crash_and_flaky_decisions(self, plan, shard):
+        """Topology-level faults are shard-independent: every shard
+        kills the same nodes (the streams are never re-derived)."""
+        parent = FaultInjector(plan)
+        child = parent.for_shard(shard)
+        assert child.plan is plan
+        draws = 20
+        assert [parent._crash_rng.random() for _ in range(draws)] == [
+            child._crash_rng.random() for _ in range(draws)
+        ]
+
+    @given(shard_size=shard_sizes)
+    @settings(max_examples=4, deadline=None)
+    def test_merged_crash_shards_bit_equal_to_serial(self, shard_size):
+        """The existing FaultPlan path holds the same bar: for any
+        shard split of a crashed-overlay workload, fanned-out shards
+        merge to the bit-identical serial result — per-shard
+        message-loss streams (``for_shard``) included."""
+        plan = FaultPlan(seed=9, crash_probability=0.15, message_loss=0.1)
+        setup = partial(crashed_setup, "cycloid", 3, 2, plan)
+        serial = run_sharded_lookups(
+            setup, 60, 13, workers=1, shard_size=shard_size, retry_budget=4
+        ).stats.digest()
+        merged = run_sharded_lookups(
+            setup, 60, 13, workers=2, shard_size=shard_size, retry_budget=4
+        ).stats.digest()
+        assert merged == serial

@@ -93,6 +93,92 @@ class TestDelayProperties:
         assert 0 <= model.region_of(name) < model.regions
 
 
+class TestSlowNodes:
+    """Heterogeneous capacities (§S27): per-node slowdown multipliers."""
+
+    @given(model=models, name=node_names)
+    def test_slowdown_values(self, model, name):
+        # Homogeneous by default: nobody is slow, multiplier is 1.
+        assert model.slowdown(name) == 1.0
+        assert not model.is_slow(name)
+
+    @given(
+        model=models,
+        a=node_names,
+        b=node_names,
+        fraction=st.floats(0.01, 1.0, allow_nan=False),
+        multiplier=st.floats(1.0, 16.0, allow_nan=False),
+    )
+    def test_slow_links_scale_by_slower_endpoint(
+        self, model, a, b, fraction, multiplier
+    ):
+        slow = LatencyModel.from_config(
+            {
+                **model.to_config(),
+                "slow_fraction": fraction,
+                "slow_multiplier": multiplier,
+            }
+        )
+        expected = model.delay_ms(a, b) * max(
+            slow.slowdown(a), slow.slowdown(b)
+        )
+        assert slow.delay_ms(a, b) == pytest.approx(expected)
+
+    @given(model=models, a=node_names, b=node_names)
+    def test_zero_fraction_is_bit_exact(self, model, a, b):
+        """slow_fraction=0 must not even multiply by 1.0 — delays stay
+        bit-identical to the pre-S27 homogeneous model."""
+        explicit = LatencyModel.from_config(
+            {**model.to_config(), "slow_fraction": 0.0}
+        )
+        assert explicit.delay_ms(a, b) == model.delay_ms(a, b)
+
+    @given(
+        name=node_names,
+        shard=st.integers(min_value=0, max_value=64),
+    )
+    def test_for_shard_preserves_slow_set(self, name, shard):
+        model = LatencyModel(seed=3, slow_fraction=0.3, slow_multiplier=8.0)
+        assert model.for_shard(shard).is_slow(name) == model.is_slow(name)
+
+    def test_membership_is_seeded_and_proportional(self):
+        model = LatencyModel(seed=11, slow_fraction=0.25)
+        names = [f"n{i}" for i in range(2000)]
+        slow = [name for name in names if model.is_slow(name)]
+        assert slow == [
+            name
+            for name in names
+            if LatencyModel(seed=11, slow_fraction=0.25).is_slow(name)
+        ]
+        assert 0.18 < len(slow) / len(names) < 0.32
+
+    def test_slow_config_roundtrip(self):
+        model = LatencyModel(seed=9, slow_fraction=0.1, slow_multiplier=6.0)
+        clone = LatencyModel.from_config(model.to_config())
+        assert clone == model
+        assert clone.slowdown("n3") == model.slowdown("n3")
+
+    def test_legacy_config_defaults_to_homogeneous(self):
+        """Configs written before S27 lack the slow fields and must
+        round-trip to the bit-identical homogeneous model."""
+        config = LatencyModel(seed=4).to_config()
+        del config["slow_fraction"], config["slow_multiplier"]
+        model = LatencyModel.from_config(config)
+        assert model == LatencyModel(seed=4)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"slow_fraction": -0.1},
+            {"slow_fraction": 1.5},
+            {"slow_multiplier": 0.5},
+        ],
+    )
+    def test_rejects_bad_slow_config(self, kwargs):
+        with pytest.raises(ValueError):
+            LatencyModel(seed=1, **kwargs)
+
+
 class TestValidation:
     def test_seed_is_mandatory(self):
         with pytest.raises(TypeError):

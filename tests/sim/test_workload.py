@@ -2,8 +2,14 @@
 
 import pytest
 
-from repro.sim.workload import lookup_workload, random_keys, uniform_key_corpus
-from repro.util.rng import make_rng
+from repro.sim.workload import (
+    ZipfSampler,
+    lookup_workload,
+    random_keys,
+    uniform_key_corpus,
+    zipf_weights,
+)
+from repro.util.rng import derive_rng, make_rng
 
 
 class TestRandomKeys:
@@ -76,3 +82,91 @@ class TestLookupWorkload:
     def test_start_defaults_to_zero(self, cycloid_sparse):
         pairs = list(lookup_workload(cycloid_sparse, 2, make_rng(1)))
         assert [key.rsplit("-", 1)[1] for _, key in pairs] == ["0", "1"]
+
+
+class TestZipfWeights:
+    def test_rank_one_dominates(self):
+        weights = zipf_weights(10, 1.1)
+        assert weights[0] == 1.0
+        assert weights == sorted(weights, reverse=True)
+
+    def test_exponent_zero_is_uniform(self):
+        assert zipf_weights(5, 0.0) == [1.0] * 5
+
+    def test_pinned_values(self):
+        assert zipf_weights(3, 1.0) == [1.0, 0.5, pytest.approx(1 / 3)]
+
+    @pytest.mark.parametrize("count,s", [(0, 1.0), (-1, 1.0), (3, -0.1)])
+    def test_rejects_bad_arguments(self, count, s):
+        with pytest.raises(ValueError):
+            zipf_weights(count, s)
+
+
+class TestZipfSampler:
+    def test_corpus_order_is_popularity_rank(self):
+        sampler = ZipfSampler(["hot", "warm", "cold"], s=1.2)
+        counts = {"hot": 0, "warm": 0, "cold": 0}
+        rng = make_rng(3)
+        for _ in range(3000):
+            counts[sampler.draw(rng)] += 1
+        assert counts["hot"] > counts["warm"] > counts["cold"]
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfSampler([])
+
+    def test_deterministic_across_instances(self):
+        keys = [f"k{i}" for i in range(16)]
+        a = ZipfSampler(keys, s=1.1).sample(40, make_rng(9))
+        b = ZipfSampler(keys, s=1.1).sample(40, make_rng(9))
+        assert a == b
+
+    def test_from_universe_hot_key_first(self):
+        sampler = ZipfSampler.from_universe(8, make_rng(4), s=1.3)
+        assert len(sampler.keys) == 8
+        assert sampler.weights[0] == max(sampler.weights)
+
+    def test_loadgen_draw_parity(self):
+        """The extraction pin (§S27): the live open-loop generator must
+        draw byte-identical keys to a hand-run sampler consuming the
+        same derived RNG streams — one implementation, two tiers."""
+        from repro.net.loadgen import make_open_operations
+
+        seed, universe, s = 2024, 16, 1.1
+        rng = make_rng(seed)
+        sampler = ZipfSampler.from_universe(universe, derive_rng(rng, 1), s=s)
+        expected = []
+        for _ in range(12):
+            rng.expovariate(50.0)   # arrival clock draw
+            rng.random()            # put/get draw
+            expected.append(sampler.draw(rng))
+            rng.random()            # source_pick draw
+        operations = make_open_operations(
+            12, seed=seed, rate=50.0, key_universe=universe,
+            put_fraction=0.5, zipf_s=s,
+        )
+        assert [op["key"] for op in operations] == expected
+
+    def test_loadgen_golden_keys(self):
+        """Golden pin captured before the sampler extraction — the
+        refactor must not move a single seeded draw."""
+        from repro.net.loadgen import make_open_operations
+
+        operations = make_open_operations(
+            12, seed=2024, rate=50.0, key_universe=16,
+            put_fraction=0.5, zipf_s=1.1,
+        )
+        assert [op["key"] for op in operations] == [
+            "zipf-0257d718493460d3-10",
+            "zipf-234b8c50b480e926-0",
+            "zipf-f8d0570be89fd43a-5",
+            "zipf-ef30b1bbdd7e0860-2",
+            "zipf-f8d0570be89fd43a-5",
+            "zipf-234b8c50b480e926-0",
+            "zipf-6bb179697223506c-1",
+            "zipf-d3d2e8c28a9e25bf-6",
+            "zipf-6bb179697223506c-1",
+            "zipf-234b8c50b480e926-0",
+            "zipf-9a2be78b65e1a20e-9",
+            "zipf-442bcff17e7cd05b-7",
+        ]
